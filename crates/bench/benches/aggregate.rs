@@ -1,0 +1,97 @@
+//! Partial-aggregation benchmarks: the `Ω ⊕ tup` / `Ω ⊕ Ω` operations that
+//! dominate a TDS's CPU time during the aggregation phase, plus the wire
+//! codec they travel through.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use tdsql_core::tuple_codec::PartialAggBatch;
+use tdsql_sql::aggregate::{AggSpec, AggState};
+use tdsql_sql::ast::AggFunc;
+use tdsql_sql::value::{GroupKey, Value};
+
+fn bench_update(c: &mut Criterion) {
+    let mut group = c.benchmark_group("agg_update");
+    for func in [
+        AggFunc::Count,
+        AggFunc::Sum,
+        AggFunc::Avg,
+        AggFunc::Variance,
+        AggFunc::Median,
+    ] {
+        let spec = AggSpec {
+            func,
+            distinct: false,
+        };
+        group.bench_function(BenchmarkId::from_parameter(func.name()), |b| {
+            b.iter_batched(
+                || spec.init(),
+                |mut st| {
+                    for i in 0..64 {
+                        st.update(black_box(&Value::Int(i))).unwrap();
+                    }
+                    st
+                },
+                criterion::BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+fn bench_merge(c: &mut Criterion) {
+    let mut group = c.benchmark_group("agg_merge");
+    for func in [
+        AggFunc::Sum,
+        AggFunc::Avg,
+        AggFunc::Variance,
+        AggFunc::Median,
+    ] {
+        let spec = AggSpec {
+            func,
+            distinct: false,
+        };
+        let mut partial = spec.init();
+        for i in 0..64 {
+            partial.update(&Value::Int(i)).unwrap();
+        }
+        group.bench_function(BenchmarkId::from_parameter(func.name()), |b| {
+            b.iter_batched(
+                || spec.init(),
+                |mut acc| {
+                    for _ in 0..8 {
+                        acc.merge(black_box(&partial)).unwrap();
+                    }
+                    acc
+                },
+                criterion::BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+fn bench_batch_codec(c: &mut Criterion) {
+    let spec = AggSpec {
+        func: AggFunc::Avg,
+        distinct: false,
+    };
+    let entries: Vec<(GroupKey, Vec<AggState>)> = (0..64)
+        .map(|g| {
+            let mut st = spec.init();
+            st.update(&Value::Int(g)).unwrap();
+            (GroupKey::from_values(&[Value::Int(g)]), vec![st])
+        })
+        .collect();
+    let batch = PartialAggBatch { entries };
+    c.bench_function("batch/encode_64_groups", |b| {
+        b.iter(|| black_box(&batch).encode());
+    });
+    let encoded = batch.encode();
+    c.bench_function("batch/decode_64_groups", |b| {
+        b.iter(|| PartialAggBatch::decode(black_box(&encoded)).unwrap());
+    });
+}
+
+criterion_group!(benches, bench_update, bench_merge, bench_batch_codec);
+criterion_main!(benches);

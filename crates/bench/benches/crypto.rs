@@ -1,0 +1,73 @@
+//! Crypto micro-benchmarks — the software analogue of the paper's unit test
+//! (Section 6.2 / Fig. 9): per-block AES, SHA-256 throughput, and the cost
+//! of the two encryption schemes on 16-byte tuples and 4 KB partitions.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+use tdsql_crypto::aes::Aes128;
+use tdsql_crypto::sha256::Sha256;
+use tdsql_crypto::{BucketHasher, DetCipher, NDetCipher, SymKey};
+
+fn bench_aes_block(c: &mut Criterion) {
+    let aes = Aes128::new(&[7u8; 16]);
+    c.bench_function("aes128/encrypt_block", |b| {
+        let mut block = [0u8; 16];
+        b.iter(|| {
+            aes.encrypt_block(black_box(&mut block));
+        });
+    });
+    c.bench_function("aes128/decrypt_block", |b| {
+        let mut block = [0u8; 16];
+        b.iter(|| {
+            aes.decrypt_block(black_box(&mut block));
+        });
+    });
+}
+
+fn bench_sha256(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sha256");
+    for size in [64usize, 1024, 4096] {
+        let data = vec![0xabu8; size];
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(size), &data, |b, data| {
+            b.iter(|| Sha256::digest(black_box(data)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_schemes(c: &mut Criterion) {
+    let key = SymKey::derive(b"bench", "key");
+    let ndet = NDetCipher::new(&key);
+    let det = DetCipher::new(&key);
+    let mut rng = StdRng::seed_from_u64(1);
+
+    let mut group = c.benchmark_group("encryption");
+    // The paper's tuple (16 B) and partition (4 KB) sizes.
+    for size in [16usize, 4096] {
+        let data = vec![0x55u8; size];
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_with_input(BenchmarkId::new("ndet_encrypt", size), &data, |b, data| {
+            b.iter(|| ndet.encrypt(&mut rng, black_box(data)));
+        });
+        let ct = ndet.encrypt(&mut rng, &data);
+        group.bench_with_input(BenchmarkId::new("ndet_decrypt", size), &ct, |b, ct| {
+            b.iter(|| ndet.decrypt(black_box(ct)).unwrap());
+        });
+        group.bench_with_input(BenchmarkId::new("det_encrypt", size), &data, |b, data| {
+            b.iter(|| det.encrypt(black_box(data)));
+        });
+    }
+    group.finish();
+
+    let hasher = BucketHasher::new(&key);
+    c.bench_function("bucket_hash", |b| {
+        b.iter(|| hasher.hash(black_box(12345)));
+    });
+}
+
+criterion_group!(benches, bench_aes_block, bench_sha256, bench_schemes);
+criterion_main!(benches);

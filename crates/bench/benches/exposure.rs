@@ -1,0 +1,69 @@
+//! Exposure-analysis benchmarks: computing ε on realistic table sizes and
+//! building equi-depth histograms — the offline costs of the privacy tooling.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use tdsql_core::histogram::Histogram;
+use tdsql_exposure::coefficient::exposure_coefficient;
+use tdsql_exposure::schemes::ColumnScheme;
+use tdsql_exposure::zipf::zipf_column;
+use tdsql_sql::value::{GroupKey, Value};
+
+fn bench_epsilon(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exposure_epsilon");
+    for (g, n) in [(50usize, 1_000usize), (100, 5_000)] {
+        let table = zipf_column(g, n, 1.0, 11);
+        for (name, scheme) in [
+            ("det", ColumnScheme::Det),
+            ("rnf_noise", ColumnScheme::RnfNoise { nf: 10, seed: 3 }),
+            ("ed_hist", ColumnScheme::EdHist { buckets: 10 }),
+        ] {
+            group.bench_function(BenchmarkId::new(name, format!("g{g}_n{n}")), |b| {
+                b.iter(|| exposure_coefficient(black_box(&table), &[scheme]));
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_histogram_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("histogram_build");
+    for g in [100usize, 1_000, 10_000] {
+        let dist: Vec<(GroupKey, u64)> = (0..g)
+            .map(|i| {
+                (
+                    GroupKey::from_values(&[Value::Int(i as i64)]),
+                    (i % 17 + 1) as u64,
+                )
+            })
+            .collect();
+        group.bench_with_input(BenchmarkId::from_parameter(g), &dist, |b, dist| {
+            b.iter(|| Histogram::build(black_box(dist), 64));
+        });
+    }
+    group.finish();
+}
+
+fn bench_bucket_lookup(c: &mut Criterion) {
+    let dist: Vec<(GroupKey, u64)> = (0..1_000)
+        .map(|i| (GroupKey::from_values(&[Value::Int(i)]), 5u64))
+        .collect();
+    let hist = Histogram::build(&dist, 32);
+    let known = GroupKey::from_values(&[Value::Int(500)]);
+    let unknown = GroupKey::from_values(&[Value::Int(999_999)]);
+    c.bench_function("histogram_lookup/known", |b| {
+        b.iter(|| hist.bucket_of(black_box(&known)));
+    });
+    c.bench_function("histogram_lookup/fallback_hash", |b| {
+        b.iter(|| hist.bucket_of(black_box(&unknown)));
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_epsilon,
+    bench_histogram_build,
+    bench_bucket_lookup
+);
+criterion_main!(benches);

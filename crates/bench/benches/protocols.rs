@@ -1,0 +1,78 @@
+//! Whole-protocol benchmarks: end-to-end wall time of each protocol on a
+//! scaled-down population. Absolute numbers are laptop numbers, but the
+//! *relative* costs mirror Fig. 10: noise-based protocols pay for their fake
+//! tuples, S_Agg pays for its iterations, ED_Hist stays lean.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use tdsql_core::access::AccessPolicy;
+use tdsql_core::protocol::{ProtocolKind, ProtocolParams};
+use tdsql_core::runtime::SimBuilder;
+use tdsql_core::workload::{smart_meters, SmartMeterConfig};
+use tdsql_crypto::credential::Role;
+use tdsql_sql::parser::parse_query;
+
+fn bench_protocols(c: &mut Criterion) {
+    let (dbs, _) = smart_meters(&SmartMeterConfig {
+        n_tds: 200,
+        districts: 8,
+        readings_per_tds: 1,
+        ..Default::default()
+    });
+    let query = parse_query(
+        "SELECT c.district, AVG(p.cons) FROM power p, consumer c \
+                     WHERE c.cid = p.cid GROUP BY c.district",
+    )
+    .unwrap();
+
+    let mut group = c.benchmark_group("protocol_end_to_end");
+    group.sample_size(10);
+    for kind in [
+        ProtocolKind::SAgg,
+        ProtocolKind::RnfNoise { nf: 2 },
+        ProtocolKind::CNoise,
+        ProtocolKind::EdHist { buckets: 4 },
+    ] {
+        group.bench_function(BenchmarkId::from_parameter(kind.name()), |b| {
+            b.iter(|| {
+                let mut world = SimBuilder::new()
+                    .seed(1)
+                    .build(dbs.clone(), AccessPolicy::allow_all(Role::new("supplier")));
+                let querier = world.make_querier("q", "supplier");
+                world
+                    .run_query(&querier, &query, ProtocolParams::new(kind))
+                    .unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_collection_only(c: &mut Criterion) {
+    // Collection-phase cost per TDS: local evaluation + encryption.
+    let (dbs, _) = smart_meters(&SmartMeterConfig {
+        n_tds: 500,
+        districts: 8,
+        readings_per_tds: 1,
+        ..Default::default()
+    });
+    let query =
+        parse_query("SELECT c.district, COUNT(*) FROM consumer c GROUP BY c.district").unwrap();
+    let mut group = c.benchmark_group("collection_phase");
+    group.sample_size(10);
+    group.bench_function("500_tds_s_agg", |b| {
+        b.iter(|| {
+            let mut world = SimBuilder::new()
+                .seed(2)
+                .build(dbs.clone(), AccessPolicy::allow_all(Role::new("supplier")));
+            let querier = world.make_querier("q", "supplier");
+            world
+                .run_query(&querier, &query, ProtocolParams::new(ProtocolKind::SAgg))
+                .unwrap()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_protocols, bench_collection_only);
+criterion_main!(benches);

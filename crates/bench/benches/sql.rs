@@ -1,0 +1,80 @@
+//! SQL front-end and local-engine benchmarks: what one TDS pays to open a
+//! query and evaluate it over its local data (step 3 + the local part of
+//! step 4).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use tdsql_sql::engine::{execute, Database};
+use tdsql_sql::parser::parse_query;
+use tdsql_sql::schema::{Column, TableSchema};
+use tdsql_sql::value::{DataType, Value};
+
+const HEADLINE: &str = "SELECT AVG(p.cons) FROM power p, consumer c \
+    WHERE c.accomodation = 'detached house' AND c.cid = p.cid \
+    GROUP BY c.district HAVING COUNT(DISTINCT c.cid) > 100 SIZE 50000";
+
+fn local_db(readings: usize) -> Database {
+    let mut db = Database::new();
+    db.create_table(TableSchema::new(
+        "consumer",
+        vec![
+            Column::new("cid", DataType::Int),
+            Column::new("district", DataType::Str),
+            Column::new("accomodation", DataType::Str),
+        ],
+    ));
+    db.create_table(TableSchema::new(
+        "power",
+        vec![
+            Column::new("cid", DataType::Int),
+            Column::new("cons", DataType::Float),
+        ],
+    ));
+    db.insert(
+        "consumer",
+        vec![
+            Value::Int(1),
+            Value::Str("d1".into()),
+            Value::Str("detached house".into()),
+        ],
+    )
+    .unwrap();
+    for i in 0..readings {
+        db.insert("power", vec![Value::Int(1), Value::Float(10.0 + i as f64)])
+            .unwrap();
+    }
+    db
+}
+
+fn bench_parse(c: &mut Criterion) {
+    c.bench_function("parse/headline_query", |b| {
+        b.iter(|| parse_query(black_box(HEADLINE)).unwrap());
+    });
+    c.bench_function("parse/roundtrip_display", |b| {
+        let q = parse_query(HEADLINE).unwrap();
+        b.iter(|| {
+            let s = q.to_string();
+            parse_query(black_box(&s)).unwrap()
+        });
+    });
+}
+
+fn bench_local_execution(c: &mut Criterion) {
+    let mut group = c.benchmark_group("local_engine");
+    for readings in [1usize, 16, 128] {
+        let db = local_db(readings);
+        let q = parse_query(
+            "SELECT c.district, AVG(p.cons) FROM power p, consumer c \
+             WHERE c.cid = p.cid GROUP BY c.district",
+        )
+        .unwrap();
+        group.bench_with_input(BenchmarkId::new("join_group_by", readings), &db, |b, db| {
+            b.iter(|| execute(black_box(db), black_box(&q)).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_parse, bench_local_execution);
+criterion_main!(benches);

@@ -1,0 +1,370 @@
+//! Regenerate every table and figure of the paper's evaluation.
+//!
+//! ```sh
+//! cargo run --release -p tdsql-bench --bin figures            # everything
+//! cargo run --release -p tdsql-bench --bin figures -- 10e 11  # a subset
+//! ```
+//!
+//! Output goes to stdout and, for the Fig. 10 sweeps, to CSV files under
+//! `results/`.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::path::Path;
+
+use tdsql_costmodel::device::DeviceProfile;
+use tdsql_costmodel::optimum;
+use tdsql_costmodel::ranking;
+use tdsql_costmodel::sweep;
+use tdsql_exposure::coefficient::{epsilon_ndet, exposure_coefficient};
+use tdsql_exposure::fig7;
+use tdsql_exposure::schemes::ColumnScheme;
+use tdsql_exposure::zipf;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let want = |id: &str| {
+        args.is_empty()
+            || args
+                .iter()
+                .any(|a| a == id || a.trim_start_matches("--") == id)
+    };
+
+    fs::create_dir_all("results").expect("create results dir");
+
+    if want("7") || want("fig7") {
+        print_fig7();
+    }
+    if want("8") || want("fig8") {
+        print_fig8();
+    }
+    if want("9") || want("fig9") {
+        print_fig9();
+    }
+    for id in [
+        "10a", "10b", "10c", "10d", "10e", "10f", "10g", "10h", "10i", "10j",
+    ] {
+        if want(id) || want("10") {
+            print_fig10(id);
+        }
+    }
+    if want("11") || want("fig11") {
+        print_fig11();
+    }
+    if want("alpha") {
+        print_alpha();
+    }
+    if want("capacity") {
+        print_capacity();
+    }
+    // The simulator cross-checks run real protocols; opt-in only.
+    if args.iter().any(|a| a == "sim" || a == "--sim") {
+        print_sim_vs_model();
+    }
+    if args.iter().any(|a| a == "des" || a == "--des") {
+        print_des_elasticity();
+    }
+}
+
+fn hr(title: &str) {
+    println!(
+        "\n==== {title} {}",
+        "=".repeat(68usize.saturating_sub(title.len()))
+    );
+}
+
+fn print_fig7() {
+    hr("Fig. 7 — encryptions and IC tables (Accounts example)");
+    let table = fig7::accounts_table();
+    println!("plaintext Accounts table ({} rows):", table.n_rows());
+    for i in 0..table.n_rows() {
+        let row: Vec<&str> = table.columns.iter().map(|c| c.cells[i].as_str()).collect();
+        println!("  {}", row.join(" | "));
+    }
+    println!(
+        "\n{:<22} {:>12} {:>18}",
+        "scheme", "epsilon", "P(<Alice,200>)"
+    );
+    for row in fig7::fig7_rows() {
+        println!(
+            "{:<22} {:>12.6} {:>18.6}",
+            row.scheme, row.report.epsilon, row.p_alice_200
+        );
+    }
+    println!("\nIC table under Det_Enc (Fig. 7a):");
+    let ic = tdsql_exposure::ic_table::IcTable::compute(
+        &table,
+        &[ColumnScheme::Det, ColumnScheme::Det, ColumnScheme::Det],
+    );
+    print!("{}", ic.render());
+    println!(
+        "\npaper's takeaway: Det_Enc discloses the association with certainty;\n\
+         nDet_Enc (S_Agg) is the floor 1/(N1·N2·N3)."
+    );
+}
+
+fn print_fig8() {
+    hr("Fig. 8 — information exposure among protocols");
+    // A Zipf-skewed single-attribute database (G = 100 groups, ~5000 rows),
+    // the setting of the collision-factor experiment of [11].
+    let table = zipf::zipf_column(100, 5000, 1.0, 42);
+    let distinct = table.columns[0].distinct();
+    let eps = |s: ColumnScheme| exposure_coefficient(&table, &[s]).epsilon;
+    let rows: Vec<(String, f64)> = vec![
+        ("Plaintext".into(), eps(ColumnScheme::Plaintext)),
+        ("Det_Enc".into(), eps(ColumnScheme::Det)),
+        (
+            "R2_Noise".into(),
+            eps(ColumnScheme::RnfNoise { nf: 2, seed: 7 }),
+        ),
+        (
+            "R1000_Noise".into(),
+            eps(ColumnScheme::RnfNoise { nf: 1000, seed: 7 }),
+        ),
+        ("C_Noise".into(), eps(ColumnScheme::CNoise)),
+        (
+            "ED_Hist (h=G, 1 bucket)".into(),
+            eps(ColumnScheme::EdHist { buckets: 1 }),
+        ),
+        (
+            "ED_Hist (h=5)".into(),
+            eps(ColumnScheme::EdHist { buckets: 20 }),
+        ),
+        (
+            "ED_Hist (h=1)".into(),
+            eps(ColumnScheme::EdHist { buckets: 100 }),
+        ),
+        ("nDet_Enc (S_Agg)".into(), eps(ColumnScheme::NDet)),
+    ];
+    println!("{:<26} {:>12}", "scheme", "epsilon");
+    for (name, e) in &rows {
+        println!("{name:<26} {e:>12.6}");
+    }
+    println!("floor = 1/N = {:.6}", epsilon_ndet(&[distinct]));
+
+    println!("\nε_ED_Hist vs collision factor h (Zipf database, [11] experiment):");
+    println!("{:>10} {:>12}", "h", "epsilon");
+    let mut csv = String::from("h,epsilon\n");
+    for p in zipf::h_sweep(100, 5000, 1.0, &[1, 2, 5, 10, 20, 50, 100], 42) {
+        println!("{:>10.2} {:>12.6}", p.h, p.epsilon);
+        let _ = writeln!(csv, "{},{}", p.h, p.epsilon);
+    }
+    fs::write(Path::new("results").join("fig8_h_sweep.csv"), csv).expect("write csv");
+    println!("(smaller h → bigger ε; max ≈ 0.4 at h = 1 in the paper)");
+}
+
+fn print_fig9() {
+    hr("Fig. 9b — TDS internal time to manage a 4 KB partition");
+    let d = DeviceProfile::default();
+    let b = d.partition_breakdown(4096.0);
+    println!("device: 120 MHz MCU, AES 167 cycles/block, link 7.9 Mbps");
+    println!("{:<12} {:>12} {:>8}", "component", "seconds", "share");
+    for (name, v) in [
+        ("transfer", b.transfer),
+        ("cpu", b.cpu),
+        ("decrypt", b.decrypt),
+        ("encrypt", b.encrypt),
+    ] {
+        println!("{name:<12} {v:>12.6} {:>7.1}%", 100.0 * v / b.total());
+    }
+    println!("total        {:>12.6}", b.total());
+    println!(
+        "effective per-tuple time Tt = {:.2} µs (paper: 16 µs)",
+        d.tuple_time() * 1e6
+    );
+}
+
+fn print_fig10(id: &str) {
+    let fig = sweep::figure(id).expect("known figure id");
+    hr(&format!("Fig. {} — {}", fig.id, fig.title));
+    print!("{:>12}", fig.x_label);
+    for p in &fig.protocols {
+        print!(" {p:>14}");
+    }
+    println!();
+    let mut csv = String::new();
+    let _ = writeln!(csv, "{},{}", fig.x_label, fig.protocols.join(","));
+    for pt in &fig.points {
+        print!("{:>12.0}", pt.x);
+        let mut line = format!("{}", pt.x);
+        for v in &pt.y {
+            print!(" {v:>14.6}");
+            let _ = write!(line, ",{v}");
+        }
+        println!();
+        let _ = writeln!(csv, "{line}");
+    }
+    fs::write(Path::new("results").join(format!("fig{}.csv", fig.id)), csv).expect("write csv");
+}
+
+fn print_fig11() {
+    hr("Fig. 11 — comparison among solutions (worst → best)");
+    for r in ranking::fig11() {
+        println!("{:<44} {}", r.axis.label(), r.worst_to_best.join("  →  "));
+    }
+}
+
+fn print_capacity() {
+    hr("system capacity — parallel queries per hour (Load_Q inverted)");
+    let p = tdsql_costmodel::ModelParams::default();
+    let d = DeviceProfile::default();
+    println!("Nt = 10⁶ TDSs, 10% connected, 7.9 Mbps per TDS");
+    println!("{:<14} {:>18}", "protocol", "queries / hour");
+    for (name, q) in tdsql_costmodel::capacity::capacity_table(&p, &d) {
+        println!("{name:<14} {q:>18.0}");
+    }
+    println!("(the Fig. 11 'Global Resource Consumption' axis, quantified)");
+}
+
+fn print_des_elasticity() {
+    use tdsql_core::access::AccessPolicy;
+    use tdsql_core::protocol::ProtocolKind;
+    use tdsql_core::runtime::SimBuilder;
+    use tdsql_core::workload::{smart_meters, SmartMeterConfig};
+    use tdsql_crypto::credential::Role;
+    use tdsql_sql::parser::parse_query;
+
+    hr("elasticity, functionally — virtual-time T_Q vs available workers");
+    let (dbs, _) = smart_meters(&SmartMeterConfig {
+        n_tds: 600,
+        districts: 16,
+        readings_per_tds: 1,
+        ..Default::default()
+    });
+    let mut world = SimBuilder::new()
+        .seed(3)
+        .build(dbs, AccessPolicy::allow_all(Role::new("supplier")));
+    let querier = world.make_querier("q", "supplier");
+    let query = parse_query("SELECT c.district, COUNT(*) FROM consumer c GROUP BY c.district")
+        .expect("valid SQL");
+    let device = DeviceProfile::default();
+    println!("600 TDSs, G = 16 — real protocol executions scheduled in virtual time");
+    println!(
+        "{:<14} {:>6} {:>14} {:>12} {:>8}",
+        "protocol", "workers", "T_Q (s)", "partitions", "util"
+    );
+    for kind in [ProtocolKind::SAgg, ProtocolKind::EdHist { buckets: 8 }] {
+        let params = {
+            let mut p = world.prepare_params(&query, kind).expect("discovery");
+            p.chunk = 16;
+            p.alpha = 4;
+            p
+        };
+        for workers in [1usize, 4, 16, 64] {
+            let r = tdsql_bench::des::simulate_tq(
+                &world.tdss,
+                &querier,
+                &query,
+                &params,
+                &device,
+                workers,
+            )
+            .expect("DES run");
+            println!(
+                "{:<14} {workers:>6} {:>14.5} {:>12} {:>7.0}%",
+                kind.name(),
+                r.tq_seconds,
+                r.partitions,
+                r.utilization * 100.0
+            );
+        }
+    }
+    println!(
+        "(Fig. 10i/j's claim, functionally: ED_Hist exploits added workers;\n\
+         S_Agg's serial reducer tail caps its speed-up)"
+    );
+}
+
+fn print_sim_vs_model() {
+    use tdsql_core::access::AccessPolicy;
+    use tdsql_core::protocol::{ProtocolKind, ProtocolParams};
+    use tdsql_core::runtime::SimBuilder;
+    use tdsql_core::workload::{smart_meters, SmartMeterConfig};
+    use tdsql_costmodel::ed_hist::EdHistModel;
+    use tdsql_costmodel::noise::NoiseModel;
+    use tdsql_costmodel::s_agg::SAggModel;
+    use tdsql_costmodel::{ModelParams, ProtocolModel};
+    use tdsql_crypto::credential::Role;
+    use tdsql_sql::parser::parse_query;
+
+    hr("model cross-check — functional simulator vs analytical Load_Q");
+    let n_tds = 2_000usize;
+    let g = 10usize;
+    let (dbs, _) = smart_meters(&SmartMeterConfig {
+        n_tds,
+        districts: g,
+        readings_per_tds: 1,
+        ..Default::default()
+    });
+    let query = parse_query("SELECT c.district, COUNT(*) FROM consumer c GROUP BY c.district")
+        .expect("valid SQL");
+    let device = DeviceProfile::default();
+    let model_params = ModelParams {
+        nt: n_tds as f64,
+        g: g as f64,
+        availability: 1.0,
+        tt: device.tuple_time(),
+        ..ModelParams::default()
+    };
+
+    println!("population: {n_tds} TDSs, G = {g}, full availability");
+    println!(
+        "{:<14} {:>14} {:>14} {:>10} {:>14} {:>10}",
+        "protocol", "sim load (B)", "model load (B)", "ratio", "sim T_Q (s)", "agg steps"
+    );
+    let cases: Vec<(ProtocolKind, Box<dyn ProtocolModel>)> = vec![
+        (ProtocolKind::SAgg, Box::new(SAggModel)),
+        (ProtocolKind::RnfNoise { nf: 2 }, Box::new(NoiseModel::r2())),
+        (ProtocolKind::CNoise, Box::new(NoiseModel::controlled())),
+        (ProtocolKind::EdHist { buckets: 2 }, Box::new(EdHistModel)),
+    ];
+    for (kind, model) in cases {
+        let mut world = SimBuilder::new()
+            .seed(5)
+            .build(dbs.clone(), AccessPolicy::allow_all(Role::new("supplier")));
+        let querier = world.make_querier("q", "supplier");
+        let mut params = ProtocolParams::new(kind);
+        params.chunk = 64;
+        world
+            .run_query(&querier, &query, params)
+            .expect("protocol run");
+        let sim = tdsql_bench::simtime::simulate(&world.stats, &device);
+        let metrics = model.metrics(&model_params);
+        // Our wire tuples carry group keys, flags and AEAD overhead the
+        // 16-byte model tuple does not; normalise by the padded tuple size.
+        let sim_load = world.stats.load_bytes() as f64;
+        let model_load = metrics.load_bytes * (96.0 + 16.0) / 16.0;
+        println!(
+            "{:<14} {:>14.0} {:>14.0} {:>10.2} {:>14.5} {:>10}",
+            kind.name(),
+            sim_load,
+            model_load,
+            sim_load / model_load,
+            sim.tq(),
+            world
+                .stats
+                .phase(tdsql_core::stats::Phase::Aggregation)
+                .steps,
+        );
+    }
+    println!(
+        "\nLoad_Q is the structural invariant: noise-based protocols pay the\n\
+         fake-tuple multiple, and simulated/model ratios stay within a small\n\
+         constant (wire framing, batch headers, discovery traffic). Laptop-\n\
+         scale wall-clock T_Q is chunk-constant-dominated; the paper-scale\n\
+         T_Q curves come from the analytical sweeps (Fig. 10e/i/j above)."
+    );
+}
+
+fn print_alpha() {
+    hr("α_op — optimal S_Agg reduction factor");
+    let solved = optimum::solve_alpha_opt();
+    println!("numeric minimiser of (α+1)/ln α: α_op = {solved:.4} (paper: ≈ 3.6)");
+    println!("{:>8} {:>14}", "alpha", "(α+1)logα(N)");
+    for alpha in [2.0, 2.5, 3.0, 3.59, 4.0, 5.0, 8.0] {
+        println!(
+            "{alpha:>8.2} {:>14.4}",
+            optimum::s_agg_time_factor(alpha) * (1e3f64).ln()
+        );
+    }
+}

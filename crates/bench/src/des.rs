@@ -1,0 +1,349 @@
+//! Discrete-event scheduling of the real protocols in **virtual time**.
+//!
+//! The round-based runtime answers *what* is computed; this module answers
+//! *when*: it executes the genuine protocol dataflow (real ciphertexts, real
+//! reductions) but assigns every partition to the earliest-free of `workers`
+//! simulated TDSs, charging transfer + crypto + CPU time from the Fig. 9
+//! device profile. The resulting makespan is a *functional* T_Q — including
+//! the queueing effects the analytical model approximates with wave factors —
+//! so the elasticity story of Fig. 10i/j can be checked against actual
+//! protocol executions, not just formulas.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use tdsql_core::error::{ProtocolError, Result};
+use tdsql_core::message::{GroupTag, StoredTuple};
+use tdsql_core::partition::{random_partitions, tag_partitions};
+use tdsql_core::protocol::{ProtocolKind, ProtocolParams};
+use tdsql_core::querier::Querier;
+use tdsql_core::tds::{QueryContext, ResultDest, RetagMode, Tds};
+use tdsql_costmodel::DeviceProfile;
+use tdsql_sql::ast::Query;
+
+/// Outcome of a virtual-time protocol execution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DesReport {
+    /// Aggregation + filtering makespan in seconds — the paper's T_Q.
+    pub tq_seconds: f64,
+    /// Sequential stages executed (each with an internal barrier).
+    pub stages: usize,
+    /// Partitions processed in total.
+    pub partitions: usize,
+    /// Busy time summed over workers / (makespan × workers): 1.0 = perfectly
+    /// parallel, → 0 = serial tail.
+    pub utilization: f64,
+}
+
+/// Time for one worker to process a partition of `bytes_in` and upload
+/// `bytes_out`.
+fn task_time(device: &DeviceProfile, bytes_in: f64, bytes_out: f64) -> f64 {
+    let bytes = bytes_in + bytes_out;
+    device.transfer_time(bytes) + device.crypto_time(bytes) + device.cpu_time(bytes / 16.0)
+}
+
+/// One stage: assign `tasks` (with their byte volumes) to the earliest-free
+/// worker; returns (stage makespan contribution, busy time added).
+fn schedule_stage(
+    free_at: &mut BinaryHeap<Reverse<u64>>, // worker free times, microseconds
+    stage_ready: f64,
+    durations: &[f64],
+) -> (f64, f64) {
+    let to_us = |s: f64| (s * 1e6).round() as u64;
+    let ready_us = to_us(stage_ready);
+    let mut stage_end = stage_ready;
+    let mut busy = 0.0;
+    for &d in durations {
+        let Reverse(free) = free_at.pop().expect("at least one worker");
+        let start = free.max(ready_us);
+        let end = start + to_us(d);
+        free_at.push(Reverse(end));
+        stage_end = stage_end.max(end as f64 / 1e6);
+        busy += d;
+    }
+    (stage_end, busy)
+}
+
+/// Execute a query's aggregation + filtering dataflow with `workers`
+/// available TDSs in virtual time. Collection is excluded (as in the paper's
+/// T_Q). Discovery-dependent protocols need pre-filled `params`.
+pub fn simulate_tq(
+    tdss: &[Tds],
+    querier: &Querier,
+    query: &Query,
+    params: &ProtocolParams,
+    device: &DeviceProfile,
+    workers: usize,
+) -> Result<DesReport> {
+    if tdss.is_empty() || workers == 0 {
+        return Err(ProtocolError::Protocol("need TDSs and workers".into()));
+    }
+    let mut rng = StdRng::seed_from_u64(0xde5);
+    let envelope = querier.make_envelope(query, params.kind, &mut rng);
+    let open = |tds: &Tds| -> Result<QueryContext> { tds.open_query(&envelope, params.clone(), 0) };
+
+    // Collection (instantaneous in virtual time: application-dependent).
+    let mut working: Vec<StoredTuple> = Vec::new();
+    for tds in tdss {
+        let ctx = open(tds)?;
+        working.extend(tds.collect(&ctx, &mut rng)?);
+    }
+
+    let mut free_at: BinaryHeap<Reverse<u64>> = (0..workers).map(|_| Reverse(0u64)).collect();
+    let mut clock = 0.0f64;
+    let mut busy_total = 0.0f64;
+    let mut stages = 0usize;
+    let mut partitions_total = 0usize;
+    let exec = tdss.first().expect("non-empty");
+    let ctx = open(exec)?;
+
+    let bytes_of = |ts: &[StoredTuple]| ts.iter().map(|t| t.blob.len() as f64).sum::<f64>();
+
+    // A closure processing one stage of partitions through `work`, charging
+    // virtual time per partition.
+    let mut run_stage = |working: Vec<Vec<StoredTuple>>,
+                         clock: &mut f64,
+                         busy: &mut f64,
+                         stages: &mut usize,
+                         partitions_total: &mut usize,
+                         rng: &mut StdRng,
+                         retag: Option<RetagMode>,
+                         from_inputs: bool|
+     -> Result<Vec<StoredTuple>> {
+        let mut outputs = Vec::new();
+        let mut durations = Vec::with_capacity(working.len());
+        for partition in &working {
+            let out = match (retag, from_inputs) {
+                (Some(mode), true) => exec.reduce_inputs(&ctx, partition, mode, rng)?,
+                (Some(mode), false) => exec.reduce_partials(&ctx, partition, mode, rng)?,
+                (None, _) => {
+                    // Filtering stage.
+                    let blobs = exec.finalize_groups(&ctx, partition, ResultDest::Querier, rng)?;
+                    durations.push(task_time(
+                        device,
+                        bytes_of(partition),
+                        blobs.iter().map(|b| b.len() as f64).sum(),
+                    ));
+                    continue;
+                }
+            };
+            durations.push(task_time(device, bytes_of(partition), bytes_of(&out)));
+            outputs.extend(out);
+        }
+        *partitions_total += working.len();
+        *stages += 1;
+        let (end, b) = schedule_stage(&mut free_at, *clock, &durations);
+        *clock = end;
+        *busy += b;
+        Ok(outputs)
+    };
+
+    match params.kind {
+        ProtocolKind::Basic => {
+            return Err(ProtocolError::Unsupported(
+                "DES models aggregate queries (T_Q is the aggregation phase)".into(),
+            ))
+        }
+        ProtocolKind::SAgg => {
+            let mut first = true;
+            while first || working.len() > 1 {
+                let chunk = if first {
+                    params.chunk.max(1)
+                } else {
+                    params.alpha.max(2)
+                };
+                let parts = random_partitions(working, chunk, &mut rng);
+                working = run_stage(
+                    parts,
+                    &mut clock,
+                    &mut busy_total,
+                    &mut stages,
+                    &mut partitions_total,
+                    &mut rng,
+                    Some(RetagMode::None),
+                    first,
+                )?;
+                first = false;
+            }
+        }
+        ProtocolKind::RnfNoise { .. } | ProtocolKind::CNoise | ProtocolKind::EdHist { .. } => {
+            let parts: Vec<Vec<StoredTuple>> = tag_partitions(working, params.chunk.max(1))
+                .into_iter()
+                .map(|(_, t)| t)
+                .collect();
+            working = run_stage(
+                parts,
+                &mut clock,
+                &mut busy_total,
+                &mut stages,
+                &mut partitions_total,
+                &mut rng,
+                Some(RetagMode::DetPerGroup),
+                true,
+            )?;
+            loop {
+                let mut per_tag: std::collections::BTreeMap<GroupTag, usize> =
+                    std::collections::BTreeMap::new();
+                for t in &working {
+                    *per_tag.entry(t.tag.clone()).or_default() += 1;
+                }
+                if per_tag.values().all(|&n| n <= 1) {
+                    break;
+                }
+                let (pass, reduce): (Vec<_>, Vec<_>) =
+                    working.into_iter().partition(|t| per_tag[&t.tag] <= 1);
+                let parts: Vec<Vec<StoredTuple>> = tag_partitions(reduce, params.alpha.max(2))
+                    .into_iter()
+                    .map(|(_, t)| t)
+                    .collect();
+                let mut reduced = run_stage(
+                    parts,
+                    &mut clock,
+                    &mut busy_total,
+                    &mut stages,
+                    &mut partitions_total,
+                    &mut rng,
+                    Some(RetagMode::DetPerGroup),
+                    false,
+                )?;
+                reduced.extend(pass);
+                working = reduced;
+            }
+        }
+    }
+
+    // Filtering stage.
+    if !working.is_empty() {
+        let parts: Vec<Vec<StoredTuple>> = working
+            .chunks(params.chunk.max(1))
+            .map(|c| c.to_vec())
+            .collect();
+        run_stage(
+            parts,
+            &mut clock,
+            &mut busy_total,
+            &mut stages,
+            &mut partitions_total,
+            &mut rng,
+            None,
+            false,
+        )?;
+    }
+
+    let utilization = if clock > 0.0 {
+        busy_total / (clock * workers as f64)
+    } else {
+        0.0
+    };
+    Ok(DesReport {
+        tq_seconds: clock,
+        stages,
+        partitions: partitions_total,
+        utilization,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tdsql_core::access::AccessPolicy;
+    use tdsql_core::runtime::SimBuilder;
+    use tdsql_core::workload::{smart_meters, SmartMeterConfig};
+    use tdsql_crypto::credential::Role;
+    use tdsql_sql::parser::parse_query;
+
+    fn world(n: usize, g: usize) -> tdsql_core::SimWorld {
+        let (dbs, _) = smart_meters(&SmartMeterConfig {
+            n_tds: n,
+            districts: g,
+            readings_per_tds: 1,
+            ..Default::default()
+        });
+        SimBuilder::new()
+            .seed(7)
+            .build(dbs, AccessPolicy::allow_all(Role::new("supplier")))
+    }
+
+    fn report(kind: ProtocolKind, workers: usize, n: usize, g: usize) -> DesReport {
+        let mut w = world(n, g);
+        let querier = w.make_querier("q", "supplier");
+        let query =
+            parse_query("SELECT c.district, COUNT(*) FROM consumer c GROUP BY c.district").unwrap();
+        let params = {
+            let mut p = w.prepare_params(&query, kind).unwrap();
+            p.chunk = 16;
+            p.alpha = 4;
+            p
+        };
+        simulate_tq(
+            &w.tdss,
+            &querier,
+            &query,
+            &params,
+            &DeviceProfile::default(),
+            workers,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn tag_protocols_are_elastic_s_agg_is_not() {
+        // Fig. 10i vs 10j at functional scale: adding workers helps ED_Hist
+        // a lot and S_Agg much less (its tail is the serial reducer chain).
+        let ed_scarce = report(ProtocolKind::EdHist { buckets: 8 }, 1, 400, 16);
+        let ed_abundant = report(ProtocolKind::EdHist { buckets: 8 }, 64, 400, 16);
+        let speedup_ed = ed_scarce.tq_seconds / ed_abundant.tq_seconds;
+
+        let sa_scarce = report(ProtocolKind::SAgg, 1, 400, 16);
+        let sa_abundant = report(ProtocolKind::SAgg, 64, 400, 16);
+        let speedup_sa = sa_scarce.tq_seconds / sa_abundant.tq_seconds;
+
+        assert!(
+            speedup_ed > speedup_sa,
+            "ED speedup {speedup_ed:.2} vs S_Agg {speedup_sa:.2}"
+        );
+        assert!(
+            speedup_ed > 2.0,
+            "ED must exploit 64 workers: ×{speedup_ed:.2}"
+        );
+    }
+
+    #[test]
+    fn utilization_degrades_with_overprovisioning() {
+        let lean = report(ProtocolKind::SAgg, 2, 200, 4);
+        let fat = report(ProtocolKind::SAgg, 128, 200, 4);
+        assert!(lean.utilization > fat.utilization);
+        assert!(lean.utilization <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn noise_pays_in_virtual_time_too() {
+        let s_agg = report(ProtocolKind::SAgg, 16, 300, 6);
+        let noisy = report(ProtocolKind::RnfNoise { nf: 10 }, 16, 300, 6);
+        assert!(
+            noisy.tq_seconds > s_agg.tq_seconds,
+            "noise {} vs s_agg {}",
+            noisy.tq_seconds,
+            s_agg.tq_seconds
+        );
+    }
+
+    #[test]
+    fn basic_protocol_rejected() {
+        let w = world(10, 2);
+        let querier = w.make_querier("q", "supplier");
+        let query = parse_query("SELECT cid FROM consumer").unwrap();
+        assert!(simulate_tq(
+            &w.tdss,
+            &querier,
+            &query,
+            &ProtocolParams::new(ProtocolKind::Basic),
+            &DeviceProfile::default(),
+            4
+        )
+        .is_err());
+    }
+}

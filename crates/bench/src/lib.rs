@@ -1,0 +1,9 @@
+//! Benchmark crate: Criterion benches live in `benches/`, the figure
+//! regeneration harness in `src/bin/figures.rs`, and [`simtime`] bridges the
+//! functional simulator's measured statistics to wall-clock estimates on the
+//! paper's secure-token hardware profile.
+
+#![warn(missing_docs)]
+
+pub mod des;
+pub mod simtime;

@@ -1,0 +1,134 @@
+//! From measured protocol statistics to wall-clock estimates.
+//!
+//! The functional runtime counts *what happened* (bytes, tuples, rounds and
+//! the per-step critical path); the paper's device profile says *how long*
+//! each unit takes on the secure-token hardware. Combining the two gives a
+//! simulated `T_Q` for a real protocol run — the bridge that lets the
+//! `figures --sim` mode cross-check the analytical model of Section 6
+//! against the actual protocol implementation instead of against formulas.
+
+use tdsql_core::stats::{Phase, RunStats};
+use tdsql_costmodel::DeviceProfile;
+
+/// Wall-clock estimate of one protocol run on the given hardware.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimulatedTime {
+    /// Collection-phase time (data-acquisition bound, usually excluded from
+    /// the paper's T_Q).
+    pub collection: f64,
+    /// Aggregation-phase time — the paper's T_Q focus.
+    pub aggregation: f64,
+    /// Filtering-phase time.
+    pub filtering: f64,
+}
+
+impl SimulatedTime {
+    /// The paper's T_Q: aggregation only ("the most complex phase").
+    pub fn tq(&self) -> f64 {
+        self.aggregation
+    }
+
+    /// End-to-end processing time.
+    pub fn total(&self) -> f64 {
+        self.collection + self.aggregation + self.filtering
+    }
+}
+
+/// Time for one TDS to handle `bytes` of partition traffic: download/upload
+/// on the link, crypto over every byte, and per-tuple CPU work (estimated at
+/// one tuple per 16 payload bytes, the paper's `st`).
+fn step_time(device: &DeviceProfile, bytes: f64) -> f64 {
+    device.transfer_time(bytes) + device.crypto_time(bytes) + device.cpu_time(bytes / 16.0)
+}
+
+/// Estimate wall-clock time from a run's statistics: each sequential step
+/// lasts as long as its busiest TDS (the recorded critical path).
+pub fn simulate(stats: &RunStats, device: &DeviceProfile) -> SimulatedTime {
+    let phase_time = |phase: Phase| -> f64 {
+        stats
+            .phase(phase)
+            .critical_path_bytes
+            .iter()
+            .map(|&b| step_time(device, b as f64))
+            .sum()
+    };
+    SimulatedTime {
+        collection: phase_time(Phase::Collection),
+        aggregation: phase_time(Phase::Aggregation),
+        filtering: phase_time(Phase::Filtering),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tdsql_core::access::AccessPolicy;
+    use tdsql_core::protocol::{ProtocolKind, ProtocolParams};
+    use tdsql_core::runtime::SimBuilder;
+    use tdsql_core::workload::{smart_meters, SmartMeterConfig};
+    use tdsql_crypto::credential::Role;
+    use tdsql_sql::parser::parse_query;
+
+    fn run(kind: ProtocolKind, n_tds: usize) -> RunStats {
+        let (dbs, _) = smart_meters(&SmartMeterConfig {
+            n_tds,
+            districts: 5,
+            readings_per_tds: 1,
+            ..Default::default()
+        });
+        let mut world = SimBuilder::new()
+            .seed(1)
+            .build(dbs, AccessPolicy::allow_all(Role::new("supplier")));
+        let querier = world.make_querier("q", "supplier");
+        let query =
+            parse_query("SELECT c.district, COUNT(*) FROM consumer c GROUP BY c.district").unwrap();
+        let mut params = ProtocolParams::new(kind);
+        params.chunk = 32;
+        world.run_query(&querier, &query, params).unwrap();
+        world.stats.clone()
+    }
+
+    #[test]
+    fn simulated_times_are_positive_and_ordered() {
+        let device = DeviceProfile::default();
+        let t = simulate(&run(ProtocolKind::SAgg, 150), &device);
+        assert!(t.collection > 0.0);
+        assert!(t.aggregation > 0.0);
+        assert!(t.filtering > 0.0);
+        assert!(t.total() >= t.tq());
+    }
+
+    #[test]
+    fn noise_pays_more_than_s_agg() {
+        // Fake tuples inflate the critical path of the first aggregation
+        // step — the functional analogue of Fig. 10e's noise penalty.
+        let device = DeviceProfile::default();
+        let s_agg = simulate(&run(ProtocolKind::SAgg, 150), &device);
+        let noisy = simulate(&run(ProtocolKind::RnfNoise { nf: 20 }, 150), &device);
+        assert!(
+            noisy.tq() > s_agg.tq(),
+            "noise {} vs s_agg {}",
+            noisy.tq(),
+            s_agg.tq()
+        );
+    }
+
+    #[test]
+    fn more_tuples_more_aggregation_time_for_s_agg() {
+        let device = DeviceProfile::default();
+        let small = simulate(&run(ProtocolKind::SAgg, 60), &device);
+        let large = simulate(&run(ProtocolKind::SAgg, 240), &device);
+        assert!(large.tq() > small.tq());
+    }
+
+    #[test]
+    fn faster_link_means_lower_times() {
+        let stats = run(ProtocolKind::SAgg, 100);
+        let slow = DeviceProfile::default();
+        let fast = DeviceProfile {
+            link_bps: 1e9,
+            ..DeviceProfile::default()
+        };
+        assert!(simulate(&stats, &fast).total() < simulate(&stats, &slow).total());
+    }
+}

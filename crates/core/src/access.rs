@@ -1,0 +1,275 @@
+//! Access-control enforcement inside each TDS.
+//!
+//! "TDSs are assumed to answer only authorized queries, meaning that they are
+//! aware of the access control policy and of the querier credentials"
+//! (Section 3.1). The policy grants roles access to tables (optionally
+//! restricted to columns). A TDS receiving a query from an insufficiently
+//! privileged querier does **not** refuse — it answers with a dummy tuple, so
+//! even the *fact* of denial is invisible to the SSI and the querier.
+
+use std::collections::BTreeSet;
+
+use tdsql_crypto::credential::Role;
+use tdsql_sql::ast::{ColumnRef, Expr, Query, SelectItem};
+
+/// One policy grant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Grant {
+    /// The role may query every table and column.
+    All {
+        /// Granted role.
+        role: Role,
+    },
+    /// The role may query one table, every column.
+    Table {
+        /// Granted role.
+        role: Role,
+        /// Table name (lowercase).
+        table: String,
+    },
+    /// The role may query one table, listed columns only.
+    Columns {
+        /// Granted role.
+        role: Role,
+        /// Table name (lowercase).
+        table: String,
+        /// Allowed column names (lowercase).
+        columns: BTreeSet<String>,
+    },
+}
+
+/// The access-control policy installed in a TDS (by the producer organism,
+/// the legislator or a consumer association — Section 2.1).
+#[derive(Debug, Clone, Default)]
+pub struct AccessPolicy {
+    grants: Vec<Grant>,
+}
+
+/// Collect every column reference appearing anywhere in a query.
+fn collect_columns(q: &Query) -> Vec<ColumnRef> {
+    fn walk(expr: &Expr, out: &mut Vec<ColumnRef>) {
+        match expr {
+            Expr::Column(c) => out.push(c.clone()),
+            Expr::Literal(_) => {}
+            Expr::Unary { expr, .. } | Expr::IsNull { expr, .. } | Expr::Like { expr, .. } => {
+                walk(expr, out)
+            }
+            Expr::Binary { left, right, .. } => {
+                walk(left, out);
+                walk(right, out);
+            }
+            Expr::Aggregate(call) => {
+                if let Some(arg) = &call.arg {
+                    walk(arg, out);
+                }
+            }
+            Expr::InList { expr, list, .. } => {
+                walk(expr, out);
+                for e in list {
+                    walk(e, out);
+                }
+            }
+            Expr::Between {
+                expr, low, high, ..
+            } => {
+                walk(expr, out);
+                walk(low, out);
+                walk(high, out);
+            }
+        }
+    }
+    let mut out = Vec::new();
+    for item in &q.select {
+        if let SelectItem::Expr { expr, .. } = item {
+            walk(expr, &mut out);
+        }
+    }
+    if let Some(w) = &q.where_clause {
+        walk(w, &mut out);
+    }
+    for g in &q.group_by {
+        walk(g, &mut out);
+    }
+    if let Some(h) = &q.having {
+        walk(h, &mut out);
+    }
+    out
+}
+
+impl AccessPolicy {
+    /// Empty policy: everything is denied.
+    pub fn deny_all() -> Self {
+        Self::default()
+    }
+
+    /// Policy granting a role full access.
+    pub fn allow_all(role: Role) -> Self {
+        let mut p = Self::default();
+        p.add(Grant::All { role });
+        p
+    }
+
+    /// Add a grant.
+    pub fn add(&mut self, grant: Grant) {
+        self.grants.push(grant);
+    }
+
+    /// May `role` run `q`? Every table in the FROM list must be granted; when
+    /// a grant restricts columns, every column that may resolve to that table
+    /// (qualified to its binding, or unqualified with a wildcard SELECT
+    /// counting as "all columns") must be allowed.
+    pub fn allows(&self, role: &Role, q: &Query) -> bool {
+        let columns = collect_columns(q);
+        let has_wildcard = q.select.iter().any(|s| matches!(s, SelectItem::Wildcard));
+        for t in &q.from {
+            let binding = t.binding();
+            // Find the strongest grant for this table.
+            let grant = self.grants.iter().find(|g| match g {
+                Grant::All { role: r } => r == role,
+                Grant::Table { role: r, table } | Grant::Columns { role: r, table, .. } => {
+                    r == role && *table == t.table
+                }
+            });
+            match grant {
+                None => return false,
+                Some(Grant::All { .. }) | Some(Grant::Table { .. }) => {}
+                Some(Grant::Columns {
+                    columns: allowed, ..
+                }) => {
+                    if has_wildcard {
+                        return false;
+                    }
+                    for c in &columns {
+                        let may_target_this_table = match &c.table {
+                            Some(tb) => tb == binding,
+                            None => true, // unqualified could resolve here
+                        };
+                        if may_target_this_table && !allowed.contains(&c.column) {
+                            // An unqualified column might belong to another,
+                            // fully-granted table; only deny when no other
+                            // FROM table is fully granted for this role.
+                            let resolvable_elsewhere = c.table.is_none()
+                                && q.from.iter().any(|other| {
+                                    other.binding() != binding
+                                        && self.grants.iter().any(|g| match g {
+                                            Grant::All { role: r } => r == role,
+                                            Grant::Table { role: r, table } => {
+                                                r == role && *table == other.table
+                                            }
+                                            Grant::Columns {
+                                                role: r,
+                                                table,
+                                                columns,
+                                            } => {
+                                                r == role
+                                                    && *table == other.table
+                                                    && columns.contains(&c.column)
+                                            }
+                                        })
+                                });
+                            if !resolvable_elsewhere {
+                                return false;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tdsql_sql::parser::parse_query;
+
+    fn role(name: &str) -> Role {
+        Role::new(name)
+    }
+
+    #[test]
+    fn allow_all_permits_everything() {
+        let p = AccessPolicy::allow_all(role("supplier"));
+        let q = parse_query("SELECT AVG(cons) FROM power GROUP BY district").unwrap();
+        assert!(p.allows(&role("supplier"), &q));
+        assert!(!p.allows(&role("stranger"), &q));
+    }
+
+    #[test]
+    fn deny_all_denies() {
+        let p = AccessPolicy::deny_all();
+        let q = parse_query("SELECT 1 FROM power").unwrap();
+        assert!(!p.allows(&role("anyone"), &q));
+    }
+
+    #[test]
+    fn table_grant_scopes_by_table() {
+        let mut p = AccessPolicy::deny_all();
+        p.add(Grant::Table {
+            role: role("doctor"),
+            table: "health".into(),
+        });
+        let ok = parse_query("SELECT age FROM health").unwrap();
+        let bad = parse_query("SELECT cons FROM power").unwrap();
+        let join = parse_query("SELECT h.age FROM health h, power p").unwrap();
+        assert!(p.allows(&role("doctor"), &ok));
+        assert!(!p.allows(&role("doctor"), &bad));
+        assert!(
+            !p.allows(&role("doctor"), &join),
+            "join touches an ungranted table"
+        );
+    }
+
+    #[test]
+    fn column_grant_enforced() {
+        let mut p = AccessPolicy::deny_all();
+        p.add(Grant::Columns {
+            role: role("stats"),
+            table: "power".into(),
+            columns: ["cons", "district"].iter().map(|s| s.to_string()).collect(),
+        });
+        let ok = parse_query("SELECT AVG(cons) FROM power GROUP BY district").unwrap();
+        let bad = parse_query("SELECT cid FROM power").unwrap();
+        let wild = parse_query("SELECT * FROM power").unwrap();
+        assert!(p.allows(&role("stats"), &ok));
+        assert!(!p.allows(&role("stats"), &bad));
+        assert!(
+            !p.allows(&role("stats"), &wild),
+            "wildcard needs full-table grant"
+        );
+    }
+
+    #[test]
+    fn where_and_having_columns_checked() {
+        let mut p = AccessPolicy::deny_all();
+        p.add(Grant::Columns {
+            role: role("stats"),
+            table: "power".into(),
+            columns: ["cons"].iter().map(|s| s.to_string()).collect(),
+        });
+        let bad = parse_query("SELECT AVG(cons) FROM power WHERE cid = 3").unwrap();
+        assert!(!p.allows(&role("stats"), &bad));
+        let bad2 =
+            parse_query("SELECT AVG(cons) FROM power GROUP BY cons HAVING COUNT(DISTINCT cid) > 1")
+                .unwrap();
+        assert!(!p.allows(&role("stats"), &bad2));
+    }
+
+    #[test]
+    fn unqualified_column_resolvable_via_other_granted_table() {
+        let mut p = AccessPolicy::deny_all();
+        p.add(Grant::Columns {
+            role: role("r"),
+            table: "power".into(),
+            columns: ["cons"].iter().map(|s| s.to_string()).collect(),
+        });
+        p.add(Grant::Table {
+            role: role("r"),
+            table: "consumer".into(),
+        });
+        // `district` is not in power's grant but consumer is fully granted.
+        let q = parse_query("SELECT AVG(cons) FROM power p, consumer c GROUP BY district").unwrap();
+        assert!(p.allows(&role("r"), &q));
+    }
+}

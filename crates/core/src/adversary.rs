@@ -1,0 +1,195 @@
+//! Threat-model extension: what does a **compromised TDS** change?
+//!
+//! The paper's threat model assumes all TDSs honest and flags "extend the
+//! threat model to (a small number of) compromised TDSs" as future work
+//! (Section 8). This module quantifies the blast radius: an SSI that
+//! archived all traffic ([`crate::ssi::Ssi::enable_retention`]) and later
+//! obtains one TDS's key material can decrypt **every intermediate tuple of
+//! every query run under that `k2` epoch** — the paper's footnote 7 remark
+//! that "these keys may change over time" is exactly the mitigation, modelled
+//! here by key epochs ([`tdsql_crypto::KeyRing::derive`] from per-epoch
+//! masters).
+
+use tdsql_crypto::{KeyRing, NDetCipher};
+
+use crate::message::StoredTuple;
+use crate::stats::Phase;
+use crate::tuple_codec::{AggInput, PartialAggBatch, PlainTuple};
+
+/// What an adversary recovered from one archived ciphertext.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Recovered {
+    /// Nothing — wrong key (different epoch, or only `k1` compromised).
+    Nothing,
+    /// A Select-From-Where collection tuple.
+    Plain(PlainTuple),
+    /// An aggregate collection tuple (group key + inputs).
+    Input(AggInput),
+    /// A partial-aggregation batch.
+    Partials(PartialAggBatch),
+}
+
+/// Outcome of replaying an archive against compromised key material.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct BreachReport {
+    /// Ciphertexts the adversary tried.
+    pub attempted: usize,
+    /// Ciphertexts that decrypted under the compromised keys.
+    pub opened: usize,
+    /// True (non-fake) tuples exposed — the privacy loss.
+    pub true_tuples_exposed: usize,
+    /// Distinct group keys exposed.
+    pub groups_exposed: usize,
+}
+
+impl BreachReport {
+    /// Fraction of archived ciphertexts the adversary could open.
+    pub fn open_rate(&self) -> f64 {
+        if self.attempted == 0 {
+            0.0
+        } else {
+            self.opened as f64 / self.attempted as f64
+        }
+    }
+}
+
+/// An adversary holding a (possibly compromised) key ring.
+pub struct Adversary {
+    k2: NDetCipher,
+}
+
+impl Adversary {
+    /// Model a compromise of a TDS provisioned from `ring`.
+    pub fn with_ring(ring: &KeyRing) -> Self {
+        Self {
+            k2: NDetCipher::new(&ring.k2),
+        }
+    }
+
+    /// Attempt to open one archived ciphertext.
+    pub fn open(&self, tuple: &StoredTuple) -> Recovered {
+        let Ok(plain) = self.k2.decrypt(&tuple.blob) else {
+            return Recovered::Nothing;
+        };
+        // Try the wire formats in specificity order.
+        if let Ok(batch) = PartialAggBatch::decode(&plain) {
+            return Recovered::Partials(batch);
+        }
+        if let Ok(input) = AggInput::decode(&plain) {
+            return Recovered::Input(input);
+        }
+        if let Ok(t) = PlainTuple::decode(&plain) {
+            return Recovered::Plain(t);
+        }
+        Recovered::Nothing
+    }
+
+    /// Replay a whole archive and quantify the breach.
+    pub fn replay(&self, archive: &[(u64, Phase, StoredTuple)]) -> BreachReport {
+        let mut report = BreachReport::default();
+        let mut groups = std::collections::BTreeSet::new();
+        for (_, _, tuple) in archive {
+            report.attempted += 1;
+            match self.open(tuple) {
+                Recovered::Nothing => {}
+                Recovered::Plain(PlainTuple::Dummy) => report.opened += 1,
+                Recovered::Plain(PlainTuple::Row(_)) => {
+                    report.opened += 1;
+                    report.true_tuples_exposed += 1;
+                }
+                Recovered::Input(input) => {
+                    report.opened += 1;
+                    if !input.fake {
+                        report.true_tuples_exposed += 1;
+                        groups.insert(input.key.0.clone());
+                    }
+                }
+                Recovered::Partials(batch) => {
+                    report.opened += 1;
+                    for (key, _) in &batch.entries {
+                        groups.insert(key.0.clone());
+                    }
+                }
+            }
+        }
+        report.groups_exposed = groups.len();
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::access::AccessPolicy;
+    use crate::protocol::{ProtocolKind, ProtocolParams};
+    use crate::runtime::SimBuilder;
+    use crate::workload::{smart_meters, SmartMeterConfig};
+    use tdsql_crypto::credential::Role;
+    use tdsql_sql::parser::parse_query;
+
+    fn run_with_retention(master: &[u8]) -> (Vec<(u64, Phase, StoredTuple)>, KeyRing) {
+        let (dbs, _) = smart_meters(&SmartMeterConfig {
+            n_tds: 20,
+            districts: 3,
+            readings_per_tds: 1,
+            ..Default::default()
+        });
+        let mut builder = SimBuilder::new().seed(900);
+        builder.master_seed = master.to_vec();
+        let mut world = builder.build(dbs, AccessPolicy::allow_all(Role::new("supplier")));
+        world.ssi.enable_retention();
+        let querier = world.make_querier("q", "supplier");
+        let query =
+            parse_query("SELECT c.district, COUNT(*) FROM consumer c GROUP BY c.district").unwrap();
+        world
+            .run_query(&querier, &query, ProtocolParams::new(ProtocolKind::SAgg))
+            .unwrap();
+        let ring = world.ring().clone();
+        (world.ssi.retained().to_vec(), ring)
+    }
+
+    #[test]
+    fn compromised_k2_opens_everything() {
+        let (archive, ring) = run_with_retention(b"epoch-1");
+        assert!(!archive.is_empty());
+        let adversary = Adversary::with_ring(&ring);
+        let report = adversary.replay(&archive);
+        assert_eq!(report.open_rate(), 1.0, "k2 opens every intermediate blob");
+        assert!(
+            report.true_tuples_exposed >= 20,
+            "all collection tuples leak"
+        );
+        assert!(report.groups_exposed >= 3, "group keys leak");
+    }
+
+    #[test]
+    fn different_epoch_opens_nothing() {
+        // Key rotation (footnote 7) contains the breach: traffic from a
+        // different master epoch stays sealed.
+        let (archive, _) = run_with_retention(b"epoch-1");
+        let other_ring = KeyRing::derive(b"epoch-2");
+        let adversary = Adversary::with_ring(&other_ring);
+        let report = adversary.replay(&archive);
+        assert_eq!(report.opened, 0);
+        assert_eq!(report.true_tuples_exposed, 0);
+        assert_eq!(report.open_rate(), 0.0);
+    }
+
+    #[test]
+    fn retention_off_by_default() {
+        let (dbs, _) = smart_meters(&SmartMeterConfig {
+            n_tds: 5,
+            districts: 2,
+            ..Default::default()
+        });
+        let mut world = SimBuilder::new()
+            .seed(901)
+            .build(dbs, AccessPolicy::allow_all(Role::new("r")));
+        let querier = world.make_querier("q", "r");
+        let query = parse_query("SELECT COUNT(*) FROM consumer").unwrap();
+        world
+            .run_query(&querier, &query, ProtocolParams::new(ProtocolKind::SAgg))
+            .unwrap();
+        assert!(world.ssi.retained().is_empty());
+    }
+}

@@ -1,0 +1,124 @@
+//! Connectivity and fault model for the TDS population.
+//!
+//! TDSs are "low power, weakly connected": smart meters may be online all the
+//! time, personal tokens connect seldom and briefly. The runtime samples a
+//! connected subset each round; a connected TDS may still drop out in the
+//! middle of processing a partition, in which case the SSI re-sends the
+//! partition to another TDS after a timeout (correctness argument of
+//! Section 3.2).
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Connectivity parameters for a simulation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Connectivity {
+    /// Fraction of the TDS population connected during any given round
+    /// (the paper's experiments use 1%, 10% and 100%).
+    pub fraction: f64,
+    /// Probability that a TDS fails mid-partition and its work must be
+    /// reassigned.
+    pub dropout: f64,
+}
+
+impl Connectivity {
+    /// Everybody connected, nobody drops (smart-meter platform).
+    pub fn always_on() -> Self {
+        Self {
+            fraction: 1.0,
+            dropout: 0.0,
+        }
+    }
+
+    /// A fraction of the population connected per round.
+    pub fn fraction(fraction: f64) -> Self {
+        Self {
+            fraction,
+            dropout: 0.0,
+        }
+    }
+
+    /// Add a dropout probability.
+    pub fn with_dropout(mut self, dropout: f64) -> Self {
+        self.dropout = dropout;
+        self
+    }
+
+    /// Sample the TDS indices connected this round. At least one TDS is
+    /// always returned for a non-empty population (otherwise no protocol
+    /// could ever terminate under a tiny fraction).
+    pub fn sample_connected<R: Rng>(&self, population: usize, rng: &mut R) -> Vec<usize> {
+        if population == 0 {
+            return Vec::new();
+        }
+        let count = ((population as f64 * self.fraction).round() as usize).clamp(1, population);
+        let mut indices: Vec<usize> = (0..population).collect();
+        indices.shuffle(rng);
+        indices.truncate(count);
+        indices.sort_unstable();
+        indices
+    }
+
+    /// Does a TDS drop out while holding a partition?
+    pub fn drops<R: Rng>(&self, rng: &mut R) -> bool {
+        self.dropout > 0.0 && rng.gen_bool(self.dropout.min(1.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn always_on_connects_everyone() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let c = Connectivity::always_on();
+        assert_eq!(
+            c.sample_connected(10, &mut rng),
+            (0..10).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn fraction_samples_expected_count() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let c = Connectivity::fraction(0.1);
+        let connected = c.sample_connected(1000, &mut rng);
+        assert_eq!(connected.len(), 100);
+        // Distinct and in range.
+        let set: std::collections::BTreeSet<_> = connected.iter().collect();
+        assert_eq!(set.len(), 100);
+        assert!(connected.iter().all(|&i| i < 1000));
+    }
+
+    #[test]
+    fn at_least_one_connected() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let c = Connectivity::fraction(0.0001);
+        assert_eq!(c.sample_connected(50, &mut rng).len(), 1);
+        assert!(c.sample_connected(0, &mut rng).is_empty());
+    }
+
+    #[test]
+    fn dropout_honours_probability() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let never = Connectivity::always_on();
+        assert!((0..100).all(|_| !never.drops(&mut rng)));
+        let always = Connectivity::always_on().with_dropout(1.0);
+        assert!((0..100).all(|_| always.drops(&mut rng)));
+        let half = Connectivity::always_on().with_dropout(0.5);
+        let hits = (0..10_000).filter(|_| half.drops(&mut rng)).count();
+        assert!((4_000..6_000).contains(&hits), "{hits}");
+    }
+
+    #[test]
+    fn different_rounds_different_samples() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let c = Connectivity::fraction(0.2);
+        let a = c.sample_connected(100, &mut rng);
+        let b = c.sample_connected(100, &mut rng);
+        assert_ne!(a, b, "rounds should rotate the connected subset");
+    }
+}

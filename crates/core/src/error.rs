@@ -1,0 +1,63 @@
+//! Protocol error type.
+
+use tdsql_crypto::CryptoError;
+use tdsql_sql::SqlError;
+
+/// Errors surfaced while running a distributed querying protocol.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ProtocolError {
+    /// Cryptographic failure (tampering, wrong key, truncation).
+    Crypto(CryptoError),
+    /// SQL failure (parse, type, evaluation).
+    Sql(SqlError),
+    /// Wire payload could not be decoded.
+    Codec(String),
+    /// A protocol invariant was violated (bug or misbehaving participant).
+    Protocol(String),
+    /// No TDS ever connected to make progress.
+    NoProgress {
+        /// The phase that starved.
+        phase: &'static str,
+    },
+    /// The query was rejected by access control on every contacted TDS.
+    /// (The querier only observes dummy results; this error is produced by
+    /// the *querier* when the final result contains nothing but dummies and
+    /// the caller asked for strict reporting.)
+    AccessDenied,
+    /// The requested protocol cannot run this query (e.g. S_Agg on a
+    /// non-aggregate query).
+    Unsupported(String),
+}
+
+impl std::fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtocolError::Crypto(e) => write!(f, "crypto: {e}"),
+            ProtocolError::Sql(e) => write!(f, "sql: {e}"),
+            ProtocolError::Codec(m) => write!(f, "codec: {m}"),
+            ProtocolError::Protocol(m) => write!(f, "protocol: {m}"),
+            ProtocolError::NoProgress { phase } => {
+                write!(f, "no connected TDS made progress during {phase}")
+            }
+            ProtocolError::AccessDenied => write!(f, "access denied by all contacted TDSs"),
+            ProtocolError::Unsupported(m) => write!(f, "unsupported: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+impl From<CryptoError> for ProtocolError {
+    fn from(e: CryptoError) -> Self {
+        ProtocolError::Crypto(e)
+    }
+}
+
+impl From<SqlError> for ProtocolError {
+    fn from(e: SqlError) -> Self {
+        ProtocolError::Sql(e)
+    }
+}
+
+/// Convenience alias.
+pub type Result<T> = std::result::Result<T, ProtocolError>;

@@ -1,0 +1,206 @@
+//! Nearly equi-depth histograms over the grouping-attribute domain.
+//!
+//! ED_Hist requires every TDS to share a decomposition of the `A_G` domain
+//! into buckets holding nearly the same number of *true* tuples, so the SSI
+//! only ever sees a near-uniform distribution of bucket tags. The
+//! decomposition is built from the output of the distribution-discovery
+//! protocol (a `COUNT(*) GROUP BY A_G`) and refreshed from time to time, not
+//! per query.
+
+use std::collections::BTreeMap;
+
+use tdsql_sql::value::GroupKey;
+
+/// A shared equi-depth bucket assignment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    assignment: BTreeMap<GroupKey, u32>,
+    n_buckets: u32,
+}
+
+impl Histogram {
+    /// Build a nearly equi-depth histogram from a discovered distribution
+    /// (group key → true-tuple count). The greedy walk closes a bucket as
+    /// soon as it has reached the target depth `total / n_buckets`.
+    ///
+    /// The number of buckets actually used may be smaller than requested
+    /// when single groups exceed the target depth (their bucket overflows).
+    pub fn build(distribution: &[(GroupKey, u64)], n_buckets: u32) -> Self {
+        let n_buckets = n_buckets.max(1);
+        // Deterministic ordering: all TDSs must derive the same assignment.
+        let sorted: BTreeMap<&GroupKey, u64> = distribution.iter().map(|(k, c)| (k, *c)).collect();
+        let total: u64 = sorted.values().sum();
+        let target = (total as f64 / n_buckets as f64).max(1.0);
+        let mut assignment = BTreeMap::new();
+        let mut bucket = 0u32;
+        let mut depth = 0u64;
+        for (key, count) in sorted {
+            assignment.insert(key.clone(), bucket);
+            depth += count;
+            if (depth as f64) >= target && bucket + 1 < n_buckets {
+                bucket += 1;
+                depth = 0;
+            }
+        }
+        Self {
+            assignment,
+            n_buckets,
+        }
+    }
+
+    /// Bucket of a group key. Keys unseen at discovery time (new values that
+    /// appeared since the last refresh) fall back to a deterministic hash so
+    /// every TDS still agrees on the bucket.
+    pub fn bucket_of(&self, key: &GroupKey) -> u32 {
+        if let Some(b) = self.assignment.get(key) {
+            return *b;
+        }
+        // FNV-1a over the canonical key bytes; public knowledge, the bucket
+        // id is keyed-hashed before the SSI ever sees it.
+        let mut h: u64 = 0xcbf29ce484222325;
+        for &b in &key.0 {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        (h % self.n_buckets as u64) as u32
+    }
+
+    /// Number of buckets requested at construction.
+    pub fn n_buckets(&self) -> u32 {
+        self.n_buckets
+    }
+
+    /// Number of distinct groups covered by the discovery snapshot.
+    pub fn known_groups(&self) -> usize {
+        self.assignment.len()
+    }
+
+    /// Collision factor `h` = average number of known groups per used bucket
+    /// (the paper's G/M).
+    pub fn collision_factor(&self) -> f64 {
+        let used: std::collections::BTreeSet<u32> = self.assignment.values().copied().collect();
+        if used.is_empty() {
+            return 0.0;
+        }
+        self.assignment.len() as f64 / used.len() as f64
+    }
+
+    /// Serialize for k2-encrypted distribution to TDSs.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&self.n_buckets.to_be_bytes());
+        out.extend_from_slice(&(self.assignment.len() as u32).to_be_bytes());
+        for (key, bucket) in &self.assignment {
+            out.extend_from_slice(&(key.0.len() as u32).to_be_bytes());
+            out.extend_from_slice(&key.0);
+            out.extend_from_slice(&bucket.to_be_bytes());
+        }
+        out
+    }
+
+    /// Deserialize.
+    pub fn decode(buf: &[u8]) -> Option<Self> {
+        let mut pos = 0;
+        let take = |pos: &mut usize, n: usize| -> Option<&[u8]> {
+            let s = buf.get(*pos..*pos + n)?;
+            *pos += n;
+            Some(s)
+        };
+        let n_buckets = u32::from_be_bytes(take(&mut pos, 4)?.try_into().ok()?);
+        let n = u32::from_be_bytes(take(&mut pos, 4)?.try_into().ok()?) as usize;
+        let mut assignment = BTreeMap::new();
+        for _ in 0..n {
+            let klen = u32::from_be_bytes(take(&mut pos, 4)?.try_into().ok()?) as usize;
+            let key = GroupKey(take(&mut pos, klen)?.to_vec());
+            let bucket = u32::from_be_bytes(take(&mut pos, 4)?.try_into().ok()?);
+            assignment.insert(key, bucket);
+        }
+        (pos == buf.len()).then_some(Self {
+            assignment,
+            n_buckets,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tdsql_sql::value::Value;
+
+    fn key(i: i64) -> GroupKey {
+        GroupKey::from_values(&[Value::Int(i)])
+    }
+
+    #[test]
+    fn equi_depth_on_uniform_distribution() {
+        let dist: Vec<_> = (0..100).map(|i| (key(i), 10u64)).collect();
+        let h = Histogram::build(&dist, 10);
+        // Bucket depths should all be ~100 tuples (10 groups each).
+        let mut depth = std::collections::BTreeMap::new();
+        for (k, c) in &dist {
+            *depth.entry(h.bucket_of(k)).or_insert(0u64) += c;
+        }
+        assert_eq!(depth.len(), 10);
+        for (&b, &d) in &depth {
+            assert!((90..=110).contains(&d), "bucket {b} depth {d}");
+        }
+    }
+
+    #[test]
+    fn skewed_distribution_flattened() {
+        // One huge group plus many small ones: tag frequencies (per bucket)
+        // must be far flatter than group frequencies.
+        let mut dist = vec![(key(0), 1000u64)];
+        dist.extend((1..=100).map(|i| (key(i), 10u64)));
+        let h = Histogram::build(&dist, 8);
+        let mut depth = std::collections::BTreeMap::new();
+        for (k, c) in &dist {
+            *depth.entry(h.bucket_of(k)).or_insert(0u64) += c;
+        }
+        let max = *depth.values().max().unwrap() as f64;
+        let min = *depth.values().min().unwrap() as f64;
+        // Group skew was 100×; bucket skew must be ≤ ~8× (single oversized
+        // group dominates one bucket, the rest are equi-depth).
+        assert!(max / min < 12.0, "max {max} min {min}");
+    }
+
+    #[test]
+    fn unseen_keys_get_stable_buckets() {
+        let dist: Vec<_> = (0..10).map(|i| (key(i), 5u64)).collect();
+        let h = Histogram::build(&dist, 4);
+        let b1 = h.bucket_of(&key(999));
+        let b2 = h.bucket_of(&key(999));
+        assert_eq!(b1, b2);
+        assert!(b1 < 4);
+    }
+
+    #[test]
+    fn collision_factor() {
+        let dist: Vec<_> = (0..20).map(|i| (key(i), 1u64)).collect();
+        let h = Histogram::build(&dist, 5);
+        assert!((h.collision_factor() - 4.0).abs() < 1e-9);
+        assert_eq!(h.known_groups(), 20);
+        // One bucket per group → factor 1 (Det_Enc equivalent).
+        let h = Histogram::build(&dist, 20);
+        assert!((h.collision_factor() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let dist: Vec<_> = (0..15).map(|i| (key(i), (i as u64) + 1)).collect();
+        let h = Histogram::build(&dist, 4);
+        let enc = h.encode();
+        assert_eq!(Histogram::decode(&enc).unwrap(), h);
+        assert!(Histogram::decode(&enc[..enc.len() - 1]).is_none());
+        assert!(Histogram::decode(&[]).is_none());
+    }
+
+    #[test]
+    fn determinism_across_input_orders() {
+        let mut dist: Vec<_> = (0..50).map(|i| (key(i), (i % 7 + 1) as u64)).collect();
+        let h1 = Histogram::build(&dist, 6);
+        dist.reverse();
+        let h2 = Histogram::build(&dist, 6);
+        assert_eq!(h1, h2, "all TDSs must derive identical assignments");
+    }
+}

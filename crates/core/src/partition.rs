@@ -1,0 +1,134 @@
+//! Partitioning strategies used by the SSI.
+//!
+//! The SSI never decrypts anything, so partitioning can only use what a
+//! ciphertext shows on the outside: its position (random partitioning, used
+//! by S_Agg and the basic protocol) or its [`GroupTag`] (noise-based and
+//! histogram protocols, where tuples with equal tags are guaranteed to be
+//! grouped together).
+
+use std::collections::BTreeMap;
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::message::{GroupTag, StoredTuple};
+
+/// Shuffle and split into chunks of at most `chunk_size` tuples.
+pub fn random_partitions<R: Rng>(
+    mut items: Vec<StoredTuple>,
+    chunk_size: usize,
+    rng: &mut R,
+) -> Vec<Vec<StoredTuple>> {
+    assert!(chunk_size > 0, "chunk_size must be positive");
+    items.shuffle(rng);
+    let mut out = Vec::with_capacity(items.len().div_ceil(chunk_size));
+    let mut current = Vec::with_capacity(chunk_size.min(items.len()));
+    for t in items {
+        current.push(t);
+        if current.len() == chunk_size {
+            out.push(std::mem::take(&mut current));
+        }
+    }
+    if !current.is_empty() {
+        out.push(current);
+    }
+    out
+}
+
+/// Group by tag, then split each tag group into chunks of at most
+/// `chunk_size`. Tuples with the same tag land in partitions dedicated to
+/// that tag, enabling per-group parallelism.
+pub fn tag_partitions(
+    items: Vec<StoredTuple>,
+    chunk_size: usize,
+) -> Vec<(GroupTag, Vec<StoredTuple>)> {
+    assert!(chunk_size > 0, "chunk_size must be positive");
+    let mut by_tag: BTreeMap<GroupTag, Vec<StoredTuple>> = BTreeMap::new();
+    for t in items {
+        by_tag.entry(t.tag.clone()).or_default().push(t);
+    }
+    let mut out = Vec::new();
+    for (tag, tuples) in by_tag {
+        let mut current = Vec::with_capacity(chunk_size.min(tuples.len()));
+        for t in tuples {
+            current.push(t);
+            if current.len() == chunk_size {
+                out.push((tag.clone(), std::mem::take(&mut current)));
+            }
+        }
+        if !current.is_empty() {
+            out.push((tag.clone(), current));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn tuple(tag: GroupTag, byte: u8) -> StoredTuple {
+        StoredTuple {
+            tag,
+            blob: Bytes::copy_from_slice(&[byte]),
+        }
+    }
+
+    #[test]
+    fn random_partitions_preserve_items() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let items: Vec<_> = (0..10u8).map(|i| tuple(GroupTag::None, i)).collect();
+        let parts = random_partitions(items.clone(), 3, &mut rng);
+        assert_eq!(parts.len(), 4);
+        assert!(parts.iter().take(3).all(|p| p.len() == 3));
+        assert_eq!(parts[3].len(), 1);
+        let mut all: Vec<u8> = parts.iter().flatten().map(|t| t.blob[0]).collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..10u8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn random_partitions_shuffle() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let items: Vec<_> = (0..100u8).map(|i| tuple(GroupTag::None, i)).collect();
+        let parts = random_partitions(items, 100, &mut rng);
+        let order: Vec<u8> = parts[0].iter().map(|t| t.blob[0]).collect();
+        assert_ne!(
+            order,
+            (0..100u8).collect::<Vec<_>>(),
+            "must not keep arrival order"
+        );
+    }
+
+    #[test]
+    fn tag_partitions_group_and_chunk() {
+        let items = vec![
+            tuple(GroupTag::Det(vec![1]), 1),
+            tuple(GroupTag::Det(vec![2]), 2),
+            tuple(GroupTag::Det(vec![1]), 3),
+            tuple(GroupTag::Det(vec![1]), 4),
+        ];
+        let parts = tag_partitions(items, 2);
+        // Tag [1] has 3 tuples → 2 partitions; tag [2] has 1 → 1 partition.
+        assert_eq!(parts.len(), 3);
+        for (tag, tuples) in &parts {
+            assert!(tuples.iter().all(|t| t.tag == *tag));
+        }
+        let tag1_total: usize = parts
+            .iter()
+            .filter(|(t, _)| *t == GroupTag::Det(vec![1]))
+            .map(|(_, v)| v.len())
+            .sum();
+        assert_eq!(tag1_total, 3);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let mut rng = StdRng::seed_from_u64(9);
+        assert!(random_partitions(Vec::new(), 4, &mut rng).is_empty());
+        assert!(tag_partitions(Vec::new(), 4).is_empty());
+    }
+}

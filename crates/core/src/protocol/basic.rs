@@ -1,0 +1,35 @@
+//! Basic protocol for Select-From-Where queries (Section 3.2).
+//!
+//! After the collection phase (handled by the runtime), the Covering Result
+//! — true tuples plus dummies, all `nDet_Enc`-encrypted — is partitioned by
+//! the SSI into uninterpreted chunks; connected TDSs download them, filter
+//! out dummy tuples, and send the true tuples back under `k1`.
+
+use crate::error::Result;
+use crate::message::QueryEnvelope;
+use crate::partition::random_partitions;
+use crate::protocol::ProtocolParams;
+use crate::runtime::round::{SimWorld, StepOutput};
+use crate::stats::Phase;
+
+/// Run the filtering phase of the basic protocol.
+pub fn run(
+    world: &mut SimWorld,
+    qid: u64,
+    env: &QueryEnvelope,
+    params: &ProtocolParams,
+) -> Result<()> {
+    let working = world.ssi.take_working(qid)?;
+    if working.is_empty() {
+        return Ok(());
+    }
+    let partitions = random_partitions(working, params.chunk, &mut world.rng);
+    world.process_partitions(
+        qid,
+        Phase::Filtering,
+        env,
+        params,
+        partitions,
+        |tds, ctx, partition, rng| Ok(StepOutput::Results(tds.filter_plain(ctx, partition, rng)?)),
+    )
+}

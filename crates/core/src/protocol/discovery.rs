@@ -1,0 +1,115 @@
+//! Distribution / domain discovery sub-protocol (Section 4.4).
+//!
+//! `C_Noise` needs the cardinality (in fact the values) of the grouping
+//! domain; `ED_Hist` needs its distribution. Both are obtained by running a
+//! `SELECT A_G, COUNT(*) ... GROUP BY A_G` through the S_Agg protocol —
+//! the most confidential one — with results sealed under `k2`, so the
+//! discovered distribution never leaves the TDS trust domain. Discovery runs
+//! once per domain and is refreshed from time to time, not per query.
+
+use tdsql_sql::ast::{AggCall, AggFunc, Expr, Query, SelectItem};
+use tdsql_sql::value::{GroupKey, Value};
+
+use crate::error::{ProtocolError, Result};
+use crate::histogram::Histogram;
+use crate::protocol::{s_agg, ProtocolKind, ProtocolParams};
+use crate::runtime::round::SimWorld;
+use crate::tds::ResultDest;
+
+/// Build the discovery query for a target query's FROM list and grouping
+/// expressions: `SELECT <A_G...>, COUNT(*) FROM <tables> GROUP BY <A_G...>`.
+pub fn discovery_query(target: &Query) -> Query {
+    let mut select: Vec<SelectItem> = target
+        .group_by
+        .iter()
+        .map(|g| SelectItem::Expr {
+            expr: g.clone(),
+            alias: None,
+        })
+        .collect();
+    select.push(SelectItem::Expr {
+        expr: Expr::Aggregate(AggCall {
+            func: AggFunc::Count,
+            arg: None,
+            distinct: false,
+        }),
+        alias: None,
+    });
+    Query {
+        select,
+        from: target.from.clone(),
+        where_clause: None,
+        group_by: target.group_by.clone(),
+        having: None,
+        order_by: Vec::new(),
+        limit: None,
+        size: None,
+    }
+}
+
+/// Run discovery and return the grouping distribution (key → true count).
+pub fn discover_distribution(world: &mut SimWorld, target: &Query) -> Result<Vec<(GroupKey, u64)>> {
+    let query = discovery_query(target);
+    let params = ProtocolParams::new(ProtocolKind::SAgg);
+    let querier = world.system_querier();
+
+    // Run collection + S_Agg with k2-sealed results.
+    let envelope = querier.make_envelope(&query, params.kind, &mut world.rng);
+    let qid = world.ssi.post_query(envelope);
+    let env = world.ssi.envelope(qid)?.clone();
+    world.run_collection(qid, &env, &params)?;
+    s_agg::run_with_dest(world, qid, &env, &params, ResultDest::Tds)?;
+    let blobs = world.ssi.results(qid)?.to_vec();
+
+    // Any TDS can open the k2-sealed distribution; the runtime uses the
+    // first one (in a deployment each TDS downloads and opens it itself).
+    let opener = world
+        .tdss
+        .first()
+        .ok_or_else(|| ProtocolError::Protocol("empty TDS population".into()))?;
+    let rows = opener.open_k2_rows(&blobs)?;
+
+    let n_group = target.group_by.len();
+    let mut distribution = Vec::with_capacity(rows.len());
+    for row in rows {
+        if row.len() != n_group + 1 {
+            return Err(ProtocolError::Protocol("malformed discovery row".into()));
+        }
+        let key = GroupKey::from_values(&row[..n_group]);
+        let count = match row[n_group] {
+            Value::Int(n) if n >= 0 => n as u64,
+            ref other => {
+                return Err(ProtocolError::Protocol(format!(
+                    "discovery count is not a non-negative integer: {other}"
+                )))
+            }
+        };
+        distribution.push((key, count));
+    }
+    distribution.sort();
+    Ok(distribution)
+}
+
+/// Fill in the discovery-derived parameters a protocol needs, if missing.
+pub fn ensure_discovery(
+    world: &mut SimWorld,
+    target: &Query,
+    params: &mut ProtocolParams,
+) -> Result<()> {
+    match params.kind {
+        ProtocolKind::RnfNoise { .. } | ProtocolKind::CNoise => {
+            if params.noise_domain.is_empty() {
+                let dist = discover_distribution(world, target)?;
+                params.noise_domain = dist.into_iter().map(|(k, _)| k).collect();
+            }
+        }
+        ProtocolKind::EdHist { buckets } => {
+            if params.histogram.is_none() {
+                let dist = discover_distribution(world, target)?;
+                params.histogram = Some(Histogram::build(&dist, buckets));
+            }
+        }
+        ProtocolKind::Basic | ProtocolKind::SAgg => {}
+    }
+    Ok(())
+}

@@ -1,0 +1,59 @@
+//! ED_Hist — equi-depth histogram protocol (Section 4.4, Fig. 6).
+//!
+//! Instead of hiding the grouping distribution under noise, ED_Hist reshapes
+//! it: TDSs allocate tuples to nearly equi-depth buckets of the `A_G` domain
+//! (built from a previously discovered distribution) and tag them with the
+//! keyed hash `h(bucketId)`. The SSI sees a near-uniform tag distribution and
+//! learns nothing about the true one. A bucket may span several groups, so
+//! aggregation runs in **two** steps: per-bucket partial aggregation
+//! (producing `Det_Enc(group)`-tagged partials), then per-group combination.
+
+use crate::error::Result;
+use crate::message::{QueryEnvelope, StoredTuple};
+use crate::partition::tag_partitions;
+use crate::protocol::noise::{finalize, reduce_to_singletons};
+use crate::protocol::ProtocolParams;
+use crate::runtime::round::{SimWorld, StepOutput};
+use crate::stats::Phase;
+use crate::tds::{ResultDest, RetagMode};
+
+/// Run the aggregation + filtering phases of ED_Hist.
+pub fn run(
+    world: &mut SimWorld,
+    qid: u64,
+    env: &QueryEnvelope,
+    params: &ProtocolParams,
+) -> Result<()> {
+    // First aggregation step: per-bucket partitions; each TDS computes the
+    // partial aggregates of all groups contained in its bucket chunk and
+    // re-tags the outputs per group with Det_Enc(A_G).
+    let working = world.ssi.take_working(qid)?;
+    if working.is_empty() {
+        return Ok(());
+    }
+    let partitions: Vec<Vec<StoredTuple>> = tag_partitions(working, params.chunk.max(1))
+        .into_iter()
+        .map(|(_, tuples)| tuples)
+        .collect();
+    world.process_partitions(
+        qid,
+        Phase::Aggregation,
+        env,
+        params,
+        partitions,
+        |tds, ctx, partition, rng| {
+            Ok(StepOutput::Working(tds.reduce_inputs(
+                ctx,
+                partition,
+                RetagMode::DetPerGroup,
+                rng,
+            )?))
+        },
+    )?;
+
+    // Second aggregation step: combine partials per group.
+    reduce_to_singletons(world, qid, env, params)?;
+
+    // Filtering phase.
+    finalize(world, qid, env, params, ResultDest::Querier)
+}

@@ -1,0 +1,146 @@
+//! Noise-based protocols — `Rnf_Noise` and `C_Noise` (Section 4.3, Fig. 5).
+//!
+//! Grouping attributes travel under `Det_Enc`, letting the SSI assemble
+//! same-group tuples into the same partitions — per-group parallelism all
+//! the way down, unlike S_Agg. The leaked ciphertext distribution is hidden
+//! by fake tuples: random (`Rnf_Noise`, nf per true tuple) or complementary-
+//! domain (`C_Noise`, flat by construction). Fakes carry an identified
+//! characteristic under the encryption, so TDSs filter them during the first
+//! aggregation step; the SSI never can.
+
+use std::collections::BTreeMap;
+
+use crate::error::Result;
+use crate::message::{GroupTag, QueryEnvelope, StoredTuple};
+use crate::partition::tag_partitions;
+use crate::protocol::ProtocolParams;
+use crate::runtime::round::{SimWorld, StepOutput};
+use crate::stats::Phase;
+use crate::tds::{ResultDest, RetagMode};
+
+/// Reduce tagged working tuples until every tag holds exactly one batch.
+/// Shared by the noise protocols (step 2 of their aggregation phase) and by
+/// ED_Hist (its second aggregation step).
+pub(crate) fn reduce_to_singletons(
+    world: &mut SimWorld,
+    qid: u64,
+    env: &QueryEnvelope,
+    params: &ProtocolParams,
+) -> Result<()> {
+    loop {
+        let working = world.ssi.take_working(qid)?;
+        let mut per_tag: BTreeMap<GroupTag, usize> = BTreeMap::new();
+        for t in &working {
+            *per_tag.entry(t.tag.clone()).or_default() += 1;
+        }
+        if per_tag.values().all(|&n| n <= 1) {
+            world
+                .ssi
+                .receive_working(qid, Phase::Aggregation, working)?;
+            return Ok(());
+        }
+        // Split multi-batch tags into α-sized partitions; singletons pass
+        // through untouched.
+        let mut pass_through: Vec<StoredTuple> = Vec::new();
+        let mut to_reduce: Vec<StoredTuple> = Vec::new();
+        for t in working {
+            if per_tag[&t.tag] <= 1 {
+                pass_through.push(t);
+            } else {
+                to_reduce.push(t);
+            }
+        }
+        world
+            .ssi
+            .receive_working(qid, Phase::Aggregation, pass_through)?;
+        let partitions: Vec<Vec<StoredTuple>> = tag_partitions(to_reduce, params.alpha.max(2))
+            .into_iter()
+            .map(|(_, tuples)| tuples)
+            .collect();
+        world.process_partitions(
+            qid,
+            Phase::Aggregation,
+            env,
+            params,
+            partitions,
+            |tds, ctx, partition, rng| {
+                Ok(StepOutput::Working(tds.reduce_partials(
+                    ctx,
+                    partition,
+                    RetagMode::DetPerGroup,
+                    rng,
+                )?))
+            },
+        )?;
+    }
+}
+
+/// Shared finale: finalize every per-group batch (HAVING + projection).
+pub(crate) fn finalize(
+    world: &mut SimWorld,
+    qid: u64,
+    env: &QueryEnvelope,
+    params: &ProtocolParams,
+    dest: ResultDest,
+) -> Result<()> {
+    let working = world.ssi.take_working(qid)?;
+    if working.is_empty() {
+        return Ok(());
+    }
+    let partitions: Vec<Vec<StoredTuple>> = working
+        .chunks(params.chunk.max(1))
+        .map(|c| c.to_vec())
+        .collect();
+    world.process_partitions(
+        qid,
+        Phase::Filtering,
+        env,
+        params,
+        partitions,
+        |tds, ctx, partition, rng| {
+            Ok(StepOutput::Results(
+                tds.finalize_groups(ctx, partition, dest, rng)?,
+            ))
+        },
+    )
+}
+
+/// Run the aggregation + filtering phases of a noise-based protocol.
+pub fn run(
+    world: &mut SimWorld,
+    qid: u64,
+    env: &QueryEnvelope,
+    params: &ProtocolParams,
+) -> Result<()> {
+    // Step 1: per-tag partitions of collection tuples; TDSs filter the fakes
+    // and compute per-group partial aggregations.
+    let working = world.ssi.take_working(qid)?;
+    if working.is_empty() {
+        return Ok(());
+    }
+    let partitions: Vec<Vec<StoredTuple>> = tag_partitions(working, params.chunk.max(1))
+        .into_iter()
+        .map(|(_, tuples)| tuples)
+        .collect();
+    world.process_partitions(
+        qid,
+        Phase::Aggregation,
+        env,
+        params,
+        partitions,
+        |tds, ctx, partition, rng| {
+            Ok(StepOutput::Working(tds.reduce_inputs(
+                ctx,
+                partition,
+                RetagMode::DetPerGroup,
+                rng,
+            )?))
+        },
+    )?;
+
+    // Step 2: combine partials of the same group, in parallel per group.
+    reduce_to_singletons(world, qid, env, params)?;
+
+    // Filtering phase.
+    finalize(world, qid, env, params, ResultDest::Querier)
+}

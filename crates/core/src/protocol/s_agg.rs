@@ -1,0 +1,105 @@
+//! S_Agg — secure aggregation protocol (Section 4.2, Fig. 4).
+//!
+//! Everything is `nDet_Enc`-encrypted, so the SSI learns *nothing* about
+//! grouping: tuples of the same group are randomly scattered across
+//! partitions and the aggregation phase is necessarily **iterative**. At each
+//! iteration connected TDSs download partitions, merge them into partial
+//! aggregations (`Ω = Ω ⊕ tup`, `Ω = Ω ⊕ Ω`) and upload a single batch per
+//! partition. Parallelism shrinks every iteration until one TDS produces the
+//! final aggregation — the source of S_Agg's poor elasticity in Fig. 10i/j.
+
+use crate::error::Result;
+use crate::message::QueryEnvelope;
+use crate::partition::random_partitions;
+use crate::protocol::ProtocolParams;
+use crate::runtime::round::{SimWorld, StepOutput};
+use crate::stats::Phase;
+use crate::tds::{ResultDest, RetagMode};
+
+/// Run the aggregation + filtering phases of S_Agg. `dest` lets the
+/// discovery sub-protocol keep results inside the TDS trust domain.
+pub fn run_with_dest(
+    world: &mut SimWorld,
+    qid: u64,
+    env: &QueryEnvelope,
+    params: &ProtocolParams,
+    dest: ResultDest,
+) -> Result<()> {
+    // First aggregation step: reduce raw collection tuples.
+    let working = world.ssi.take_working(qid)?;
+    if working.is_empty() {
+        return Ok(());
+    }
+    let partitions = random_partitions(working, params.chunk.max(1), &mut world.rng);
+    world.process_partitions(
+        qid,
+        Phase::Aggregation,
+        env,
+        params,
+        partitions,
+        |tds, ctx, partition, rng| {
+            Ok(StepOutput::Working(tds.reduce_inputs(
+                ctx,
+                partition,
+                RetagMode::None,
+                rng,
+            )?))
+        },
+    )?;
+
+    // Iterate: merge α partial batches per partition until one remains.
+    loop {
+        let working = world.ssi.take_working(qid)?;
+        if working.len() <= 1 {
+            // Put the final batch back for the filtering phase.
+            world
+                .ssi
+                .receive_working(qid, Phase::Aggregation, working)?;
+            break;
+        }
+        let partitions = random_partitions(working, params.alpha.max(2), &mut world.rng);
+        world.process_partitions(
+            qid,
+            Phase::Aggregation,
+            env,
+            params,
+            partitions,
+            |tds, ctx, partition, rng| {
+                Ok(StepOutput::Working(tds.reduce_partials(
+                    ctx,
+                    partition,
+                    RetagMode::None,
+                    rng,
+                )?))
+            },
+        )?;
+    }
+
+    // Filtering phase: HAVING + projection on the single final batch.
+    let working = world.ssi.take_working(qid)?;
+    if working.is_empty() {
+        return Ok(());
+    }
+    world.process_partitions(
+        qid,
+        Phase::Filtering,
+        env,
+        params,
+        vec![working],
+        |tds, ctx, partition, rng| {
+            Ok(StepOutput::Results(
+                tds.finalize_groups(ctx, partition, dest, rng)?,
+            ))
+        },
+    )
+}
+
+/// Run S_Agg delivering results to the querier.
+pub fn run(
+    world: &mut SimWorld,
+    qid: u64,
+    env: &QueryEnvelope,
+    params: &ProtocolParams,
+) -> Result<()> {
+    run_with_dest(world, qid, env, params, ResultDest::Querier)
+}

@@ -1,0 +1,143 @@
+//! The querier: posts encrypted queries and decrypts final results.
+//!
+//! The querier holds `k1` only. It can read the query it wrote and the final
+//! result — never the intermediate results parked on the SSI (those are
+//! under `k2`), which is exactly the access a traditional DBMS would grant.
+
+use bytes::Bytes;
+use rand::rngs::StdRng;
+
+use tdsql_crypto::{Credential, NDetCipher, SymKey};
+use tdsql_sql::ast::Query;
+use tdsql_sql::value::Value;
+
+use crate::error::Result;
+use crate::message::{QueryEnvelope, QueryTarget};
+use crate::protocol::ProtocolKind;
+use crate::tuple_codec::ResultRow;
+
+/// A query issuer (e.g. the energy distribution company).
+pub struct Querier {
+    /// Identity, matching the credential.
+    pub id: String,
+    k1: NDetCipher,
+    credential: Credential,
+}
+
+impl Querier {
+    /// Create a querier from its `k1` key and an authority-issued credential.
+    pub fn new(id: impl Into<String>, k1: &SymKey, credential: Credential) -> Self {
+        Self {
+            id: id.into(),
+            k1: NDetCipher::new(k1),
+            credential,
+        }
+    }
+
+    /// Build the envelope for posting a query (step 1): the query text is
+    /// encrypted under `k1`; only the SIZE clause and the protocol recipe are
+    /// left in clear for the SSI.
+    pub fn make_envelope(
+        &self,
+        query: &Query,
+        protocol: ProtocolKind,
+        rng: &mut StdRng,
+    ) -> QueryEnvelope {
+        self.make_envelope_targeted(query, protocol, QueryTarget::Crowd, rng)
+    }
+
+    /// Post to personal queryboxes instead of the global one: only the
+    /// listed TDSs will download and answer the query.
+    pub fn make_envelope_targeted(
+        &self,
+        query: &Query,
+        protocol: ProtocolKind,
+        target: QueryTarget,
+        rng: &mut StdRng,
+    ) -> QueryEnvelope {
+        let sql = query.to_string();
+        QueryEnvelope {
+            query_id: 0, // assigned by the SSI
+            enc_query: Bytes::from(self.k1.encrypt(rng, sql.as_bytes())),
+            credential: self.credential.clone(),
+            size: query.size.unwrap_or_default(),
+            protocol,
+            target,
+        }
+    }
+
+    /// Decrypt the final result rows delivered by the SSI (step 13).
+    pub fn decrypt_results(&self, blobs: &[Bytes]) -> Result<Vec<Vec<Value>>> {
+        blobs
+            .iter()
+            .map(|b| {
+                let plain = self.k1.decrypt(b)?;
+                Ok(ResultRow::decode(&plain)?.0)
+            })
+            .collect()
+    }
+}
+
+impl std::fmt::Debug for Querier {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Querier {{ id: {:?} }}", self.id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use tdsql_crypto::credential::{CredentialSigner, Role};
+    use tdsql_crypto::KeyRing;
+    use tdsql_sql::parser::parse_query;
+
+    #[test]
+    fn envelope_hides_query_text() {
+        let ring = KeyRing::derive(b"seed");
+        let signer = CredentialSigner::new(b"authority");
+        let q = Querier::new(
+            "energy-co",
+            &ring.k1,
+            signer.issue("energy-co", Role::new("supplier"), u64::MAX),
+        );
+        let query = parse_query("SELECT AVG(cons) FROM power SIZE 100").unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let env = q.make_envelope(&query, ProtocolKind::SAgg, &mut rng);
+        // Ciphertext must not contain the SQL text.
+        let sql = query.to_string();
+        assert!(!env
+            .enc_query
+            .windows(sql.len().min(8))
+            .any(|w| w == &sql.as_bytes()[..sql.len().min(8)]));
+        // SIZE is exposed in clear (the SSI evaluates it).
+        assert_eq!(env.size.max_tuples, Some(100));
+        // Two envelopes of the same query differ (nDet).
+        let env2 = q.make_envelope(&query, ProtocolKind::SAgg, &mut rng);
+        assert_ne!(env.enc_query, env2.enc_query);
+    }
+
+    #[test]
+    fn decrypt_roundtrip() {
+        let ring = KeyRing::derive(b"seed");
+        let signer = CredentialSigner::new(b"authority");
+        let q = Querier::new("q", &ring.k1, signer.issue("q", Role::new("r"), u64::MAX));
+        let mut rng = StdRng::seed_from_u64(2);
+        let cipher = NDetCipher::new(&ring.k1);
+        let row = ResultRow(vec![Value::Int(7), Value::Str("x".into())]);
+        let blob = Bytes::from(cipher.encrypt(&mut rng, &row.encode()));
+        let rows = q.decrypt_results(&[blob]).unwrap();
+        assert_eq!(rows, vec![vec![Value::Int(7), Value::Str("x".into())]]);
+    }
+
+    #[test]
+    fn querier_cannot_read_k2_blobs() {
+        let ring = KeyRing::derive(b"seed");
+        let signer = CredentialSigner::new(b"authority");
+        let q = Querier::new("q", &ring.k1, signer.issue("q", Role::new("r"), u64::MAX));
+        let mut rng = StdRng::seed_from_u64(3);
+        let k2 = NDetCipher::new(&ring.k2);
+        let blob = Bytes::from(k2.encrypt(&mut rng, b"intermediate"));
+        assert!(q.decrypt_results(&[blob]).is_err());
+    }
+}

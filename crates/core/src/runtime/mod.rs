@@ -1,0 +1,12 @@
+//! Protocol runtimes.
+//!
+//! * [`round`] — the deterministic, seeded round-based runtime used by tests,
+//!   examples and benchmarks;
+//! * [`threaded`] — a concurrent runtime where every TDS is a worker thread
+//!   and the SSI is shared state, demonstrating that the protocol logic is
+//!   runtime-agnostic.
+
+pub mod round;
+pub mod threaded;
+
+pub use round::{SimBuilder, SimWorld};

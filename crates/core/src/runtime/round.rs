@@ -1,0 +1,641 @@
+//! Deterministic round-based simulation runtime.
+//!
+//! Time advances in **rounds**. Each round a connectivity-sampled subset of
+//! the TDS population connects, downloads pending work from the SSI (the
+//! posted query during collection, partitions afterwards) and uploads
+//! encrypted results. A TDS may drop out mid-partition; the SSI then re-sends
+//! the partition to another TDS — the paper's timeout/resend correctness
+//! argument, exercised by the fault-injection tests.
+//!
+//! Everything is driven by one seeded RNG, so every protocol run is exactly
+//! reproducible.
+
+use std::collections::VecDeque;
+
+use bytes::Bytes;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use tdsql_crypto::credential::{CredentialSigner, Role};
+use tdsql_crypto::KeyRing;
+use tdsql_sql::ast::Query;
+use tdsql_sql::engine::Database;
+use tdsql_sql::value::Value;
+
+use crate::access::AccessPolicy;
+use crate::connectivity::Connectivity;
+use crate::error::{ProtocolError, Result};
+use crate::message::{QueryEnvelope, QueryTarget, StoredTuple};
+use crate::protocol::{self, ProtocolKind, ProtocolParams};
+use crate::querier::Querier;
+use crate::ssi::Ssi;
+use crate::stats::{Phase, RunStats, TdsWork};
+use crate::tds::{QueryContext, Tds, SYSTEM_ROLE};
+
+/// Builder for a simulation world.
+#[derive(Debug, Clone)]
+pub struct SimBuilder {
+    /// Master secret all TDSs derive their key ring from (burn-time install).
+    pub master_seed: Vec<u8>,
+    /// Authority secret for credential signing.
+    pub authority_secret: Vec<u8>,
+    /// Connectivity / fault model.
+    pub connectivity: Connectivity,
+    /// RNG seed for the whole run.
+    pub seed: u64,
+    /// Cap on collection rounds when the query has no SIZE duration bound.
+    pub default_max_rounds: u64,
+}
+
+impl Default for SimBuilder {
+    fn default() -> Self {
+        Self {
+            master_seed: b"tdsql-master".to_vec(),
+            authority_secret: b"tdsql-authority".to_vec(),
+            connectivity: Connectivity::always_on(),
+            seed: 0,
+            default_max_rounds: 1_000,
+        }
+    }
+}
+
+impl SimBuilder {
+    /// Fresh builder with defaults.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Set the connectivity model.
+    pub fn connectivity(mut self, c: Connectivity) -> Self {
+        self.connectivity = c;
+        self
+    }
+
+    /// Set the RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Build the world: one TDS per database, shared key ring and policy.
+    pub fn build(self, databases: Vec<Database>, policy: AccessPolicy) -> SimWorld {
+        let n = databases.len();
+        self.build_with_policies(databases, vec![policy; n])
+    }
+
+    /// Build with a **per-TDS** access policy — the paper allows the policy
+    /// to come from the producer organism, the legislator *or a consumer
+    /// association*, so different holders may enforce different rules. A TDS
+    /// whose policy denies the querier answers with dummies, invisibly.
+    pub fn build_with_policies(
+        self,
+        databases: Vec<Database>,
+        policies: Vec<AccessPolicy>,
+    ) -> SimWorld {
+        assert_eq!(databases.len(), policies.len(), "one policy per TDS");
+        let ring = KeyRing::derive(&self.master_seed);
+        let signer = CredentialSigner::new(&self.authority_secret);
+        let tdss: Vec<Tds> = databases
+            .into_iter()
+            .zip(policies)
+            .enumerate()
+            .map(|(i, (db, policy))| {
+                Tds::new(i as u64, &ring, signer.verification_key(), db, policy)
+            })
+            .collect();
+        let system_querier = Querier::new(
+            "system",
+            &ring.k1,
+            signer.issue("system", Role::new(SYSTEM_ROLE), u64::MAX),
+        );
+        SimWorld {
+            tdss,
+            ssi: Ssi::new(),
+            connectivity: self.connectivity,
+            rng: StdRng::seed_from_u64(self.seed),
+            stats: RunStats::new(),
+            round: 0,
+            default_max_rounds: self.default_max_rounds,
+            ring,
+            signer,
+            system_querier,
+            master_seed: self.master_seed,
+            epoch: 0,
+        }
+    }
+}
+
+/// What one TDS work-step produces.
+pub enum StepOutput {
+    /// Encrypted intermediate tuples back into the SSI working set.
+    Working(Vec<StoredTuple>),
+    /// Final `k1`/`k2`-sealed rows into the SSI result area.
+    Results(Vec<Bytes>),
+}
+
+/// The simulated deployment: the TDS population, the untrusted SSI, and the
+/// clock/RNG driving connectivity.
+pub struct SimWorld {
+    /// The TDS population.
+    pub tdss: Vec<Tds>,
+    /// The untrusted supporting server.
+    pub ssi: Ssi,
+    /// Connectivity and fault model.
+    pub connectivity: Connectivity,
+    /// The run's RNG.
+    pub rng: StdRng,
+    /// Statistics of the most recent [`SimWorld::run_query`].
+    pub stats: RunStats,
+    /// Global round clock.
+    pub round: u64,
+    /// Collection-round cap when SIZE has no duration bound.
+    pub default_max_rounds: u64,
+    ring: KeyRing,
+    signer: CredentialSigner,
+    system_querier: Querier,
+    master_seed: Vec<u8>,
+    epoch: u32,
+}
+
+impl SimWorld {
+    /// Issue a querier with a signed credential (simulation convenience: in
+    /// a deployment the authority and key provisioning are offline steps).
+    pub fn make_querier(&self, id: &str, role: &str) -> Querier {
+        Querier::new(
+            id,
+            &self.ring.k1,
+            self.signer.issue(id, Role::new(role), u64::MAX),
+        )
+    }
+
+    /// Issue a querier whose credential expires at `expires_at_round`
+    /// (checked by every TDS against the protocol round clock).
+    pub fn make_querier_expiring(&self, id: &str, role: &str, expires_at_round: u64) -> Querier {
+        Querier::new(
+            id,
+            &self.ring.k1,
+            self.signer.issue(id, Role::new(role), expires_at_round),
+        )
+    }
+
+    /// The shared key ring (tests only: lets assertions decrypt).
+    pub fn ring(&self) -> &KeyRing {
+        &self.ring
+    }
+
+    /// Current key epoch.
+    pub fn epoch(&self) -> u32 {
+        self.epoch
+    }
+
+    /// Rotate to the next key epoch: every TDS re-derives `k1`/`k2`/the
+    /// bucket-hash key with epoch domain separation. Queriers provisioned
+    /// before the rotation can no longer issue readable queries (their `k1`
+    /// is stale) and must be re-issued via [`SimWorld::make_querier`];
+    /// ciphertexts archived under the old epoch stay sealed to holders of
+    /// the new keys. Returns the new epoch number.
+    pub fn rotate_keys(&mut self) -> u32 {
+        self.epoch += 1;
+        self.ring = KeyRing::derive_epoch(&self.master_seed, self.epoch);
+        for tds in &mut self.tdss {
+            tds.rekey(&self.ring);
+        }
+        self.system_querier = Querier::new(
+            "system",
+            &self.ring.k1,
+            self.signer
+                .issue("system", Role::new(SYSTEM_ROLE), u64::MAX),
+        );
+        self.epoch
+    }
+
+    /// Prepare protocol parameters for a query, running the discovery
+    /// sub-protocol now if the kind needs it. Useful to amortise discovery
+    /// across many queries over the same grouping attributes — the paper's
+    /// "done only once and refreshed from time to time".
+    pub fn prepare_params(&mut self, query: &Query, kind: ProtocolKind) -> Result<ProtocolParams> {
+        let mut params = ProtocolParams::new(kind);
+        protocol::discovery::ensure_discovery(self, query, &mut params)?;
+        Ok(params)
+    }
+
+    /// Run a query end to end with the given protocol and return the decrypted
+    /// result rows. Discovery (for noise/histogram protocols) runs
+    /// automatically when `params` lacks the needed domain knowledge.
+    pub fn run_query(
+        &mut self,
+        querier: &Querier,
+        query: &Query,
+        params: ProtocolParams,
+    ) -> Result<Vec<Vec<Value>>> {
+        self.run_query_targeted(querier, query, params, QueryTarget::Crowd)
+    }
+
+    /// Run a query posted to **personal queryboxes**: only the targeted TDSs
+    /// download and answer it (e.g. a doctor querying her own patients'
+    /// folders). Untargeted queries use [`SimWorld::run_query`].
+    pub fn run_query_targeted(
+        &mut self,
+        querier: &Querier,
+        query: &Query,
+        mut params: ProtocolParams,
+        target: QueryTarget,
+    ) -> Result<Vec<Vec<Value>>> {
+        self.stats = RunStats::new();
+        protocol::discovery::ensure_discovery(self, query, &mut params)?;
+        let blobs = self.run_to_blobs(querier, query, &params, target)?;
+        let mut rows = querier.decrypt_results(&blobs)?;
+        // ORDER BY / LIMIT are final-result operations: intermediates are
+        // unordered ciphertext sets, so the querier applies them locally.
+        tdsql_sql::order::apply_order_limit(query, &mut rows)?;
+        Ok(rows)
+    }
+
+    /// Run a query and leave the encrypted results with the SSI; returns the
+    /// blobs (used by the discovery sub-protocol, which seals for TDSs).
+    pub(crate) fn run_to_blobs(
+        &mut self,
+        querier: &Querier,
+        query: &Query,
+        params: &ProtocolParams,
+        target: QueryTarget,
+    ) -> Result<Vec<Bytes>> {
+        let envelope = querier.make_envelope_targeted(query, params.kind, target, &mut self.rng);
+        let qid = self.ssi.post_query(envelope);
+        let env = self.ssi.envelope(qid)?.clone();
+
+        self.run_collection(qid, &env, params)?;
+
+        match params.kind {
+            ProtocolKind::Basic => protocol::basic::run(self, qid, &env, params)?,
+            ProtocolKind::SAgg => protocol::s_agg::run(self, qid, &env, params)?,
+            ProtocolKind::RnfNoise { .. } | ProtocolKind::CNoise => {
+                protocol::noise::run(self, qid, &env, params)?
+            }
+            ProtocolKind::EdHist { .. } => protocol::ed_hist::run(self, qid, &env, params)?,
+        }
+        Ok(self.ssi.results(qid)?.to_vec())
+    }
+
+    /// Run several queries **concurrently**: their collection phases share
+    /// rounds (a connecting TDS downloads every pending query at once, the
+    /// paper's querybox model), then each query's aggregation/filtering runs
+    /// to completion. This is the Load_Q scalability story made executable:
+    /// the system's capacity to serve many queries is bounded by per-TDS
+    /// work, not by query count.
+    ///
+    /// Returns one result set per job, in order.
+    pub fn run_query_batch(
+        &mut self,
+        jobs: &[(&Querier, &Query, ProtocolParams)],
+    ) -> Result<Vec<Vec<Vec<Value>>>> {
+        self.stats = RunStats::new();
+        // Discovery first (sequential; amortised in practice).
+        let mut prepared: Vec<ProtocolParams> = Vec::with_capacity(jobs.len());
+        for (_, query, params) in jobs {
+            let mut p = params.clone();
+            protocol::discovery::ensure_discovery(self, query, &mut p)?;
+            prepared.push(p);
+        }
+        // Post every envelope.
+        let mut qids = Vec::with_capacity(jobs.len());
+        for ((querier, query, _), params) in jobs.iter().zip(prepared.iter()) {
+            let envelope = querier.make_envelope(query, params.kind, &mut self.rng);
+            qids.push(self.ssi.post_query(envelope));
+        }
+        // Interleaved collection: each round, a connected TDS answers every
+        // still-open query at once.
+        let max_rounds: Vec<u64> = qids
+            .iter()
+            .map(|&qid| {
+                self.ssi
+                    .envelope(qid)
+                    .map(|e| e.size.max_rounds.unwrap_or(self.default_max_rounds).max(1))
+                    .unwrap_or(1)
+            })
+            .collect();
+        let mut contributed = vec![vec![false; self.tdss.len()]; jobs.len()];
+        let mut open = vec![true; jobs.len()];
+        let mut rounds = 0u64;
+        while open.iter().any(|&o| o) {
+            rounds += 1;
+            self.round += 1;
+            self.stats.record_step(Phase::Collection);
+            self.rounds_consumed(1);
+            let mut round_max_bytes = 0u64;
+            let connected = self
+                .connectivity
+                .sample_connected(self.tdss.len(), &mut self.rng);
+            for i in connected {
+                let mut tds_bytes = 0u64;
+                for (j, &qid) in qids.iter().enumerate() {
+                    if !open[j] || contributed[j][i] || self.ssi.size_tuples_reached(qid)? {
+                        continue;
+                    }
+                    let env = self.ssi.envelope(qid)?.clone();
+                    let tds = &self.tdss[i];
+                    let ctx = tds.open_query(&env, prepared[j].clone(), self.round)?;
+                    let tuples = tds.collect(&ctx, &mut self.rng)?;
+                    let bytes_up: u64 = tuples.iter().map(|t| t.blob.len() as u64).sum();
+                    let n = tuples.len() as u64;
+                    let id = tds.id;
+                    self.ssi.receive_collection(qid, tuples)?;
+                    self.stats.record_ssi_store(Phase::Collection, n, bytes_up);
+                    self.stats.record(
+                        Phase::Collection,
+                        id,
+                        TdsWork {
+                            bytes_down: env.enc_query.len() as u64,
+                            bytes_up,
+                            tuples: n,
+                            crypto_blocks: bytes_up / 16,
+                        },
+                    );
+                    tds_bytes += env.enc_query.len() as u64 + bytes_up;
+                    contributed[j][i] = true;
+                }
+                round_max_bytes = round_max_bytes.max(tds_bytes);
+            }
+            self.stats
+                .record_step_critical(Phase::Collection, round_max_bytes);
+            for (j, &qid) in qids.iter().enumerate() {
+                if open[j]
+                    && (self.ssi.size_tuples_reached(qid)?
+                        || contributed[j].iter().all(|&c| c)
+                        || rounds >= max_rounds[j])
+                {
+                    self.ssi.close_collection(qid)?;
+                    open[j] = false;
+                }
+            }
+        }
+        // Aggregation + filtering + decryption per job.
+        let mut results = Vec::with_capacity(jobs.len());
+        for ((&qid, params), (querier, query, _)) in
+            qids.iter().zip(prepared.iter()).zip(jobs.iter())
+        {
+            let env = self.ssi.envelope(qid)?.clone();
+            match params.kind {
+                ProtocolKind::Basic => protocol::basic::run(self, qid, &env, params)?,
+                ProtocolKind::SAgg => protocol::s_agg::run(self, qid, &env, params)?,
+                ProtocolKind::RnfNoise { .. } | ProtocolKind::CNoise => {
+                    protocol::noise::run(self, qid, &env, params)?
+                }
+                ProtocolKind::EdHist { .. } => protocol::ed_hist::run(self, qid, &env, params)?,
+            }
+            let blobs = self.ssi.results(qid)?.to_vec();
+            let mut rows = querier.decrypt_results(&blobs)?;
+            tdsql_sql::order::apply_order_limit(query, &mut rows)?;
+            results.push(rows);
+        }
+        Ok(results)
+    }
+
+    /// Collection phase: rounds of connected TDSs answering, until SIZE is
+    /// reached, every TDS has contributed, or the round budget is exhausted.
+    pub(crate) fn run_collection(
+        &mut self,
+        qid: u64,
+        env: &QueryEnvelope,
+        params: &ProtocolParams,
+    ) -> Result<()> {
+        let max_rounds = env
+            .size
+            .max_rounds
+            .unwrap_or(self.default_max_rounds)
+            .max(1);
+        // TDSs outside the target never see the query: count them as done.
+        let mut contributed: Vec<bool> = self
+            .tdss
+            .iter()
+            .map(|t| !env.target.includes(t.id))
+            .collect();
+        let mut rounds = 0u64;
+        'outer: while rounds < max_rounds
+            && !self.ssi.size_tuples_reached(qid)?
+            && contributed.iter().any(|c| !c)
+        {
+            rounds += 1;
+            self.round += 1;
+            self.stats.record_step(Phase::Collection);
+            let mut round_max_bytes = 0u64;
+            let connected = self
+                .connectivity
+                .sample_connected(self.tdss.len(), &mut self.rng);
+            for i in connected {
+                if contributed[i] || !env.target.includes(self.tdss[i].id) {
+                    continue;
+                }
+                if self.ssi.size_tuples_reached(qid)? {
+                    break 'outer;
+                }
+                let tds = &self.tdss[i];
+                let ctx = tds.open_query(env, params.clone(), self.round)?;
+                let tuples = tds.collect(&ctx, &mut self.rng)?;
+                let bytes_up: u64 = tuples.iter().map(|t| t.blob.len() as u64).sum();
+                let n = tuples.len() as u64;
+                let id = tds.id;
+                self.ssi.receive_collection(qid, tuples)?;
+                self.stats.record_ssi_store(Phase::Collection, n, bytes_up);
+                self.stats.record(
+                    Phase::Collection,
+                    id,
+                    TdsWork {
+                        bytes_down: env.enc_query.len() as u64,
+                        bytes_up,
+                        tuples: n,
+                        crypto_blocks: bytes_up / 16,
+                    },
+                );
+                round_max_bytes = round_max_bytes.max(env.enc_query.len() as u64 + bytes_up);
+                contributed[i] = true;
+            }
+            self.stats
+                .record_step_critical(Phase::Collection, round_max_bytes);
+        }
+        self.rounds_consumed(rounds);
+        self.ssi.close_collection(qid)
+    }
+
+    fn rounds_consumed(&mut self, rounds: u64) {
+        self.stats.rounds += rounds;
+    }
+
+    /// Process a batch of partitions with the connected TDS population.
+    /// Dropouts re-queue the partition (SSI timeout + resend).
+    pub(crate) fn process_partitions<F>(
+        &mut self,
+        qid: u64,
+        phase: Phase,
+        env: &QueryEnvelope,
+        params: &ProtocolParams,
+        partitions: Vec<Vec<StoredTuple>>,
+        mut work: F,
+    ) -> Result<()>
+    where
+        F: FnMut(&Tds, &QueryContext, &[StoredTuple], &mut StdRng) -> Result<StepOutput>,
+    {
+        let mut queue: VecDeque<Vec<StoredTuple>> = partitions.into();
+        let mut spins = 0u64;
+        let spin_cap = 100_000;
+        while !queue.is_empty() {
+            spins += 1;
+            if spins > spin_cap {
+                return Err(ProtocolError::NoProgress {
+                    phase: "partition processing",
+                });
+            }
+            self.round += 1;
+            self.stats.record_step(phase);
+            self.rounds_consumed(1);
+            let mut round_max_bytes = 0u64;
+            let connected = self
+                .connectivity
+                .sample_connected(self.tdss.len(), &mut self.rng);
+            for i in connected {
+                let Some(partition) = queue.pop_front() else {
+                    break;
+                };
+                if self.connectivity.drops(&mut self.rng) {
+                    self.stats.record_reassignment(phase);
+                    queue.push_back(partition);
+                    continue;
+                }
+                let tds = &self.tdss[i];
+                let ctx = tds.open_query(env, params.clone(), self.round)?;
+                let bytes_down: u64 = partition.iter().map(|t| t.blob.len() as u64).sum();
+                let tuples_in = partition.len() as u64;
+                let id = tds.id;
+                let output = work(tds, &ctx, &partition, &mut self.rng)?;
+                let bytes_up = match &output {
+                    StepOutput::Working(ts) => ts.iter().map(|t| t.blob.len() as u64).sum(),
+                    StepOutput::Results(rs) => rs.iter().map(|b| b.len() as u64).sum(),
+                };
+                match output {
+                    StepOutput::Working(ts) => {
+                        let n = ts.len() as u64;
+                        self.ssi.receive_working(qid, phase, ts)?;
+                        self.stats.record_ssi_store(phase, n, bytes_up);
+                    }
+                    StepOutput::Results(rs) => {
+                        let n = rs.len() as u64;
+                        self.ssi.receive_results(qid, rs)?;
+                        self.stats.record_ssi_store(phase, n, bytes_up);
+                    }
+                }
+                self.stats.record(
+                    phase,
+                    id,
+                    TdsWork {
+                        bytes_down,
+                        bytes_up,
+                        tuples: tuples_in,
+                        crypto_blocks: (bytes_down + bytes_up) / 16,
+                    },
+                );
+                round_max_bytes = round_max_bytes.max(bytes_down + bytes_up);
+            }
+            self.stats.record_step_critical(phase, round_max_bytes);
+        }
+        Ok(())
+    }
+
+    /// The system querier used by the discovery sub-protocol.
+    pub(crate) fn system_querier(&self) -> Querier {
+        Querier::new(
+            self.system_querier.id.clone(),
+            &self.ring.k1,
+            self.signer
+                .issue(&self.system_querier.id, Role::new(SYSTEM_ROLE), u64::MAX),
+        )
+    }
+}
+
+impl std::fmt::Debug for SimWorld {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "SimWorld {{ tdss: {}, round: {}, connectivity: {:?} }}",
+            self.tdss.len(),
+            self.round,
+            self.connectivity
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::{health_survey, HealthConfig};
+    use tdsql_sql::parser::parse_query;
+
+    fn small_world(seed: u64) -> SimWorld {
+        let (dbs, _) = health_survey(&HealthConfig {
+            n_tds: 8,
+            ..Default::default()
+        });
+        SimBuilder::new()
+            .seed(seed)
+            .build(dbs, AccessPolicy::allow_all(Role::new("physician")))
+    }
+
+    #[test]
+    fn builder_defaults() {
+        let b = SimBuilder::new();
+        assert_eq!(b.seed, 0);
+        assert_eq!(b.default_max_rounds, 1_000);
+        let world = small_world(1);
+        assert_eq!(world.tdss.len(), 8);
+        assert_eq!(world.epoch(), 0);
+        assert_eq!(world.round, 0);
+        assert!(format!("{world:?}").contains("tdss: 8"));
+    }
+
+    #[test]
+    fn queriers_share_k1_with_the_fleet() {
+        let mut world = small_world(2);
+        let q = world.make_querier("a", "physician");
+        let query = parse_query("SELECT COUNT(*) FROM health").unwrap();
+        let rows = world
+            .run_query(&q, &query, ProtocolParams::new(ProtocolKind::SAgg))
+            .unwrap();
+        assert_eq!(rows, vec![vec![Value::Int(8)]]);
+    }
+
+    #[test]
+    fn empty_batch_is_a_no_op() {
+        let mut world = small_world(3);
+        let results = world.run_query_batch(&[]).unwrap();
+        assert!(results.is_empty());
+    }
+
+    #[test]
+    fn critical_path_recorded_per_collection_round() {
+        let mut world = small_world(4);
+        let q = world.make_querier("a", "physician");
+        let query = parse_query("SELECT COUNT(*) FROM health").unwrap();
+        world
+            .run_query(&q, &query, ProtocolParams::new(ProtocolKind::SAgg))
+            .unwrap();
+        let phase = world.stats.phase(Phase::Collection);
+        assert_eq!(phase.critical_path_bytes.len() as u64, phase.steps);
+        assert!(phase.critical_path_bytes.iter().all(|&b| b > 0));
+    }
+
+    #[test]
+    fn stats_reset_between_runs() {
+        let mut world = small_world(5);
+        let q = world.make_querier("a", "physician");
+        let query = parse_query("SELECT COUNT(*) FROM health").unwrap();
+        world
+            .run_query(&q, &query, ProtocolParams::new(ProtocolKind::SAgg))
+            .unwrap();
+        let first = world.stats.load_bytes();
+        world
+            .run_query(&q, &query, ProtocolParams::new(ProtocolKind::SAgg))
+            .unwrap();
+        let second = world.stats.load_bytes();
+        // Same query, same world: per-run stats, not cumulative.
+        assert!((first as f64 - second as f64).abs() / (first as f64) < 0.2);
+    }
+}

@@ -1,0 +1,287 @@
+//! Concurrent runtime: every TDS works on its own thread.
+//!
+//! The round-based runtime is deterministic but sequential. This runtime
+//! executes the same protocol dataflows with real parallelism: TDS workers
+//! pull partitions from a crossbeam channel and the shared state sits behind
+//! `parking_lot` mutexes — the "parallel feed" of Fig. 4 made literal. All
+//! four protocols are supported; results are bit-identical to the round
+//! runtime's up to float merge order (tested in `tests/threaded_runtime.rs`).
+
+use bytes::Bytes;
+use crossbeam::channel;
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use tdsql_sql::ast::Query;
+use tdsql_sql::value::Value;
+
+use crate::error::{ProtocolError, Result};
+use crate::message::{GroupTag, StoredTuple};
+use crate::partition::{random_partitions, tag_partitions};
+use crate::protocol::{ProtocolKind, ProtocolParams};
+use crate::querier::Querier;
+use crate::tds::{ResultDest, RetagMode, Tds};
+
+/// One worker step's output.
+enum Out {
+    Working(Vec<StoredTuple>),
+    Results(Vec<Bytes>),
+}
+
+/// Fan a set of partitions out to `n_workers` threads; each partition is
+/// processed by some TDS via `work`. Returns the concatenated outputs.
+fn parallel_partitions<F>(
+    tdss: &[Tds],
+    n_workers: usize,
+    seed: u64,
+    partitions: Vec<Vec<StoredTuple>>,
+    work: F,
+) -> Result<(Vec<StoredTuple>, Vec<Bytes>)>
+where
+    F: Fn(&Tds, &[StoredTuple], &mut StdRng) -> Result<Out> + Sync,
+{
+    let (tx, rx) = channel::unbounded::<Vec<StoredTuple>>();
+    for p in partitions {
+        tx.send(p).expect("open channel");
+    }
+    drop(tx);
+
+    let working: Mutex<Vec<StoredTuple>> = Mutex::new(Vec::new());
+    let results: Mutex<Vec<Bytes>> = Mutex::new(Vec::new());
+    let first_err: Mutex<Option<ProtocolError>> = Mutex::new(None);
+    std::thread::scope(|scope| {
+        for w in 0..n_workers {
+            let rx = rx.clone();
+            let working = &working;
+            let results = &results;
+            let first_err = &first_err;
+            let work = &work;
+            let tds = &tdss[w % tdss.len()];
+            scope.spawn(move || {
+                let mut rng = StdRng::seed_from_u64(seed ^ (w as u64).wrapping_mul(0x9e3779b9));
+                while let Ok(partition) = rx.recv() {
+                    match work(tds, &partition, &mut rng) {
+                        Ok(Out::Working(ts)) => working.lock().extend(ts),
+                        Ok(Out::Results(rs)) => results.lock().extend(rs),
+                        Err(e) => {
+                            first_err.lock().get_or_insert(e);
+                            return;
+                        }
+                    }
+                }
+            });
+        }
+    });
+    if let Some(e) = first_err.into_inner() {
+        return Err(e);
+    }
+    Ok((working.into_inner(), results.into_inner()))
+}
+
+/// Run a query through any protocol with `n_workers` concurrent TDS workers.
+///
+/// Protocols that need discovery (`C_Noise`, `Rnf_Noise`, `ED_Hist`) must
+/// receive pre-filled `params` (from [`crate::runtime::SimWorld::prepare_params`]
+/// or a declared domain/histogram) — the threaded runtime does not bootstrap
+/// discovery itself.
+pub fn run_threaded(
+    tdss: &[Tds],
+    querier: &Querier,
+    query: &Query,
+    params: &ProtocolParams,
+    n_workers: usize,
+) -> Result<Vec<Vec<Value>>> {
+    if tdss.is_empty() {
+        return Err(ProtocolError::Protocol("empty TDS population".into()));
+    }
+    match params.kind {
+        ProtocolKind::RnfNoise { .. } | ProtocolKind::CNoise if params.noise_domain.is_empty() => {
+            return Err(ProtocolError::Unsupported(
+                "threaded noise protocols need a pre-discovered domain".into(),
+            ))
+        }
+        ProtocolKind::EdHist { .. } if params.histogram.is_none() => {
+            return Err(ProtocolError::Unsupported(
+                "threaded ED_Hist needs a pre-discovered histogram".into(),
+            ))
+        }
+        _ => {}
+    }
+    let n_workers = n_workers.clamp(1, tdss.len());
+    let mut seed_rng = StdRng::seed_from_u64(0xc0ffee);
+    let envelope = querier.make_envelope(query, params.kind, &mut seed_rng);
+
+    // --- Collection phase: every TDS contributes concurrently. -----------
+    let collected: Mutex<Vec<StoredTuple>> = Mutex::new(Vec::new());
+    let first_err: Mutex<Option<ProtocolError>> = Mutex::new(None);
+    std::thread::scope(|scope| {
+        for (w, chunk) in tdss.chunks(tdss.len().div_ceil(n_workers)).enumerate() {
+            let collected = &collected;
+            let first_err = &first_err;
+            let envelope = &envelope;
+            scope.spawn(move || {
+                let mut rng = StdRng::seed_from_u64(0x5eed + w as u64);
+                for tds in chunk {
+                    let step = (|| -> Result<Vec<StoredTuple>> {
+                        let ctx = tds.open_query(envelope, params.clone(), 0)?;
+                        tds.collect(&ctx, &mut rng)
+                    })();
+                    match step {
+                        Ok(tuples) => collected.lock().extend(tuples),
+                        Err(e) => {
+                            first_err.lock().get_or_insert(e);
+                            return;
+                        }
+                    }
+                }
+            });
+        }
+    });
+    if let Some(e) = first_err.into_inner() {
+        return Err(e);
+    }
+    let mut working = collected.into_inner();
+
+    let open = |tds: &Tds| -> Result<crate::tds::QueryContext> {
+        tds.open_query(&envelope, params.clone(), 0)
+    };
+
+    match params.kind {
+        // --- Basic: one filtering pass. -----------------------------------
+        ProtocolKind::Basic => {
+            let partitions = random_partitions(working, params.chunk.max(1), &mut seed_rng);
+            let (_, results) =
+                parallel_partitions(tdss, n_workers, 0xf117e4, partitions, |tds, p, rng| {
+                    let ctx = open(tds)?;
+                    Ok(Out::Results(tds.filter_plain(&ctx, p, rng)?))
+                })?;
+            let mut rows = querier.decrypt_results(&results)?;
+            tdsql_sql::order::apply_order_limit(query, &mut rows)?;
+            Ok(rows)
+        }
+
+        // --- S_Agg: iterative random partitions. --------------------------
+        ProtocolKind::SAgg => {
+            let mut first_pass = true;
+            while first_pass || working.len() > 1 {
+                let chunk_size = if first_pass {
+                    params.chunk.max(1)
+                } else {
+                    params.alpha.max(2)
+                };
+                let partitions = random_partitions(working, chunk_size, &mut seed_rng);
+                let fp = first_pass;
+                let (next, _) =
+                    parallel_partitions(tdss, n_workers, 0xfeed, partitions, |tds, p, rng| {
+                        let ctx = open(tds)?;
+                        let out = if fp {
+                            tds.reduce_inputs(&ctx, p, RetagMode::None, rng)?
+                        } else {
+                            tds.reduce_partials(&ctx, p, RetagMode::None, rng)?
+                        };
+                        Ok(Out::Working(out))
+                    })?;
+                working = next;
+                first_pass = false;
+            }
+            let mut rows = finalize_threaded(tdss, n_workers, querier, &open, working, params)?;
+            tdsql_sql::order::apply_order_limit(query, &mut rows)?;
+            Ok(rows)
+        }
+
+        // --- Tag-based protocols: per-group parallelism. -------------------
+        ProtocolKind::RnfNoise { .. } | ProtocolKind::CNoise | ProtocolKind::EdHist { .. } => {
+            // Step 1: per-tag partitions of collection tuples.
+            let partitions: Vec<Vec<StoredTuple>> = tag_partitions(working, params.chunk.max(1))
+                .into_iter()
+                .map(|(_, t)| t)
+                .collect();
+            let (mut next, _) =
+                parallel_partitions(tdss, n_workers, 0x7a65, partitions, |tds, p, rng| {
+                    let ctx = open(tds)?;
+                    Ok(Out::Working(tds.reduce_inputs(
+                        &ctx,
+                        p,
+                        RetagMode::DetPerGroup,
+                        rng,
+                    )?))
+                })?;
+
+            // Step 2: merge per group until every tag is a singleton.
+            loop {
+                let mut per_tag: std::collections::BTreeMap<GroupTag, usize> =
+                    std::collections::BTreeMap::new();
+                for t in &next {
+                    *per_tag.entry(t.tag.clone()).or_default() += 1;
+                }
+                if per_tag.values().all(|&n| n <= 1) {
+                    break;
+                }
+                let (pass, reduce): (Vec<StoredTuple>, Vec<StoredTuple>) =
+                    next.into_iter().partition(|t| per_tag[&t.tag] <= 1);
+                let partitions: Vec<Vec<StoredTuple>> = tag_partitions(reduce, params.alpha.max(2))
+                    .into_iter()
+                    .map(|(_, t)| t)
+                    .collect();
+                let (mut reduced, _) =
+                    parallel_partitions(tdss, n_workers, 0x5e9, partitions, |tds, p, rng| {
+                        let ctx = open(tds)?;
+                        Ok(Out::Working(tds.reduce_partials(
+                            &ctx,
+                            p,
+                            RetagMode::DetPerGroup,
+                            rng,
+                        )?))
+                    })?;
+                reduced.extend(pass);
+                next = reduced;
+            }
+            let mut rows = finalize_threaded(tdss, n_workers, querier, &open, next, params)?;
+            tdsql_sql::order::apply_order_limit(query, &mut rows)?;
+            Ok(rows)
+        }
+    }
+}
+
+fn finalize_threaded<F>(
+    tdss: &[Tds],
+    n_workers: usize,
+    querier: &Querier,
+    open: &F,
+    working: Vec<StoredTuple>,
+    params: &ProtocolParams,
+) -> Result<Vec<Vec<Value>>>
+where
+    F: Fn(&Tds) -> Result<crate::tds::QueryContext> + Sync,
+{
+    if working.is_empty() {
+        return Ok(Vec::new());
+    }
+    let partitions: Vec<Vec<StoredTuple>> = working
+        .chunks(params.chunk.max(1))
+        .map(|c| c.to_vec())
+        .collect();
+    let (_, results) =
+        parallel_partitions(tdss, n_workers, 0xf17e, partitions, move |tds, p, rng| {
+            let ctx = open(tds)?;
+            Ok(Out::Results(tds.finalize_groups(
+                &ctx,
+                p,
+                ResultDest::Querier,
+                rng,
+            )?))
+        })?;
+    querier.decrypt_results(&results)
+}
+
+/// Backwards-compatible alias for the S_Agg-only entry point.
+pub fn run_s_agg_threaded(
+    tdss: &[Tds],
+    querier: &Querier,
+    query: &Query,
+    params: &ProtocolParams,
+    n_workers: usize,
+) -> Result<Vec<Vec<Value>>> {
+    run_threaded(tdss, querier, query, params, n_workers)
+}

@@ -1,0 +1,360 @@
+//! The Supporting Server Infrastructure — powerful, highly available,
+//! **untrusted**.
+//!
+//! The SSI manages queryboxes, stores encrypted intermediate results and
+//! evaluates the cleartext SIZE clause. It is honest-but-curious: it follows
+//! the protocol faithfully but records everything it can see in an
+//! observation log, which the security tests and the exposure analysis mine
+//! for leaks. By construction this type holds only ciphertexts ([`bytes::Bytes`]
+//! blobs) and tags — there is no code path by which it could decrypt.
+
+use std::collections::BTreeMap;
+
+use bytes::Bytes;
+
+use crate::error::{ProtocolError, Result};
+use crate::message::{Observation, QueryEnvelope, StoredTuple};
+use crate::stats::Phase;
+
+/// Per-query server-side state.
+#[derive(Debug, Clone)]
+struct QueryState {
+    envelope: QueryEnvelope,
+    /// Covering Result of the collection phase.
+    collection: Vec<StoredTuple>,
+    /// Working set of the aggregation phase.
+    working: Vec<StoredTuple>,
+    /// Final `k1`-encrypted rows awaiting the querier.
+    results: Vec<Bytes>,
+    collection_closed: bool,
+}
+
+/// The untrusted supporting server.
+#[derive(Debug, Default)]
+pub struct Ssi {
+    next_query_id: u64,
+    queries: BTreeMap<u64, QueryState>,
+    /// Everything the SSI has observed, in arrival order.
+    pub observations: Vec<Observation>,
+    /// When enabled, every ciphertext that ever crossed the server is kept
+    /// verbatim — modelling an SSI that archives traffic hoping to decrypt
+    /// it later (e.g. after compromising a TDS). Used by the
+    /// [`crate::adversary`] analysis.
+    retain_blobs: bool,
+    retained: Vec<(u64, Phase, StoredTuple)>,
+    /// Named, k2-sealed blobs parked by TDSs for other TDSs — e.g. the
+    /// discovered distribution histogram that ED_Hist refreshes "from time
+    /// to time". Opaque to the SSI like everything else.
+    cache: BTreeMap<String, Bytes>,
+}
+
+impl Ssi {
+    /// Fresh server.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Start archiving every ciphertext (threat-model analysis).
+    pub fn enable_retention(&mut self) {
+        self.retain_blobs = true;
+    }
+
+    /// The archived traffic: (query id, phase, stored tuple).
+    pub fn retained(&self) -> &[(u64, Phase, StoredTuple)] {
+        &self.retained
+    }
+
+    fn retain(&mut self, query_id: u64, phase: Phase, tuples: &[StoredTuple]) {
+        if self.retain_blobs {
+            self.retained
+                .extend(tuples.iter().map(|t| (query_id, phase, t.clone())));
+        }
+    }
+
+    /// Post a query to the global querybox (step 1). Returns the query id.
+    pub fn post_query(&mut self, mut envelope: QueryEnvelope) -> u64 {
+        let id = self.next_query_id;
+        self.next_query_id += 1;
+        envelope.query_id = id;
+        self.queries.insert(
+            id,
+            QueryState {
+                envelope,
+                collection: Vec::new(),
+                working: Vec::new(),
+                results: Vec::new(),
+                collection_closed: false,
+            },
+        );
+        id
+    }
+
+    fn state(&self, query_id: u64) -> Result<&QueryState> {
+        self.queries
+            .get(&query_id)
+            .ok_or_else(|| ProtocolError::Protocol(format!("unknown query {query_id}")))
+    }
+
+    fn state_mut(&mut self, query_id: u64) -> Result<&mut QueryState> {
+        self.queries
+            .get_mut(&query_id)
+            .ok_or_else(|| ProtocolError::Protocol(format!("unknown query {query_id}")))
+    }
+
+    /// The posted envelope — what connecting TDSs download (step 2).
+    pub fn envelope(&self, query_id: u64) -> Result<&QueryEnvelope> {
+        Ok(&self.state(query_id)?.envelope)
+    }
+
+    /// Receive collection-phase tuples from a TDS (step 4 / 4').
+    pub fn receive_collection(&mut self, query_id: u64, tuples: Vec<StoredTuple>) -> Result<()> {
+        // Record observations first (split borrows via a local buffer).
+        let obs: Vec<Observation> = tuples
+            .iter()
+            .map(|t| Observation::of(query_id, Phase::Collection, t))
+            .collect();
+        self.retain(query_id, Phase::Collection, &tuples);
+        let st = self.state_mut(query_id)?;
+        if st.collection_closed {
+            // Late arrivals after SIZE closed the window are dropped; the
+            // paper's stream semantics end the window at SIZE.
+            return Ok(());
+        }
+        st.collection.extend(tuples);
+        self.observations.extend(obs);
+        Ok(())
+    }
+
+    /// Number of tuples collected so far (what the SIZE clause sees).
+    pub fn collection_count(&self, query_id: u64) -> Result<usize> {
+        Ok(self.state(query_id)?.collection.len())
+    }
+
+    /// Evaluate the SIZE tuple bound (the round bound is the runtime's job).
+    pub fn size_tuples_reached(&self, query_id: u64) -> Result<bool> {
+        let st = self.state(query_id)?;
+        match st.envelope.size.max_tuples {
+            Some(max) => Ok(st.collection.len() as u64 >= max),
+            None => Ok(false),
+        }
+    }
+
+    /// Close the collection window and move the Covering Result into the
+    /// working set for the aggregation/filtering phases.
+    pub fn close_collection(&mut self, query_id: u64) -> Result<()> {
+        let st = self.state_mut(query_id)?;
+        st.collection_closed = true;
+        st.working = std::mem::take(&mut st.collection);
+        Ok(())
+    }
+
+    /// Has the collection window been closed?
+    pub fn collection_closed(&self, query_id: u64) -> Result<bool> {
+        Ok(self.state(query_id)?.collection_closed)
+    }
+
+    /// Take the whole working set (the driver partitions it and hands the
+    /// partitions to connected TDSs).
+    pub fn take_working(&mut self, query_id: u64) -> Result<Vec<StoredTuple>> {
+        Ok(std::mem::take(&mut self.state_mut(query_id)?.working))
+    }
+
+    /// Store tuples back into the working set (step 8: partial aggregations
+    /// coming back from TDSs).
+    pub fn receive_working(
+        &mut self,
+        query_id: u64,
+        phase: Phase,
+        tuples: Vec<StoredTuple>,
+    ) -> Result<()> {
+        let obs: Vec<Observation> = tuples
+            .iter()
+            .map(|t| Observation::of(query_id, phase, t))
+            .collect();
+        self.retain(query_id, phase, &tuples);
+        let st = self.state_mut(query_id)?;
+        st.working.extend(tuples);
+        self.observations.extend(obs);
+        Ok(())
+    }
+
+    /// Current working-set size.
+    pub fn working_len(&self, query_id: u64) -> Result<usize> {
+        Ok(self.state(query_id)?.working.len())
+    }
+
+    /// Receive final `k1`-encrypted rows (step 12) and concatenate them into
+    /// the result area.
+    pub fn receive_results(&mut self, query_id: u64, rows: Vec<Bytes>) -> Result<()> {
+        let obs: Vec<Observation> = rows
+            .iter()
+            .map(|blob| {
+                Observation::of(
+                    query_id,
+                    Phase::Filtering,
+                    &StoredTuple {
+                        tag: crate::message::GroupTag::None,
+                        blob: blob.clone(),
+                    },
+                )
+            })
+            .collect();
+        let st = self.state_mut(query_id)?;
+        st.results.extend(rows);
+        self.observations.extend(obs);
+        Ok(())
+    }
+
+    /// Deliver the concatenated result to the querier (step 13).
+    pub fn results(&self, query_id: u64) -> Result<&[Bytes]> {
+        Ok(&self.state(query_id)?.results)
+    }
+
+    /// Park a named k2-sealed blob for later download by TDSs (histogram
+    /// cache and similar cross-query state).
+    pub fn put_cache(&mut self, name: &str, blob: Bytes) {
+        self.observations.push(Observation::of(
+            u64::MAX,
+            Phase::Collection,
+            &StoredTuple {
+                tag: crate::message::GroupTag::None,
+                blob: blob.clone(),
+            },
+        ));
+        self.cache.insert(name.to_string(), blob);
+    }
+
+    /// Fetch a parked blob.
+    pub fn get_cache(&self, name: &str) -> Option<&Bytes> {
+        self.cache.get(name)
+    }
+
+    /// Drop all server-side state for a finished query, reclaiming storage.
+    /// (The observation log — what the SSI "remembers" — is deliberately
+    /// retained: forgetting is not a security mechanism.)
+    pub fn purge_query(&mut self, query_id: u64) -> Result<()> {
+        self.queries
+            .remove(&query_id)
+            .map(|_| ())
+            .ok_or_else(|| ProtocolError::Protocol(format!("unknown query {query_id}")))
+    }
+
+    /// Number of queries with live server-side state.
+    pub fn live_queries(&self) -> usize {
+        self.queries.len()
+    }
+
+    /// Total bytes currently stored for a query (collection + working +
+    /// results) — feeds the Load_Q accounting.
+    pub fn stored_bytes(&self, query_id: u64) -> Result<u64> {
+        let st = self.state(query_id)?;
+        let sum = st
+            .collection
+            .iter()
+            .map(|t| t.blob.len() as u64)
+            .sum::<u64>()
+            + st.working.iter().map(|t| t.blob.len() as u64).sum::<u64>()
+            + st.results.iter().map(|b| b.len() as u64).sum::<u64>();
+        Ok(sum)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::GroupTag;
+    use crate::protocol::ProtocolKind;
+    use tdsql_crypto::credential::{CredentialSigner, Role};
+    use tdsql_sql::ast::SizeClause;
+
+    fn envelope() -> QueryEnvelope {
+        let signer = CredentialSigner::new(b"authority");
+        QueryEnvelope {
+            query_id: 0,
+            enc_query: Bytes::from_static(b"opaque"),
+            credential: signer.issue("q", Role::new("r"), u64::MAX),
+            size: SizeClause {
+                max_tuples: Some(2),
+                max_rounds: None,
+            },
+            protocol: ProtocolKind::SAgg,
+            target: crate::message::QueryTarget::Crowd,
+        }
+    }
+
+    fn tuple(b: u8) -> StoredTuple {
+        StoredTuple {
+            tag: GroupTag::None,
+            blob: Bytes::copy_from_slice(&[b; 4]),
+        }
+    }
+
+    #[test]
+    fn lifecycle() {
+        let mut ssi = Ssi::new();
+        let qid = ssi.post_query(envelope());
+        assert_eq!(ssi.envelope(qid).unwrap().query_id, qid);
+        assert!(!ssi.size_tuples_reached(qid).unwrap());
+
+        ssi.receive_collection(qid, vec![tuple(1)]).unwrap();
+        assert!(!ssi.size_tuples_reached(qid).unwrap());
+        ssi.receive_collection(qid, vec![tuple(2)]).unwrap();
+        assert!(ssi.size_tuples_reached(qid).unwrap());
+
+        ssi.close_collection(qid).unwrap();
+        assert!(ssi.collection_closed(qid).unwrap());
+        // Late tuples dropped.
+        ssi.receive_collection(qid, vec![tuple(3)]).unwrap();
+        assert_eq!(ssi.collection_count(qid).unwrap(), 0);
+        assert_eq!(ssi.working_len(qid).unwrap(), 2);
+
+        let working = ssi.take_working(qid).unwrap();
+        assert_eq!(working.len(), 2);
+        assert_eq!(ssi.working_len(qid).unwrap(), 0);
+
+        ssi.receive_results(qid, vec![Bytes::from_static(b"row")])
+            .unwrap();
+        assert_eq!(ssi.results(qid).unwrap().len(), 1);
+        // Observations: two collection tuples (the late one was dropped
+        // before being observed) plus one result row.
+        assert_eq!(ssi.observations.len(), 3);
+    }
+
+    #[test]
+    fn unknown_query_rejected() {
+        let ssi = Ssi::new();
+        assert!(ssi.envelope(42).is_err());
+        assert!(ssi.results(42).is_err());
+    }
+
+    #[test]
+    fn stored_bytes_accounting() {
+        let mut ssi = Ssi::new();
+        let qid = ssi.post_query(envelope());
+        ssi.receive_collection(qid, vec![tuple(1), tuple(2)])
+            .unwrap();
+        assert_eq!(ssi.stored_bytes(qid).unwrap(), 8);
+    }
+
+    #[test]
+    fn purge_reclaims_state_but_keeps_observations() {
+        let mut ssi = Ssi::new();
+        let qid = ssi.post_query(envelope());
+        ssi.receive_collection(qid, vec![tuple(1)]).unwrap();
+        let observed = ssi.observations.len();
+        assert_eq!(ssi.live_queries(), 1);
+        ssi.purge_query(qid).unwrap();
+        assert_eq!(ssi.live_queries(), 0);
+        assert!(ssi.envelope(qid).is_err());
+        assert_eq!(ssi.observations.len(), observed, "the SSI does not forget");
+        assert!(ssi.purge_query(qid).is_err());
+    }
+
+    #[test]
+    fn ids_are_unique() {
+        let mut ssi = Ssi::new();
+        let a = ssi.post_query(envelope());
+        let b = ssi.post_query(envelope());
+        assert_ne!(a, b);
+    }
+}

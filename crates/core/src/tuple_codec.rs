@@ -1,0 +1,364 @@
+//! Wire formats for everything TDSs encrypt and ship through the SSI.
+//!
+//! Four payload kinds travel during a query:
+//!
+//! * [`PlainTuple`] — a result row of a Select-From-Where query (collection
+//!   phase of the basic protocol), possibly a **dummy**;
+//! * [`AggInput`] — one input row of an aggregate query: the group key plus
+//!   one input value per aggregate slot, possibly a dummy or a noise-protocol
+//!   **fake**;
+//! * [`PartialAggBatch`] — a batch of (group key, partial states) pairs, the
+//!   unit of the iterative aggregation phase;
+//! * [`ResultRow`] — a final projected row, encrypted under `k1` for the
+//!   querier.
+//!
+//! All encodings support **padding**: dummy and fake tuples must be
+//! indistinguishable from true ones by size, so collection payloads are
+//! padded to a fixed per-query length before encryption.
+
+use tdsql_sql::aggregate::AggState;
+use tdsql_sql::value::{GroupKey, Value};
+
+use crate::error::{ProtocolError, Result};
+
+fn corrupt(msg: &str) -> ProtocolError {
+    ProtocolError::Codec(msg.to_string())
+}
+
+fn read_u8(buf: &[u8], pos: &mut usize) -> Result<u8> {
+    let b = *buf.get(*pos).ok_or_else(|| corrupt("unexpected end"))?;
+    *pos += 1;
+    Ok(b)
+}
+
+fn read_u16(buf: &[u8], pos: &mut usize) -> Result<u16> {
+    let s = buf
+        .get(*pos..*pos + 2)
+        .ok_or_else(|| corrupt("unexpected end"))?;
+    *pos += 2;
+    Ok(u16::from_be_bytes(s.try_into().unwrap()))
+}
+
+fn read_u32(buf: &[u8], pos: &mut usize) -> Result<u32> {
+    let s = buf
+        .get(*pos..*pos + 4)
+        .ok_or_else(|| corrupt("unexpected end"))?;
+    *pos += 4;
+    Ok(u32::from_be_bytes(s.try_into().unwrap()))
+}
+
+fn decode_values(buf: &[u8], pos: &mut usize, n: usize) -> Result<Vec<Value>> {
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        out.push(
+            Value::decode_canonical(buf, pos).map_err(|e| ProtocolError::Codec(e.to_string()))?,
+        );
+    }
+    Ok(out)
+}
+
+/// Pad `buf` with zero bytes up to `target` (no-op if already longer).
+/// Ciphertext length is the only thing the SSI can observe about a payload,
+/// so uniform padding is what makes dummies/fakes invisible.
+pub fn pad_to(buf: &mut Vec<u8>, target: usize) {
+    if buf.len() < target {
+        buf.resize(target, 0);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// PlainTuple
+// ---------------------------------------------------------------------------
+
+/// A (possibly dummy) result row of a Select-From-Where query.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlainTuple {
+    /// A real row.
+    Row(Vec<Value>),
+    /// A dummy sent to hide selectivity / access denial.
+    Dummy,
+}
+
+impl PlainTuple {
+    /// Encode, padding to `pad` bytes.
+    pub fn encode(&self, pad: usize) -> Vec<u8> {
+        let mut out = Vec::with_capacity(pad.max(16));
+        match self {
+            PlainTuple::Row(values) => {
+                out.push(0);
+                out.extend_from_slice(&(values.len() as u16).to_be_bytes());
+                for v in values {
+                    v.canonical_bytes(&mut out);
+                }
+            }
+            PlainTuple::Dummy => out.push(1),
+        }
+        pad_to(&mut out, pad);
+        out
+    }
+
+    /// Decode (padding is ignored).
+    pub fn decode(buf: &[u8]) -> Result<PlainTuple> {
+        let mut pos = 0;
+        match read_u8(buf, &mut pos)? {
+            0 => {
+                let n = read_u16(buf, &mut pos)? as usize;
+                Ok(PlainTuple::Row(decode_values(buf, &mut pos, n)?))
+            }
+            1 => Ok(PlainTuple::Dummy),
+            t => Err(corrupt(&format!("bad PlainTuple kind {t}"))),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// AggInput
+// ---------------------------------------------------------------------------
+
+/// One collection-phase tuple of an aggregate query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AggInput {
+    /// Grouping key (`A_G` values, canonically encoded).
+    pub key: GroupKey,
+    /// One input value per aggregate slot (`COUNT(*)` slots get a marker).
+    pub inputs: Vec<Value>,
+    /// Dummy/fake flag — set on dummies (empty result, access denied) and on
+    /// the fake tuples injected by the noise-based protocols. Invisible to
+    /// the SSI (it is under the encryption); TDSs filter on it.
+    pub fake: bool,
+}
+
+impl AggInput {
+    /// Encode, padding to `pad` bytes.
+    pub fn encode(&self, pad: usize) -> Vec<u8> {
+        let mut out = Vec::with_capacity(pad.max(32));
+        out.push(self.fake as u8);
+        out.extend_from_slice(&(self.key.0.len() as u32).to_be_bytes());
+        out.extend_from_slice(&self.key.0);
+        out.extend_from_slice(&(self.inputs.len() as u16).to_be_bytes());
+        for v in &self.inputs {
+            v.canonical_bytes(&mut out);
+        }
+        pad_to(&mut out, pad);
+        out
+    }
+
+    /// Decode (padding is ignored).
+    pub fn decode(buf: &[u8]) -> Result<AggInput> {
+        let mut pos = 0;
+        let fake = match read_u8(buf, &mut pos)? {
+            0 => false,
+            1 => true,
+            t => return Err(corrupt(&format!("bad AggInput flag {t}"))),
+        };
+        let key_len = read_u32(buf, &mut pos)? as usize;
+        let key_bytes = buf
+            .get(pos..pos + key_len)
+            .ok_or_else(|| corrupt("truncated group key"))?
+            .to_vec();
+        pos += key_len;
+        let n = read_u16(buf, &mut pos)? as usize;
+        let inputs = decode_values(buf, &mut pos, n)?;
+        Ok(AggInput {
+            key: GroupKey(key_bytes),
+            inputs,
+            fake,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// PartialAggBatch
+// ---------------------------------------------------------------------------
+
+/// A batch of per-group partial aggregations — what a TDS uploads after
+/// reducing one partition, and what it downloads in later iterations.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PartialAggBatch {
+    /// (group key, one partial state per aggregate slot).
+    pub entries: Vec<(GroupKey, Vec<AggState>)>,
+}
+
+impl PartialAggBatch {
+    /// Encode (no padding: batch sizes are already data-independent, they
+    /// depend only on the number of groups in the partition).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&(self.entries.len() as u32).to_be_bytes());
+        for (key, states) in &self.entries {
+            out.extend_from_slice(&(key.0.len() as u32).to_be_bytes());
+            out.extend_from_slice(&key.0);
+            out.extend_from_slice(&(states.len() as u16).to_be_bytes());
+            for st in states {
+                st.encode(&mut out);
+            }
+        }
+        out
+    }
+
+    /// Decode.
+    pub fn decode(buf: &[u8]) -> Result<PartialAggBatch> {
+        let mut pos = 0;
+        let n = read_u32(buf, &mut pos)? as usize;
+        let mut entries = Vec::with_capacity(n.min(1 << 20));
+        for _ in 0..n {
+            let key_len = read_u32(buf, &mut pos)? as usize;
+            let key_bytes = buf
+                .get(pos..pos + key_len)
+                .ok_or_else(|| corrupt("truncated group key"))?
+                .to_vec();
+            pos += key_len;
+            let n_states = read_u16(buf, &mut pos)? as usize;
+            let mut states = Vec::with_capacity(n_states);
+            for _ in 0..n_states {
+                states.push(
+                    AggState::decode(buf, &mut pos)
+                        .map_err(|e| ProtocolError::Codec(e.to_string()))?,
+                );
+            }
+            entries.push((GroupKey(key_bytes), states));
+        }
+        if pos != buf.len() {
+            return Err(corrupt("trailing bytes in PartialAggBatch"));
+        }
+        Ok(PartialAggBatch { entries })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// ResultRow
+// ---------------------------------------------------------------------------
+
+/// A final projected row, shipped to the querier under `k1`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResultRow(pub Vec<Value>);
+
+impl ResultRow {
+    /// Encode.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&(self.0.len() as u16).to_be_bytes());
+        for v in &self.0 {
+            v.canonical_bytes(&mut out);
+        }
+        out
+    }
+
+    /// Decode.
+    pub fn decode(buf: &[u8]) -> Result<ResultRow> {
+        let mut pos = 0;
+        let n = read_u16(buf, &mut pos)? as usize;
+        let values = decode_values(buf, &mut pos, n)?;
+        if pos != buf.len() {
+            return Err(corrupt("trailing bytes in ResultRow"));
+        }
+        Ok(ResultRow(values))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tdsql_sql::aggregate::AggSpec;
+    use tdsql_sql::ast::AggFunc;
+
+    #[test]
+    fn plain_tuple_roundtrip_and_padding() {
+        let t = PlainTuple::Row(vec![Value::Int(1), Value::Str("Memphis".into())]);
+        let enc = t.encode(64);
+        assert_eq!(enc.len(), 64);
+        assert_eq!(PlainTuple::decode(&enc).unwrap(), t);
+        let d = PlainTuple::Dummy;
+        let enc_d = d.encode(64);
+        assert_eq!(enc_d.len(), 64, "dummy and true tuples share a size");
+        assert_eq!(PlainTuple::decode(&enc_d).unwrap(), d);
+    }
+
+    #[test]
+    fn agg_input_roundtrip() {
+        let t = AggInput {
+            key: GroupKey::from_values(&[Value::Str("north".into())]),
+            inputs: vec![Value::Float(3.5), Value::Bool(true)],
+            fake: false,
+        };
+        let enc = t.encode(96);
+        assert_eq!(enc.len(), 96);
+        assert_eq!(AggInput::decode(&enc).unwrap(), t);
+
+        let f = AggInput {
+            key: t.key.clone(),
+            inputs: t.inputs.clone(),
+            fake: true,
+        };
+        assert!(AggInput::decode(&f.encode(96)).unwrap().fake);
+    }
+
+    #[test]
+    fn oversized_payload_survives_padding() {
+        let t = PlainTuple::Row(vec![Value::Str("x".repeat(200))]);
+        let enc = t.encode(64); // pad smaller than content
+        assert!(enc.len() > 64);
+        assert_eq!(PlainTuple::decode(&enc).unwrap(), t);
+    }
+
+    #[test]
+    fn partial_agg_batch_roundtrip() {
+        let spec = AggSpec {
+            func: AggFunc::Avg,
+            distinct: false,
+        };
+        let mut st = spec.init();
+        st.update(&Value::Int(5)).unwrap();
+        let batch = PartialAggBatch {
+            entries: vec![
+                (GroupKey::from_values(&[Value::Int(1)]), vec![st.clone()]),
+                (GroupKey::from_values(&[Value::Int(2)]), vec![st]),
+            ],
+        };
+        let enc = batch.encode();
+        assert_eq!(PartialAggBatch::decode(&enc).unwrap(), batch);
+    }
+
+    #[test]
+    fn result_row_roundtrip() {
+        let r = ResultRow(vec![Value::Str("north".into()), Value::Float(3.0)]);
+        assert_eq!(ResultRow::decode(&r.encode()).unwrap(), r);
+    }
+
+    #[test]
+    fn corrupt_payloads_rejected() {
+        assert!(PlainTuple::decode(&[]).is_err());
+        assert!(PlainTuple::decode(&[7]).is_err());
+        assert!(AggInput::decode(&[0, 0, 0, 0, 9]).is_err());
+        assert!(PartialAggBatch::decode(&[0, 0, 0, 1]).is_err());
+        assert!(ResultRow::decode(&[0, 1, 1]).is_err());
+        // Trailing garbage on unpadded formats is rejected.
+        let r = ResultRow(vec![Value::Int(1)]);
+        let mut enc = r.encode();
+        enc.push(0);
+        assert!(ResultRow::decode(&enc).is_err());
+    }
+
+    #[test]
+    fn equal_pad_means_equal_size() {
+        // True tuple vs dummy vs fake, all padded: identical ciphertext-input
+        // lengths (this is the indistinguishability requirement).
+        let pad = 128;
+        let a = AggInput {
+            key: GroupKey::from_values(&[Value::Int(3)]),
+            inputs: vec![Value::Float(1.0)],
+            fake: false,
+        }
+        .encode(pad);
+        let b = AggInput {
+            key: GroupKey::from_values(&[Value::Int(77)]),
+            inputs: vec![Value::Float(2.0)],
+            fake: true,
+        }
+        .encode(pad);
+        let c = PlainTuple::Dummy.encode(pad);
+        assert_eq!(a.len(), pad);
+        assert_eq!(b.len(), pad);
+        assert_eq!(c.len(), pad);
+    }
+}

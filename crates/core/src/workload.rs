@@ -1,0 +1,388 @@
+//! Synthetic workload generators for the paper's motivating scenarios.
+//!
+//! * [`smart_meters`] — the energy scenario of Section 2.3: every TDS is a
+//!   smart meter hosting its consumer record and power readings; districts
+//!   follow a uniform or Zipf distribution (skew is what the noise and
+//!   histogram protocols must hide).
+//! * [`health_survey`] — the PCEHR scenario: every TDS is a personal health
+//!   record, queried for epidemiological aggregates.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use tdsql_sql::engine::Database;
+use tdsql_sql::schema::{Catalog, Column, TableSchema};
+use tdsql_sql::value::{DataType, Value};
+
+/// District-assignment skew.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Skew {
+    /// Uniform assignment.
+    Uniform,
+    /// Zipf with the given exponent (1.0 is the classic web-like skew).
+    Zipf(f64),
+}
+
+/// Configuration for the smart-meter population.
+#[derive(Debug, Clone)]
+pub struct SmartMeterConfig {
+    /// Number of TDSs (meters).
+    pub n_tds: usize,
+    /// Number of districts (the G of the evaluation).
+    pub districts: usize,
+    /// District-assignment skew.
+    pub skew: Skew,
+    /// Power readings per meter.
+    pub readings_per_tds: usize,
+    /// Fraction of consumers living in a detached house.
+    pub detached_fraction: f64,
+    /// Generator seed.
+    pub seed: u64,
+}
+
+impl Default for SmartMeterConfig {
+    fn default() -> Self {
+        Self {
+            n_tds: 50,
+            districts: 5,
+            skew: Skew::Uniform,
+            readings_per_tds: 2,
+            detached_fraction: 0.6,
+            seed: 7,
+        }
+    }
+}
+
+/// The smart-meter common schema (`Consumer`, `Power`).
+pub fn smart_meter_catalog() -> Catalog {
+    let mut cat = Catalog::new();
+    cat.add_table(TableSchema::new(
+        "consumer",
+        vec![
+            Column::new("cid", DataType::Int),
+            Column::new("district", DataType::Str),
+            Column::new("accomodation", DataType::Str),
+        ],
+    ));
+    cat.add_table(TableSchema::new(
+        "power",
+        vec![
+            Column::new("cid", DataType::Int),
+            Column::new("cons", DataType::Float),
+            Column::new("period", DataType::Int),
+        ],
+    ));
+    cat
+}
+
+fn empty_db(catalog: &Catalog) -> Database {
+    let mut db = Database::new();
+    for t in catalog.tables() {
+        db.create_table(t.clone());
+    }
+    db
+}
+
+/// Sample a district index according to the skew.
+fn sample_district(cfg: &SmartMeterConfig, cdf: &[f64], rng: &mut StdRng) -> usize {
+    match cfg.skew {
+        Skew::Uniform => rng.gen_range(0..cfg.districts),
+        Skew::Zipf(_) => {
+            let x: f64 = rng.gen();
+            cdf.partition_point(|&p| p < x).min(cfg.districts - 1)
+        }
+    }
+}
+
+/// Generate the per-TDS databases plus the union database (the trusted
+/// reference oracle).
+pub fn smart_meters(cfg: &SmartMeterConfig) -> (Vec<Database>, Database) {
+    assert!(cfg.districts > 0 && cfg.n_tds > 0);
+    let catalog = smart_meter_catalog();
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+
+    // Zipf CDF over district ranks.
+    let cdf: Vec<f64> = match cfg.skew {
+        Skew::Uniform => Vec::new(),
+        Skew::Zipf(s) => {
+            let weights: Vec<f64> = (1..=cfg.districts)
+                .map(|k| 1.0 / (k as f64).powf(s))
+                .collect();
+            let total: f64 = weights.iter().sum();
+            let mut acc = 0.0;
+            weights
+                .iter()
+                .map(|w| {
+                    acc += w / total;
+                    acc
+                })
+                .collect()
+        }
+    };
+
+    let mut dbs = Vec::with_capacity(cfg.n_tds);
+    let mut union = empty_db(&catalog);
+    for cid in 0..cfg.n_tds {
+        let mut db = empty_db(&catalog);
+        let district = sample_district(cfg, &cdf, &mut rng);
+        let detached = rng.gen_bool(cfg.detached_fraction.clamp(0.0, 1.0));
+        let consumer_row = vec![
+            Value::Int(cid as i64),
+            Value::Str(format!("district-{district:04}")),
+            Value::Str(
+                if detached {
+                    "detached house"
+                } else {
+                    "apartment"
+                }
+                .into(),
+            ),
+        ];
+        db.insert("consumer", consumer_row.clone()).expect("schema");
+        union.insert("consumer", consumer_row).expect("schema");
+        // Consumption depends on the accommodation, with noise, so the
+        // per-group averages are meaningfully different.
+        let base = if detached { 12.0 } else { 5.0 };
+        for period in 0..cfg.readings_per_tds {
+            let cons = base + rng.gen_range(-2.0..2.0) + district as f64 * 0.25;
+            let power_row = vec![
+                Value::Int(cid as i64),
+                Value::Float(cons),
+                Value::Int(period as i64),
+            ];
+            db.insert("power", power_row.clone()).expect("schema");
+            union.insert("power", power_row).expect("schema");
+        }
+        dbs.push(db);
+    }
+    (dbs, union)
+}
+
+/// Configuration for the health-survey population.
+#[derive(Debug, Clone)]
+pub struct HealthConfig {
+    /// Number of TDSs (personal records).
+    pub n_tds: usize,
+    /// Cities in the survey.
+    pub cities: Vec<String>,
+    /// Probability of a flu diagnosis.
+    pub flu_rate: f64,
+    /// Generator seed.
+    pub seed: u64,
+}
+
+impl Default for HealthConfig {
+    fn default() -> Self {
+        Self {
+            n_tds: 40,
+            cities: vec!["Memphis".into(), "Nashville".into(), "Knoxville".into()],
+            flu_rate: 0.2,
+            seed: 11,
+        }
+    }
+}
+
+/// The health common schema.
+pub fn health_catalog() -> Catalog {
+    let mut cat = Catalog::new();
+    cat.add_table(TableSchema::new(
+        "health",
+        vec![
+            Column::new("pid", DataType::Int),
+            Column::new("age", DataType::Int),
+            Column::new("city", DataType::Str),
+            Column::new("flu", DataType::Bool),
+        ],
+    ));
+    cat
+}
+
+/// Generate per-TDS health records plus the union oracle.
+pub fn health_survey(cfg: &HealthConfig) -> (Vec<Database>, Database) {
+    assert!(cfg.n_tds > 0 && !cfg.cities.is_empty());
+    let catalog = health_catalog();
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut dbs = Vec::with_capacity(cfg.n_tds);
+    let mut union = empty_db(&catalog);
+    for pid in 0..cfg.n_tds {
+        let mut db = empty_db(&catalog);
+        let row = vec![
+            Value::Int(pid as i64),
+            Value::Int(rng.gen_range(0..100)),
+            Value::Str(cfg.cities[rng.gen_range(0..cfg.cities.len())].clone()),
+            Value::Bool(rng.gen_bool(cfg.flu_rate.clamp(0.0, 1.0))),
+        ];
+        db.insert("health", row.clone()).expect("schema");
+        union.insert("health", row).expect("schema");
+        dbs.push(db);
+    }
+    (dbs, union)
+}
+
+/// Configuration for the GPS-tracker population (the paper's car-insurance
+/// billing scenario: a tracker the driver cannot tamper with records trips;
+/// the insurer may only learn aggregates).
+#[derive(Debug, Clone)]
+pub struct GpsConfig {
+    /// Number of TDSs (vehicle trackers).
+    pub n_tds: usize,
+    /// Trips recorded per tracker.
+    pub trips_per_tds: usize,
+    /// Number of pricing zones.
+    pub zones: usize,
+    /// Probability a trip contains a speeding event.
+    pub speeding_rate: f64,
+    /// Generator seed.
+    pub seed: u64,
+}
+
+impl Default for GpsConfig {
+    fn default() -> Self {
+        Self {
+            n_tds: 50,
+            trips_per_tds: 3,
+            zones: 4,
+            speeding_rate: 0.15,
+            seed: 17,
+        }
+    }
+}
+
+/// The GPS common schema.
+pub fn gps_catalog() -> Catalog {
+    let mut cat = Catalog::new();
+    cat.add_table(TableSchema::new(
+        "trips",
+        vec![
+            Column::new("vid", DataType::Int),
+            Column::new("day", DataType::Int),
+            Column::new("km", DataType::Float),
+            Column::new("zone", DataType::Str),
+            Column::new("speeding", DataType::Bool),
+        ],
+    ));
+    cat
+}
+
+/// Generate per-tracker trip logs plus the union oracle.
+pub fn gps_traces(cfg: &GpsConfig) -> (Vec<Database>, Database) {
+    assert!(cfg.n_tds > 0 && cfg.zones > 0);
+    let catalog = gps_catalog();
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut dbs = Vec::with_capacity(cfg.n_tds);
+    let mut union = empty_db(&catalog);
+    for vid in 0..cfg.n_tds {
+        let mut db = empty_db(&catalog);
+        // Drivers favour a home zone; occasional trips elsewhere.
+        let home_zone = rng.gen_range(0..cfg.zones);
+        for day in 0..cfg.trips_per_tds {
+            let zone = if rng.gen_bool(0.8) {
+                home_zone
+            } else {
+                rng.gen_range(0..cfg.zones)
+            };
+            let row = vec![
+                Value::Int(vid as i64),
+                Value::Int(day as i64),
+                Value::Float(2.0 + rng.gen_range(0.0..48.0)),
+                Value::Str(format!("zone-{zone:02}")),
+                Value::Bool(rng.gen_bool(cfg.speeding_rate.clamp(0.0, 1.0))),
+            ];
+            db.insert("trips", row.clone()).expect("schema");
+            union.insert("trips", row).expect("schema");
+        }
+        dbs.push(db);
+    }
+    (dbs, union)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gps_traces_shape() {
+        let cfg = GpsConfig {
+            n_tds: 12,
+            trips_per_tds: 4,
+            ..Default::default()
+        };
+        let (dbs, union) = gps_traces(&cfg);
+        assert_eq!(dbs.len(), 12);
+        assert_eq!(union.table("trips").unwrap().len(), 48);
+        for db in &dbs {
+            assert_eq!(db.table("trips").unwrap().len(), 4);
+        }
+        // Home-zone bias: each vehicle's modal zone covers most trips.
+        let rows = dbs[0].table("trips").unwrap().rows();
+        let mut zones = std::collections::BTreeMap::new();
+        for r in rows {
+            *zones.entry(format!("{}", r[3])).or_insert(0usize) += 1;
+        }
+        assert!(*zones.values().max().unwrap() >= 2);
+    }
+
+    #[test]
+    fn smart_meters_union_matches_parts() {
+        let cfg = SmartMeterConfig {
+            n_tds: 20,
+            readings_per_tds: 3,
+            ..Default::default()
+        };
+        let (dbs, union) = smart_meters(&cfg);
+        assert_eq!(dbs.len(), 20);
+        let total_power: usize = dbs.iter().map(|d| d.table("power").unwrap().len()).sum();
+        assert_eq!(total_power, union.table("power").unwrap().len());
+        assert_eq!(total_power, 60);
+        assert_eq!(union.table("consumer").unwrap().len(), 20);
+    }
+
+    #[test]
+    fn zipf_skews_districts() {
+        let cfg = SmartMeterConfig {
+            n_tds: 2000,
+            districts: 10,
+            skew: Skew::Zipf(1.2),
+            readings_per_tds: 1,
+            ..Default::default()
+        };
+        let (_, union) = smart_meters(&cfg);
+        let mut counts = std::collections::BTreeMap::new();
+        for row in union.table("consumer").unwrap().rows() {
+            if let Value::Str(d) = &row[1] {
+                *counts.entry(d.clone()).or_insert(0usize) += 1;
+            }
+        }
+        let max = *counts.values().max().unwrap();
+        let min = *counts.values().min().unwrap();
+        assert!(
+            max > min * 3,
+            "Zipf must produce visible skew ({max} vs {min})"
+        );
+    }
+
+    #[test]
+    fn deterministic_generation() {
+        let cfg = SmartMeterConfig::default();
+        let (a, _) = smart_meters(&cfg);
+        let (b, _) = smart_meters(&cfg);
+        assert_eq!(
+            a[0].table("power").unwrap().rows(),
+            b[0].table("power").unwrap().rows()
+        );
+    }
+
+    #[test]
+    fn health_survey_shape() {
+        let cfg = HealthConfig {
+            n_tds: 15,
+            ..Default::default()
+        };
+        let (dbs, union) = health_survey(&cfg);
+        assert_eq!(dbs.len(), 15);
+        assert_eq!(union.table("health").unwrap().len(), 15);
+        for db in &dbs {
+            assert_eq!(db.table("health").unwrap().len(), 1);
+        }
+    }
+}

@@ -1,0 +1,67 @@
+//! System capacity: how many queries the infrastructure can sustain.
+//!
+//! Load_Q "reflects the scalability of the solution in terms of capacity of
+//! the system to manage a large set of queries in parallel" (Section 6.1).
+//! This module turns that into a number: the fleet's aggregate uplink
+//! bandwidth divided by one query's byte load gives the sustainable query
+//! throughput.
+
+use crate::device::DeviceProfile;
+use crate::params::{ModelParams, ProtocolModel};
+
+/// Queries per hour the connected fleet can sustain for a protocol, assuming
+/// the per-TDS link is the binding resource (it is: Fig. 9b shows transfer
+/// dominating compute by an order of magnitude).
+pub fn queries_per_hour(model: &dyn ProtocolModel, p: &ModelParams, device: &DeviceProfile) -> f64 {
+    let load_bytes = model.metrics(p).load_bytes;
+    if load_bytes <= 0.0 {
+        return f64::INFINITY;
+    }
+    let fleet_bytes_per_second = p.available_tds() * device.link_bps / 8.0;
+    fleet_bytes_per_second / load_bytes * 3600.0
+}
+
+/// Capacity table for the standard roster at one parameter point.
+pub fn capacity_table(p: &ModelParams, device: &DeviceProfile) -> Vec<(String, f64)> {
+    crate::sweep::roster()
+        .iter()
+        .map(|m| (m.name(), queries_per_hour(m.as_ref(), p, device)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::noise::NoiseModel;
+    use crate::s_agg::SAggModel;
+
+    #[test]
+    fn s_agg_sustains_orders_of_magnitude_more_queries_than_noise() {
+        let p = ModelParams::default();
+        let d = DeviceProfile::default();
+        let s_agg = queries_per_hour(&SAggModel, &p, &d);
+        let r1000 = queries_per_hour(&NoiseModel::r1000(), &p, &d);
+        assert!(
+            s_agg > 100.0 * r1000,
+            "S_Agg {s_agg:.0}/h vs R1000 {r1000:.0}/h"
+        );
+    }
+
+    #[test]
+    fn nation_scale_capacity_is_plausible() {
+        // 10⁶ meters, 10% connected, 7.9 Mbps each: the fleet moves ~100 GB/s,
+        // one S_Agg query costs ~28 MB → thousands of queries per second.
+        let p = ModelParams::default();
+        let d = DeviceProfile::default();
+        let s_agg = queries_per_hour(&SAggModel, &p, &d);
+        assert!(s_agg > 1e6, "{s_agg}");
+        assert!(s_agg.is_finite());
+    }
+
+    #[test]
+    fn table_covers_the_roster() {
+        let table = capacity_table(&ModelParams::default(), &DeviceProfile::default());
+        assert_eq!(table.len(), 5);
+        assert!(table.iter().all(|(_, q)| *q > 0.0));
+    }
+}

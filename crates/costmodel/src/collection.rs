@@ -1,0 +1,82 @@
+//! Collection-phase duration model.
+//!
+//! The paper treats collection time as application-dependent ("the time to
+//! collect the data is probably going to be quite large" for seldom-connected
+//! tokens) and keeps it out of T_Q. This module models it anyway, because the
+//! SIZE clause interacts with connectivity in a way worth quantifying:
+//! with a fraction `p` of the population connecting (independently) each
+//! round, coverage after `r` rounds is `1 − (1−p)^r`, so
+//!
+//! ```text
+//! rounds to collect a fraction q of Nt answers:  r(q) = ln(1−q) / ln(1−p)
+//! ```
+//!
+//! The round-based runtime samples exactly `p·Nt` distinct TDSs per round
+//! (without replacement within a round), which matches this independence
+//! model closely for small `p`; `tests/cost_model_consistency.rs` checks the
+//! simulator against these predictions.
+
+/// Expected rounds until a fraction `coverage` of the population has
+/// contributed, with a fraction `p` connecting each round.
+pub fn rounds_to_coverage(p: f64, coverage: f64) -> f64 {
+    assert!(
+        (0.0..=1.0).contains(&p) && p > 0.0,
+        "connectivity fraction in (0,1]"
+    );
+    assert!((0.0..1.0).contains(&coverage), "coverage in [0,1)");
+    if p >= 1.0 {
+        return 1.0;
+    }
+    ((1.0 - coverage).ln() / (1.0 - p).ln()).max(1.0)
+}
+
+/// Expected rounds for the SIZE clause to close the window: each TDS
+/// contributes one answer, so `SIZE n` over a population `nt` is coverage
+/// `n/nt`.
+pub fn rounds_to_size(p: f64, nt: u64, size_tuples: u64) -> f64 {
+    if size_tuples >= nt {
+        // Full coverage: the geometric tail never quite reaches 1; cap at
+        // the coupon-collector-like bound for practical purposes.
+        return rounds_to_coverage(p, 0.999);
+    }
+    rounds_to_coverage(p, size_tuples as f64 / nt as f64)
+}
+
+/// Expected number of distinct contributors after `rounds` rounds.
+pub fn expected_contributors(p: f64, nt: u64, rounds: u64) -> f64 {
+    nt as f64 * (1.0 - (1.0 - p).powi(rounds as i32))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_connectivity_collects_in_one_round() {
+        assert_eq!(rounds_to_coverage(1.0, 0.9), 1.0);
+        assert!(rounds_to_size(1.0, 1000, 500) <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn ten_percent_needs_about_seven_rounds_for_half() {
+        // 1 − 0.9^r = 0.5 → r = ln 0.5 / ln 0.9 ≈ 6.58.
+        let r = rounds_to_coverage(0.10, 0.5);
+        assert!((r - 6.58).abs() < 0.01, "{r}");
+    }
+
+    #[test]
+    fn coverage_is_monotone_in_rounds_and_p() {
+        assert!(expected_contributors(0.1, 1000, 5) < expected_contributors(0.1, 1000, 10));
+        assert!(expected_contributors(0.1, 1000, 5) < expected_contributors(0.3, 1000, 5));
+        // After many rounds, nearly everyone.
+        assert!(expected_contributors(0.1, 1000, 100) > 999.0 * 0.99);
+    }
+
+    #[test]
+    fn size_below_population_closes_early() {
+        let partial = rounds_to_size(0.2, 10_000, 1_000); // 10% coverage
+        let full = rounds_to_size(0.2, 10_000, 10_000);
+        assert!(partial < full);
+        assert!(partial >= 1.0);
+    }
+}

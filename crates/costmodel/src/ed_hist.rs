@@ -1,0 +1,130 @@
+//! ED_Hist analytical model (Section 6.1.3).
+//!
+//! Two aggregation steps: per-bucket partial aggregation (fan-in `n_ED`
+//! per bucket, each bucket holding `h` groups) then per-group combination
+//! (fan-in `m_ED`). Balancing the three per-TDS terms gives the cube-root
+//! optimum:
+//!
+//! ```text
+//! n_ED = (h·Nt/G)^(2/3),  m_ED = (h·Nt/G)^(1/3)
+//! T_Q(op) = (3·(h·Nt/G)^(1/3) + h + 2) · Tt
+//! P_TDS   = (n_ED/h + m_ED + 1) · G
+//! Load_Q  = (Nt + 2·n_ED·G + 2·m_ED·G + G) · st
+//! T_local = (Nt + n_ED·G + m_ED·G) · Tt / P_TDS
+//! ```
+
+use crate::optimum::ed_hist_factors;
+use crate::params::{waves, Metrics, ModelParams, ProtocolModel};
+
+/// The ED_Hist model.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EdHistModel;
+
+impl ProtocolModel for EdHistModel {
+    fn name(&self) -> String {
+        "ED_Hist".into()
+    }
+
+    fn metrics(&self, p: &ModelParams) -> Metrics {
+        let available = p.available_tds();
+        let (n_ed_opt, m_ed_opt) = ed_hist_factors(p.h, p.nt, p.g);
+        // Cap the fan-ins when the connected population is too small.
+        let buckets = (p.g / p.h).max(1.0);
+        let n_ed = n_ed_opt.min((available / buckets).max(1.0));
+        let m_ed = m_ed_opt.min((available / p.g).max(1.0));
+
+        let t_step1 = (p.h * p.nt / p.g) / n_ed; // tuples each step-1 TDS handles
+        let t_step2 = n_ed / m_ed; // partials each step-2 TDS merges
+        let t_step3 = m_ed; // partials the final TDS merges
+        let tq = (waves(n_ed * buckets, available) * (t_step1 + 1.0)
+            + waves(m_ed * p.g, available) * (t_step2 + 1.0)
+            + waves(p.g, available) * (t_step3 + 1.0))
+            * p.tt;
+
+        let ptds_wanted = (n_ed / p.h + m_ed + 1.0) * p.g;
+        let ptds = ptds_wanted.min(available);
+        let total_tuples = p.nt + 2.0 * n_ed * p.g / p.h + 2.0 * m_ed * p.g + p.g;
+        let load_bytes = total_tuples * p.st;
+        let tlocal = total_tuples * p.tt / ptds.max(1.0);
+        Metrics {
+            ptds,
+            load_bytes,
+            tq,
+            tlocal,
+        }
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::field_reassign_with_default)] // tests sweep one field at a time
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tq_matches_paper_scale_at_defaults() {
+        let p = ModelParams::default();
+        let m = EdHistModel.metrics(&p);
+        // Paper closed form: (3·(h·Nt/G)^(1/3) + h + 2)·Tt ≈ 0.93 ms at the
+        // defaults; Fig. 10e shows ED_Hist ≈ 10⁻³ s at G = 10³.
+        let x = (p.h * p.nt / p.g).cbrt();
+        let closed = (3.0 * x + p.h + 2.0) * p.tt;
+        assert!(
+            (m.tq - closed).abs() / closed < 0.5,
+            "model {} vs closed form {closed}",
+            m.tq
+        );
+        assert!(m.tq > 1e-4 && m.tq < 1e-2);
+    }
+
+    #[test]
+    fn much_faster_than_s_agg_at_large_g() {
+        use crate::s_agg::SAggModel;
+        let mut p = ModelParams::default();
+        p.g = 1e4;
+        let ed = EdHistModel.metrics(&p).tq;
+        let sa = SAggModel.metrics(&p).tq;
+        assert!(ed * 10.0 < sa, "ED {ed} vs S_Agg {sa}");
+    }
+
+    #[test]
+    fn s_agg_wins_at_small_g() {
+        use crate::s_agg::SAggModel;
+        let mut p = ModelParams::default();
+        p.g = 2.0;
+        // The crossover of Fig. 10e / Section 6.4: S_Agg outperforms ED_Hist
+        // for G smaller than ~10.
+        let ed = EdHistModel.metrics(&p).tq;
+        let sa = SAggModel.metrics(&p).tq;
+        assert!(sa < ed, "S_Agg {sa} vs ED {ed} at G=2");
+    }
+
+    #[test]
+    fn load_close_to_nt_st() {
+        let p = ModelParams::default();
+        let m = EdHistModel.metrics(&p);
+        assert!(m.load_bytes >= p.nt * p.st);
+        assert!(m.load_bytes < 3.0 * p.nt * p.st, "{}", m.load_bytes);
+    }
+
+    #[test]
+    fn tq_nearly_flat_in_nt() {
+        // Fig. 10f: parallelism absorbs Nt growth (cube-root dependence).
+        let mut p = ModelParams::default();
+        p.nt = 5e6;
+        let small = EdHistModel.metrics(&p).tq;
+        p.nt = 65e6;
+        let large = EdHistModel.metrics(&p).tq;
+        assert!(large / small < 4.0, "{small} → {large}");
+    }
+
+    #[test]
+    fn elastic_under_availability() {
+        let mut p = ModelParams::default();
+        p.g = 1e5;
+        p.availability = 0.01;
+        let scarce = EdHistModel.metrics(&p).tq;
+        p.availability = 1.0;
+        let abundant = EdHistModel.metrics(&p).tq;
+        assert!(scarce > abundant, "{scarce} vs {abundant}");
+    }
+}

@@ -1,0 +1,47 @@
+//! # tdsql-costmodel — analytical cost model of the querying protocols
+//!
+//! Implements Section 6.1 of the paper: closed-form expressions for the four
+//! metrics of interest —
+//!
+//! * **P_TDS** — TDSs participating in a query (parallelism),
+//! * **Load_Q** — global resource consumption in bytes (scalability),
+//! * **T_Q** — aggregation-phase response time (responsiveness),
+//! * **T_local** — average per-TDS time (feasibility),
+//!
+//! for `S_Agg`, the noise-based protocols and `ED_Hist`, together with the
+//! optimal reduction factors (α_op ≈ 3.6, n_NB = √((nf+1)·Nt/G), the
+//! cube-root factors of ED_Hist) and the hardware calibration of Section 6.2
+//! (120 MHz secure MCU, AES at 167 cycles/block, 7.9 Mbps link).
+//!
+//! The model mirrors the paper's equations; on top we add an explicit
+//! **availability cap**: a phase needing more TDSs than are connected runs
+//! in waves, which is how Fig. 10e/i/j (10%, 1%, 100% availability) differ.
+//!
+//! ```
+//! use tdsql_costmodel::s_agg::SAggModel;
+//! use tdsql_costmodel::ed_hist::EdHistModel;
+//! use tdsql_costmodel::{ModelParams, ProtocolModel};
+//!
+//! // The paper's setting: Nt = 10⁶ smart meters, G = 10³ districts.
+//! let p = ModelParams::default();
+//! let s_agg = SAggModel.metrics(&p);
+//! let ed = EdHistModel.metrics(&p);
+//! assert!(s_agg.tq > 100.0 * ed.tq, "ED_Hist dominates responsiveness at large G");
+//! assert!(s_agg.ptds < ed.ptds, "…but S_Agg mobilises far fewer TDSs");
+//! ```
+
+#![warn(missing_docs)]
+pub mod capacity;
+pub mod collection;
+pub mod device;
+pub mod ed_hist;
+pub mod noise;
+pub mod optimum;
+pub mod paper_formulas;
+pub mod params;
+pub mod ranking;
+pub mod s_agg;
+pub mod sweep;
+
+pub use device::DeviceProfile;
+pub use params::{Metrics, ModelParams, ProtocolModel};

@@ -1,0 +1,165 @@
+//! Noise-protocol analytical model (Section 6.1.2).
+//!
+//! The aggregation phase has two steps. Step 1 spreads each group's
+//! `(nf+1)·Nt/G` tuples over `n_NB` TDSs; step 2 merges the `n_NB` partials
+//! of each group on one TDS:
+//!
+//! ```text
+//! T_Q     = (n_NB + (nf+1)·Nt/(n_NB·G) + 2) · Tt      (optimal n_NB = √((nf+1)Nt/G))
+//! P_TDS   = (n_NB + 1) · G
+//! Load_Q  = ((nf+1)·Nt + 2·n_NB·G + G) · st
+//! T_local = total TDS work / P_TDS
+//! ```
+//!
+//! `C_Noise` is the same model with `nf = nd − 1` fakes per TDS, where `nd`
+//! is the grouping-domain cardinality (we take `nd = G`: every group value
+//! is a domain value).
+
+use crate::optimum::noise_n_nb;
+use crate::params::{waves, Metrics, ModelParams, ProtocolModel};
+
+/// The noise-protocol model.
+#[derive(Debug, Clone, Copy)]
+pub struct NoiseModel {
+    /// `Some(nf)` for `Rnf_Noise`; `None` for `C_Noise` (nf = nd − 1 = G − 1).
+    pub nf: Option<f64>,
+}
+
+impl NoiseModel {
+    /// `R2_Noise`.
+    pub fn r2() -> Self {
+        Self { nf: Some(2.0) }
+    }
+
+    /// `R1000_Noise`.
+    pub fn r1000() -> Self {
+        Self { nf: Some(1000.0) }
+    }
+
+    /// `C_Noise`.
+    pub fn controlled() -> Self {
+        Self { nf: None }
+    }
+
+    /// Effective nf at a parameter point.
+    pub fn effective_nf(&self, p: &ModelParams) -> f64 {
+        self.nf.unwrap_or((p.g - 1.0).max(0.0))
+    }
+}
+
+impl ProtocolModel for NoiseModel {
+    fn name(&self) -> String {
+        match self.nf {
+            Some(nf) => format!("R{}_Noise", nf as u64),
+            None => "C_Noise".into(),
+        }
+    }
+
+    fn metrics(&self, p: &ModelParams) -> Metrics {
+        let nf = self.effective_nf(p);
+        let available = p.available_tds();
+        let n_nb_opt = noise_n_nb(nf, p.nt, p.g);
+        // Parallelism cap: (n_NB+1)·G TDSs wanted; shrink n_NB if the
+        // connected population cannot host one TDS per (group, slice).
+        let n_nb = n_nb_opt.min((available / p.g - 1.0).max(1.0));
+        let ptds_wanted = (n_nb + 1.0) * p.g;
+        let step1_per_tds = (nf + 1.0) * p.nt / (n_nb * p.g);
+        let step2_per_tds = n_nb;
+        let tq = (waves(n_nb * p.g, available) * (step1_per_tds + 1.0)
+            + waves(p.g, available) * (step2_per_tds + 1.0))
+            * p.tt;
+        let ptds = ptds_wanted.min(available);
+        let total_work_tuples = (nf + 1.0) * p.nt + 2.0 * n_nb * p.g + p.g;
+        let load_bytes = total_work_tuples * p.st;
+        let tlocal = total_work_tuples * p.tt / ptds.max(1.0);
+        Metrics {
+            ptds,
+            load_bytes,
+            tq,
+            tlocal,
+        }
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::field_reassign_with_default)] // tests sweep one field at a time
+mod tests {
+    use super::*;
+
+    #[test]
+    fn r1000_tq_matches_paper_scale() {
+        let p = ModelParams::default();
+        let m = NoiseModel::r1000().metrics(&p);
+        // (n_NB + (nf+1)Nt/(n_NB·G) + 2)·Tt with n_NB ≈ 1000 → ≈ 0.032 s,
+        // matching Fig. 10e's R1000_Noise at G = 10³.
+        assert!(m.tq > 0.01 && m.tq < 0.2, "T_Q = {}", m.tq);
+    }
+
+    #[test]
+    fn load_dominated_by_fakes() {
+        let p = ModelParams::default();
+        let r2 = NoiseModel::r2().metrics(&p);
+        let r1000 = NoiseModel::r1000().metrics(&p);
+        assert!(r1000.load_bytes > 100.0 * r2.load_bytes);
+        // ≈ (nf+1)·Nt·st.
+        assert!((r1000.load_bytes / (1001.0 * p.nt * p.st) - 1.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn c_noise_nf_tracks_domain() {
+        let mut p = ModelParams::default();
+        let c = NoiseModel::controlled();
+        assert_eq!(c.effective_nf(&p), 999.0);
+        p.g = 10.0;
+        assert_eq!(c.effective_nf(&p), 9.0);
+    }
+
+    #[test]
+    fn load_constant_in_g_for_rnf() {
+        // Fig. 10c: noise-based Load_Q stays flat as G grows (nf depends
+        // only on Nt).
+        let mut p = ModelParams::default();
+        let at_1e2 = {
+            p.g = 1e2;
+            NoiseModel::r1000().metrics(&p).load_bytes
+        };
+        let at_1e5 = {
+            p.g = 1e5;
+            NoiseModel::r1000().metrics(&p).load_bytes
+        };
+        assert!((at_1e2 - at_1e5).abs() / at_1e2 < 0.05);
+    }
+
+    #[test]
+    fn tq_decreases_with_g() {
+        // Fig. 10e: per-group parallelism makes T_Q fall as G rises.
+        let mut p = ModelParams::default();
+        p.g = 10.0;
+        let small_g = NoiseModel::r2().metrics(&p).tq;
+        p.g = 1e5;
+        let large_g = NoiseModel::r2().metrics(&p).tq;
+        assert!(large_g < small_g, "{large_g} vs {small_g}");
+    }
+
+    #[test]
+    fn scarce_availability_slows_noise() {
+        // Fig. 10i vs 10j.
+        let mut p = ModelParams::default();
+        p.availability = 0.01;
+        let scarce = NoiseModel::r1000().metrics(&p).tq;
+        p.availability = 1.0;
+        let abundant = NoiseModel::r1000().metrics(&p).tq;
+        assert!(scarce > abundant, "{scarce} vs {abundant}");
+    }
+
+    #[test]
+    fn tlocal_grows_with_nt_under_bounded_availability() {
+        // Fig. 10h: the fake-tuple load outpaces the bounded parallelism.
+        let mut p = ModelParams::default();
+        p.nt = 5e6;
+        let small = NoiseModel::r1000().metrics(&p).tlocal;
+        p.nt = 65e6;
+        let large = NoiseModel::r1000().metrics(&p).tlocal;
+        assert!(large >= small * 0.99, "{large} vs {small}");
+    }
+}

@@ -1,0 +1,100 @@
+//! Model parameters and the protocol-model interface.
+
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the analytical model (Section 6.1 notation).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ModelParams {
+    /// `Nt` — total number of encrypted tuples sent to the SSI (one per
+    /// participating TDS in the model).
+    pub nt: f64,
+    /// `G` — number of groups.
+    pub g: f64,
+    /// `st` — size of an encrypted tuple, bytes.
+    pub st: f64,
+    /// `Tt` — per-tuple TDS processing time (transfer + crypto +
+    /// aggregation), seconds.
+    pub tt: f64,
+    /// Fraction of the collection population available for the aggregation /
+    /// filtering phases (the experiments use 1%, 10%, 100%).
+    pub availability: f64,
+    /// `h` — average number of groups per hash value in ED_Hist.
+    pub h: f64,
+    /// `α` — S_Agg reduction factor.
+    pub alpha: f64,
+}
+
+impl Default for ModelParams {
+    /// The paper's fixed setting: Nt = 10⁶, G = 10³, st = 16 B, Tt = 16 µs,
+    /// h = 5, 10% availability, α at its optimum.
+    fn default() -> Self {
+        Self {
+            nt: 1e6,
+            g: 1e3,
+            st: 16.0,
+            tt: 16e-6,
+            availability: 0.10,
+            h: 5.0,
+            alpha: crate::optimum::ALPHA_OPT,
+        }
+    }
+}
+
+impl ModelParams {
+    /// Number of TDSs available to the aggregation/filtering phases.
+    pub fn available_tds(&self) -> f64 {
+        (self.nt * self.availability).max(1.0)
+    }
+}
+
+/// The four metrics of Section 6.1 for one protocol at one parameter point.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Metrics {
+    /// P_TDS — participating TDSs.
+    pub ptds: f64,
+    /// Load_Q — bytes processed system-wide.
+    pub load_bytes: f64,
+    /// T_Q — aggregation-phase response time, seconds.
+    pub tq: f64,
+    /// T_local — average per-TDS compute time, seconds.
+    pub tlocal: f64,
+}
+
+/// A protocol's analytical model.
+pub trait ProtocolModel {
+    /// Display name matching the paper's figures.
+    fn name(&self) -> String;
+    /// Evaluate the metrics at a parameter point.
+    fn metrics(&self, p: &ModelParams) -> Metrics;
+}
+
+/// The wave factor: how many sequential waves a phase needs when it wants
+/// `needed` TDSs but only `available` are connected.
+pub(crate) fn waves(needed: f64, available: f64) -> f64 {
+    (needed / available.max(1.0)).max(1.0).ceil()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let p = ModelParams::default();
+        assert_eq!(p.nt, 1e6);
+        assert_eq!(p.g, 1e3);
+        assert_eq!(p.st, 16.0);
+        assert_eq!(p.tt, 16e-6);
+        assert_eq!(p.h, 5.0);
+        assert!((p.availability - 0.1).abs() < 1e-12);
+        assert_eq!(p.available_tds(), 1e5);
+    }
+
+    #[test]
+    fn wave_factor() {
+        assert_eq!(waves(100.0, 1000.0), 1.0);
+        assert_eq!(waves(1000.0, 1000.0), 1.0);
+        assert_eq!(waves(1001.0, 1000.0), 2.0);
+        assert_eq!(waves(5000.0, 1000.0), 5.0);
+    }
+}

@@ -1,0 +1,209 @@
+//! The qualitative comparison of Fig. 11: six axes, protocols ordered from
+//! worst to best, derived from the model (and, for confidentiality, from the
+//! exposure analysis of Section 5).
+
+use serde::{Deserialize, Serialize};
+
+use crate::ed_hist::EdHistModel;
+use crate::noise::NoiseModel;
+use crate::params::{ModelParams, ProtocolModel};
+use crate::s_agg::SAggModel;
+
+/// One comparison axis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Axis {
+    /// Feasibility / local resource consumption (T_local).
+    LocalResource,
+    /// Responsiveness at large G (T_Q at G = 10⁴).
+    ResponsivenessLargeG,
+    /// Responsiveness at small G (T_Q at G = 2).
+    ResponsivenessSmallG,
+    /// Global resource consumption (Load_Q).
+    GlobalResource,
+    /// Confidentiality (exposure coefficient ε, Section 5).
+    Confidentiality,
+    /// Elasticity (T_Q speed-up from 1% → 100% availability).
+    Elasticity,
+}
+
+impl Axis {
+    /// All axes in Fig. 11 order.
+    pub const ALL: [Axis; 6] = [
+        Axis::LocalResource,
+        Axis::ResponsivenessLargeG,
+        Axis::ResponsivenessSmallG,
+        Axis::GlobalResource,
+        Axis::Confidentiality,
+        Axis::Elasticity,
+    ];
+
+    /// Display label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Axis::LocalResource => "Feasibility, Local Resource Consumption",
+            Axis::ResponsivenessLargeG => "Responsiveness (large G)",
+            Axis::ResponsivenessSmallG => "Responsiveness (small G)",
+            Axis::GlobalResource => "Global Resource Consumption",
+            Axis::Confidentiality => "Confidentiality",
+            Axis::Elasticity => "Elasticity",
+        }
+    }
+}
+
+/// A worst→best ordering on one axis.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AxisRanking {
+    /// The axis.
+    pub axis: Axis,
+    /// Protocol names, worst first.
+    pub worst_to_best: Vec<String>,
+}
+
+fn rank_by<F: Fn(&dyn ProtocolModel) -> f64>(score_worst_high: F) -> Vec<String> {
+    let models: Vec<Box<dyn ProtocolModel>> = vec![
+        Box::new(SAggModel),
+        Box::new(NoiseModel::r2()),
+        Box::new(NoiseModel::r1000()),
+        Box::new(NoiseModel::controlled()),
+        Box::new(EdHistModel),
+    ];
+    let mut scored: Vec<(f64, String)> = models
+        .iter()
+        .map(|m| (score_worst_high(m.as_ref()), m.name()))
+        .collect();
+    // Worst (highest score) first.
+    scored.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap());
+    scored.into_iter().map(|(_, n)| n).collect()
+}
+
+/// Compute the Fig. 11 comparison from the model.
+pub fn fig11() -> Vec<AxisRanking> {
+    let defaults = ModelParams::default();
+    Axis::ALL
+        .iter()
+        .map(|&axis| {
+            let worst_to_best = match axis {
+                Axis::LocalResource => rank_by(|m| m.metrics(&defaults).tlocal),
+                Axis::ResponsivenessLargeG => {
+                    rank_by(|m| m.metrics(&ModelParams { g: 1e4, ..defaults }).tq)
+                }
+                Axis::ResponsivenessSmallG => {
+                    rank_by(|m| m.metrics(&ModelParams { g: 2.0, ..defaults }).tq)
+                }
+                Axis::GlobalResource => rank_by(|m| {
+                    // Section 6.4 ranks this axis by the system's capacity to
+                    // run many queries in parallel: both the bytes moved and
+                    // the TDSs mobilised count (S_Agg wins because it
+                    // mobilises hundreds of TDSs where ED_Hist needs tens of
+                    // thousands).
+                    let met = m.metrics(&defaults);
+                    met.load_bytes * met.ptds
+                }),
+                Axis::Confidentiality => {
+                    // From Section 5: S_Agg is maximally confidential;
+                    // noise-based and ED_Hist are tied below it (they only
+                    // reach the floor at high nf / high collision factor).
+                    vec![
+                        "R2_Noise".into(),
+                        "ED_Hist".into(),
+                        "R1000_Noise".into(),
+                        "C_Noise".into(),
+                        "S_Agg".into(),
+                    ]
+                }
+                Axis::Elasticity => rank_by(|m| {
+                    // Inelastic = no speed-up from added resources → low
+                    // ratio. Worst (score high) = smallest speed-up, so
+                    // invert the ratio.
+                    let scarce = m
+                        .metrics(&ModelParams {
+                            g: 1e4,
+                            availability: 0.01,
+                            ..defaults
+                        })
+                        .tq;
+                    let abundant = m
+                        .metrics(&ModelParams {
+                            g: 1e4,
+                            availability: 1.0,
+                            ..defaults
+                        })
+                        .tq;
+                    abundant / scarce
+                }),
+            };
+            AxisRanking {
+                axis,
+                worst_to_best,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ranking(axis: Axis) -> Vec<String> {
+        fig11()
+            .into_iter()
+            .find(|r| r.axis == axis)
+            .unwrap()
+            .worst_to_best
+    }
+
+    #[test]
+    fn s_agg_worst_locally_best_globally() {
+        // Fig. 11 puts S_Agg and R1000_Noise together at the worst end of
+        // the local-resource axis and ED_Hist at the best end; S_Agg tops
+        // the global-resource axis.
+        let local = ranking(Axis::LocalResource);
+        assert!(local[..3].iter().any(|p| p == "S_Agg"), "{local:?}");
+        assert!(local[..3].iter().any(|p| p == "R1000_Noise"), "{local:?}");
+        assert_eq!(local.last().map(String::as_str), Some("ED_Hist"));
+        let global = ranking(Axis::GlobalResource);
+        assert_eq!(global.last().map(String::as_str), Some("S_Agg"));
+    }
+
+    #[test]
+    fn responsiveness_flips_with_g() {
+        let large = ranking(Axis::ResponsivenessLargeG);
+        assert_eq!(
+            large.first().map(String::as_str),
+            Some("S_Agg"),
+            "worst at large G"
+        );
+        assert_eq!(
+            large.last().map(String::as_str),
+            Some("ED_Hist"),
+            "best at large G"
+        );
+        let small = ranking(Axis::ResponsivenessSmallG);
+        assert_eq!(
+            small.last().map(String::as_str),
+            Some("S_Agg"),
+            "best at small G"
+        );
+    }
+
+    #[test]
+    fn s_agg_least_elastic_and_most_confidential() {
+        let elasticity = ranking(Axis::Elasticity);
+        assert_eq!(elasticity.first().map(String::as_str), Some("S_Agg"));
+        let conf = ranking(Axis::Confidentiality);
+        assert_eq!(conf.last().map(String::as_str), Some("S_Agg"));
+    }
+
+    #[test]
+    fn noise_global_load_is_worst() {
+        let global = ranking(Axis::GlobalResource);
+        assert!(global[0].contains("Noise"), "{global:?}");
+    }
+
+    #[test]
+    fn every_axis_ranks_all_five() {
+        for r in fig11() {
+            assert_eq!(r.worst_to_best.len(), 5, "{:?}", r.axis);
+        }
+    }
+}

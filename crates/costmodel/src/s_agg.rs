@@ -1,0 +1,179 @@
+//! S_Agg analytical model (Section 6.1.1).
+//!
+//! The aggregation phase runs `n = log_α(Nt/G)` iterations; iteration `i`
+//! mobilises `N_i = (Nt/G)·α^{-i}` TDSs, each processing α·G partial-
+//! aggregate entries and emitting G. Hence
+//!
+//! ```text
+//! T_Q     = (α+1) · log_α(Nt/G) · G · Tt
+//! P_TDS   = (Nt/G) · Σ α^{-i}
+//! Load_Q  = (1 + 2·Σ α^{-i}) · Nt · st
+//! T_local = (Nt + α·G·Σ_{i≥2} N_i) · Tt / P_TDS
+//! ```
+//!
+//! Availability: iteration `i` needs `N_i` TDSs; when fewer are connected it
+//! runs in waves. With the paper's settings `N_1 = Nt/(α·G) ≈ 250 ≪ 10%·Nt`,
+//! so S_Agg is essentially insensitive to availability — its (lack of)
+//! elasticity in Fig. 10e/i/j.
+
+use crate::params::{waves, Metrics, ModelParams, ProtocolModel};
+
+/// The S_Agg model.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SAggModel;
+
+impl SAggModel {
+    /// Number of aggregation iterations `n = ⌈log_α(Nt/G)⌉ ≥ 1`.
+    pub fn iterations(p: &ModelParams) -> u32 {
+        let ratio = (p.nt / p.g).max(p.alpha);
+        ratio.log(p.alpha).ceil().max(1.0) as u32
+    }
+
+    /// TDSs mobilised at iteration `i` (1-based): `(Nt/G)·α^{-i}`, at least 1.
+    pub fn tds_at_step(p: &ModelParams, i: u32) -> f64 {
+        ((p.nt / p.g) * p.alpha.powi(-(i as i32))).max(1.0)
+    }
+}
+
+impl ProtocolModel for SAggModel {
+    fn name(&self) -> String {
+        "S_Agg".into()
+    }
+
+    fn metrics(&self, p: &ModelParams) -> Metrics {
+        let n = Self::iterations(p);
+        let available = p.available_tds();
+
+        let mut ptds = 0.0;
+        let mut tq = 0.0;
+        let mut later_inputs = 0.0; // α·G·Σ_{i≥2} N_i
+        for i in 1..=n {
+            let n_i = Self::tds_at_step(p, i);
+            ptds += n_i;
+            // Each wave of iteration i costs (α+1)·G·Tt (download αG entries,
+            // upload G).
+            tq += waves(n_i, available) * (p.alpha + 1.0) * p.g * p.tt;
+            if i >= 2 {
+                later_inputs += p.alpha * p.g * n_i;
+            }
+        }
+        let sum_ainv: f64 = (1..=n).map(|i| p.alpha.powi(-(i as i32))).sum();
+        let load_bytes = (1.0 + 2.0 * sum_ainv) * p.nt * p.st;
+        let tlocal = (p.nt + later_inputs) * p.tt / ptds.max(1.0);
+        Metrics {
+            ptds,
+            load_bytes,
+            tq,
+            tlocal,
+        }
+    }
+}
+
+impl SAggModel {
+    /// RAM-limit ablation (Section 4.2's correctness caveat): every TDS must
+    /// hold a partial-aggregate structure of `G` entries. When `G` exceeds
+    /// `ram_groups`, the overflow fraction of every access pays
+    /// `swap_penalty`× the in-RAM per-tuple cost (swapping to NAND). Returns
+    /// the metrics with the inflated T_Q / T_local.
+    pub fn metrics_with_ram(&self, p: &ModelParams, ram_groups: f64, swap_penalty: f64) -> Metrics {
+        let base = self.metrics(p);
+        let overflow = ((p.g - ram_groups) / p.g).clamp(0.0, 1.0);
+        let factor = 1.0 + overflow * (swap_penalty - 1.0).max(0.0);
+        Metrics {
+            tq: base.tq * factor,
+            tlocal: base.tlocal * factor,
+            ..base
+        }
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::field_reassign_with_default)] // tests sweep one field at a time
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_closed_form_at_paper_defaults() {
+        let p = ModelParams::default();
+        let m = SAggModel.metrics(&p);
+        // n = log_3.59(1000) = 5.4 → 6 iterations; T_Q = n(α+1)G·Tt.
+        let n = SAggModel::iterations(&p);
+        assert_eq!(n, 6);
+        let expected_tq = n as f64 * (p.alpha + 1.0) * p.g * p.tt;
+        assert!((m.tq - expected_tq).abs() / expected_tq < 1e-9, "{}", m.tq);
+        // Fig. 10e shows S_Agg ≈ 0.4 s at G = 10³.
+        assert!(m.tq > 0.2 && m.tq < 0.8, "T_Q = {}", m.tq);
+    }
+
+    #[test]
+    fn ptds_is_geometric_sum() {
+        let p = ModelParams::default();
+        let m = SAggModel.metrics(&p);
+        // Σ N_i ≈ (Nt/G)/(α−1) = 1000/2.59 ≈ 386.
+        assert!(m.ptds > 300.0 && m.ptds < 500.0, "P_TDS = {}", m.ptds);
+    }
+
+    #[test]
+    fn load_close_to_nt_st() {
+        let p = ModelParams::default();
+        let m = SAggModel.metrics(&p);
+        // (1 + 2Σα^{-i}) ∈ (1, 1.8): load is a small multiple of Nt·st.
+        assert!(m.load_bytes > p.nt * p.st);
+        assert!(m.load_bytes < 2.0 * p.nt * p.st);
+    }
+
+    #[test]
+    fn tq_grows_with_g() {
+        let mut p = ModelParams::default();
+        let small = SAggModel.metrics(&p).tq;
+        p.g = 1e5;
+        let large = SAggModel.metrics(&p).tq;
+        assert!(large > small, "S_Agg responsiveness degrades with G");
+    }
+
+    #[test]
+    fn insensitive_to_availability_at_defaults() {
+        let mut p = ModelParams::default();
+        p.availability = 0.01;
+        let scarce = SAggModel.metrics(&p).tq;
+        p.availability = 1.0;
+        let abundant = SAggModel.metrics(&p).tq;
+        assert!(
+            (scarce - abundant).abs() / abundant < 1e-9,
+            "S_Agg's parallelism never exceeds 1% of Nt at the defaults"
+        );
+    }
+
+    #[test]
+    fn ram_ablation_kicks_in_beyond_the_limit() {
+        // 64 KB RAM at ~32 B per partial-aggregate entry ≈ 2 000 groups.
+        let ram_groups = 2_000.0;
+        let swap = 20.0; // NAND write ≫ RAM access
+        let mut p = ModelParams::default();
+        p.g = 1e3; // fits
+        let fits = SAggModel.metrics_with_ram(&p, ram_groups, swap);
+        assert!((fits.tq - SAggModel.metrics(&p).tq).abs() < 1e-12);
+        p.g = 1e5; // 98% overflow
+        let thrashes = SAggModel.metrics_with_ram(&p, ram_groups, swap);
+        let base = SAggModel.metrics(&p);
+        assert!(
+            thrashes.tq > 15.0 * base.tq,
+            "swapping must dominate: {} vs {}",
+            thrashes.tq,
+            base.tq
+        );
+        assert_eq!(
+            thrashes.load_bytes, base.load_bytes,
+            "bytes unchanged, time inflated"
+        );
+    }
+
+    #[test]
+    fn tq_grows_with_nt() {
+        let mut p = ModelParams::default();
+        let small = SAggModel.metrics(&p).tq;
+        p.nt = 65e6;
+        let large = SAggModel.metrics(&p).tq;
+        assert!(large > small, "more iterations at larger Nt");
+    }
+}

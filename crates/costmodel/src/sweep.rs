@@ -1,0 +1,239 @@
+//! Parameter sweeps regenerating every sub-figure of Fig. 10.
+//!
+//! Each sweep evaluates the five plotted protocols — S_Agg, R2_Noise,
+//! R1000_Noise, C_Noise, ED_Hist — over the paper's x-axes:
+//! G ∈ {1, 10, …, 10⁶} at Nt = 10⁶, or Nt ∈ {5M, …, 65M} at G = 10³,
+//! under 1% / 10% / 100% availability.
+
+use serde::{Deserialize, Serialize};
+
+use crate::ed_hist::EdHistModel;
+use crate::noise::NoiseModel;
+use crate::params::{Metrics, ModelParams, ProtocolModel};
+use crate::s_agg::SAggModel;
+
+/// Which metric a figure plots.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Metric {
+    /// P_TDS (Fig. 10a/b).
+    Ptds,
+    /// Load_Q in bytes (Fig. 10c/d).
+    LoadQ,
+    /// T_Q in seconds (Fig. 10e/f/i/j).
+    Tq,
+    /// T_local in seconds (Fig. 10g/h).
+    Tlocal,
+}
+
+impl Metric {
+    /// Extract the metric from a [`Metrics`] record.
+    pub fn of(&self, m: &Metrics) -> f64 {
+        match self {
+            Metric::Ptds => m.ptds,
+            Metric::LoadQ => m.load_bytes,
+            Metric::Tq => m.tq,
+            Metric::Tlocal => m.tlocal,
+        }
+    }
+}
+
+/// The protocol roster every figure plots.
+pub fn roster() -> Vec<Box<dyn ProtocolModel>> {
+    vec![
+        Box::new(SAggModel),
+        Box::new(NoiseModel::r2()),
+        Box::new(NoiseModel::r1000()),
+        Box::new(NoiseModel::controlled()),
+        Box::new(EdHistModel),
+    ]
+}
+
+/// One x-point of a figure: the x value plus one y per protocol (ordered as
+/// [`roster`]).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SweepPoint {
+    /// X-axis value (G or Nt).
+    pub x: f64,
+    /// Y values, one per roster protocol.
+    pub y: Vec<f64>,
+}
+
+/// A whole figure.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Figure {
+    /// Identifier ("10a" … "10j").
+    pub id: String,
+    /// Human title.
+    pub title: String,
+    /// X-axis label.
+    pub x_label: String,
+    /// Protocol names (column headers).
+    pub protocols: Vec<String>,
+    /// The series.
+    pub points: Vec<SweepPoint>,
+}
+
+/// The paper's G axis: 10⁰ … 10⁶.
+pub fn g_axis() -> Vec<f64> {
+    (0..=6).map(|e| 10f64.powi(e)).collect()
+}
+
+/// The paper's Nt axis: 5M … 65M.
+pub fn nt_axis() -> Vec<f64> {
+    (0..=6).map(|i| (5 + 10 * i) as f64 * 1e6).collect()
+}
+
+fn sweep(
+    id: &str,
+    title: &str,
+    x_label: &str,
+    xs: &[f64],
+    metric: Metric,
+    make_params: impl Fn(f64) -> ModelParams,
+) -> Figure {
+    let models = roster();
+    let protocols = models.iter().map(|m| m.name()).collect();
+    let points = xs
+        .iter()
+        .map(|&x| {
+            let p = make_params(x);
+            SweepPoint {
+                x,
+                y: models.iter().map(|m| metric.of(&m.metrics(&p))).collect(),
+            }
+        })
+        .collect();
+    Figure {
+        id: id.into(),
+        title: title.into(),
+        x_label: x_label.into(),
+        protocols,
+        points,
+    }
+}
+
+/// Build any of the ten sub-figures of Fig. 10.
+pub fn figure(id: &str) -> Option<Figure> {
+    let vary_g = |metric: Metric, availability: f64, fid: &str, title: &str| {
+        sweep(fid, title, "G", &g_axis(), metric, move |g| ModelParams {
+            g,
+            availability,
+            ..ModelParams::default()
+        })
+    };
+    let vary_nt = |metric: Metric, fid: &str, title: &str| {
+        sweep(fid, title, "Nt", &nt_axis(), metric, move |nt| {
+            ModelParams {
+                nt,
+                ..ModelParams::default()
+            }
+        })
+    };
+    Some(match id {
+        "10a" => vary_g(Metric::Ptds, 0.10, "10a", "P_TDS vs G"),
+        "10b" => vary_nt(Metric::Ptds, "10b", "P_TDS vs Nt"),
+        "10c" => vary_g(Metric::LoadQ, 0.10, "10c", "Load_Q vs G"),
+        "10d" => vary_nt(Metric::LoadQ, "10d", "Load_Q vs Nt"),
+        "10e" => vary_g(Metric::Tq, 0.10, "10e", "T_Q vs G (10% available)"),
+        "10f" => vary_nt(Metric::Tq, "10f", "T_Q vs Nt"),
+        "10g" => vary_g(Metric::Tlocal, 0.10, "10g", "T_local vs G"),
+        "10h" => vary_nt(Metric::Tlocal, "10h", "T_local vs Nt"),
+        "10i" => vary_g(Metric::Tq, 0.01, "10i", "T_Q vs G (1% available)"),
+        "10j" => vary_g(Metric::Tq, 1.00, "10j", "T_Q vs G (100% available)"),
+        _ => return None,
+    })
+}
+
+/// All ten sub-figures.
+pub fn all_figures() -> Vec<Figure> {
+    [
+        "10a", "10b", "10c", "10d", "10e", "10f", "10g", "10h", "10i", "10j",
+    ]
+    .iter()
+    .map(|id| figure(id).expect("known figure"))
+    .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn col(fig: &Figure, proto: &str) -> Vec<f64> {
+        let idx = fig.protocols.iter().position(|p| p == proto).unwrap();
+        fig.points.iter().map(|pt| pt.y[idx]).collect()
+    }
+
+    #[test]
+    fn all_ten_figures_build() {
+        let figs = all_figures();
+        assert_eq!(figs.len(), 10);
+        for f in &figs {
+            assert_eq!(f.protocols.len(), 5);
+            assert!(f.points.len() >= 7);
+            for pt in &f.points {
+                assert!(pt.y.iter().all(|v| v.is_finite() && *v >= 0.0), "{}", f.id);
+            }
+        }
+        assert!(figure("nope").is_none());
+    }
+
+    #[test]
+    fn fig10a_shapes() {
+        // S_Agg parallelism falls with G; tag-based protocols rise.
+        let f = figure("10a").unwrap();
+        let s_agg = col(&f, "S_Agg");
+        assert!(s_agg.first().unwrap() > s_agg.last().unwrap());
+        let ed = col(&f, "ED_Hist");
+        assert!(ed.last() > ed.first());
+    }
+
+    #[test]
+    fn fig10c_noise_highest_load() {
+        let f = figure("10c").unwrap();
+        let r1000 = col(&f, "R1000_Noise");
+        let s_agg = col(&f, "S_Agg");
+        let ed = col(&f, "ED_Hist");
+        for i in 0..f.points.len() {
+            assert!(r1000[i] > s_agg[i]);
+            assert!(r1000[i] > ed[i]);
+        }
+    }
+
+    #[test]
+    fn fig10e_crossover() {
+        // S_Agg best at G = 1, ED_Hist best at G = 10⁶.
+        let f = figure("10e").unwrap();
+        let s_agg = col(&f, "S_Agg");
+        let ed = col(&f, "ED_Hist");
+        assert!(
+            s_agg[0] < ed[0],
+            "small G: S_Agg {} vs ED {}",
+            s_agg[0],
+            ed[0]
+        );
+        let last = f.points.len() - 1;
+        assert!(
+            ed[last] < s_agg[last],
+            "large G: ED {} vs S_Agg {}",
+            ed[last],
+            s_agg[last]
+        );
+    }
+
+    #[test]
+    fn fig10i_vs_10j_elasticity() {
+        // Everything but S_Agg speeds up when availability rises 1% → 100%.
+        let scarce = figure("10i").unwrap();
+        let abundant = figure("10j").unwrap();
+        let mid = 4; // G = 10⁴
+        for (i, name) in scarce.protocols.iter().enumerate() {
+            let s = scarce.points[mid].y[i];
+            let a = abundant.points[mid].y[i];
+            if name == "S_Agg" {
+                assert!((s - a).abs() / a < 1e-6, "S_Agg should be inelastic");
+            } else {
+                assert!(s >= a, "{name}: scarce {s} vs abundant {a}");
+            }
+        }
+    }
+}

@@ -1,0 +1,165 @@
+//! Querier credentials, signed by an authority and checked by every TDS.
+//!
+//! Step 1 of the querying protocol posts "query Q encrypted with k1, its
+//! credential C signed by an authority". Each TDS verifies C, then evaluates
+//! the access-control policy for the credential's role before answering —
+//! answering with a dummy tuple when the querier lacks privilege, so the SSI
+//! cannot even learn *that* access was denied.
+//!
+//! The paper leaves the signature mechanism open (PKI or burn-time secrets).
+//! We model the homogeneous, burn-time context: the authority holds a secret
+//! MAC key whose verification half is installed in every TDS. HMAC gives the
+//! unforgeability the protocol needs in this closed setting; swapping in real
+//! signatures would not change any protocol logic.
+
+use crate::error::CryptoError;
+use crate::hmac::{ct_eq, HmacSha256};
+
+/// A role attached to a credential, matched against TDS access-control rules.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Role(pub String);
+
+impl Role {
+    /// Convenience constructor.
+    pub fn new(name: impl Into<String>) -> Self {
+        Role(name.into())
+    }
+}
+
+impl std::fmt::Display for Role {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// A signed querier credential.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Credential {
+    /// Identity of the querier (e.g. "energy-distribution-co").
+    pub querier_id: String,
+    /// Role the authority granted (e.g. "energy-supplier", "physician").
+    pub role: Role,
+    /// Expiry, in protocol rounds since epoch (checked against the runtime
+    /// clock; `u64::MAX` = never expires).
+    pub expires_at_round: u64,
+    signature: [u8; 32],
+}
+
+impl Credential {
+    fn signing_bytes(querier_id: &str, role: &Role, expires_at_round: u64) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(querier_id.len() + role.0.len() + 16);
+        buf.extend_from_slice(&(querier_id.len() as u32).to_be_bytes());
+        buf.extend_from_slice(querier_id.as_bytes());
+        buf.extend_from_slice(&(role.0.len() as u32).to_be_bytes());
+        buf.extend_from_slice(role.0.as_bytes());
+        buf.extend_from_slice(&expires_at_round.to_be_bytes());
+        buf
+    }
+
+    /// Verify against the authority key and the current round.
+    pub fn verify(&self, authority_key: &[u8], now_round: u64) -> Result<(), CryptoError> {
+        let expected = HmacSha256::mac(
+            authority_key,
+            &Self::signing_bytes(&self.querier_id, &self.role, self.expires_at_round),
+        );
+        if !ct_eq(&expected, &self.signature) || now_round > self.expires_at_round {
+            return Err(CryptoError::BadCredential);
+        }
+        Ok(())
+    }
+}
+
+/// The credential-issuing authority (application provider, legislator, or
+/// consumer association — Section 2.1).
+#[derive(Clone)]
+pub struct CredentialSigner {
+    authority_key: [u8; 32],
+}
+
+impl CredentialSigner {
+    /// Create a signer from an authority secret.
+    pub fn new(authority_secret: &[u8]) -> Self {
+        Self {
+            authority_key: crate::kdf::derive(authority_secret, "tdsql/authority", b""),
+        }
+    }
+
+    /// The verification key TDSs are provisioned with at burn time.
+    pub fn verification_key(&self) -> [u8; 32] {
+        self.authority_key
+    }
+
+    /// Issue a signed credential.
+    pub fn issue(&self, querier_id: &str, role: Role, expires_at_round: u64) -> Credential {
+        let signature = HmacSha256::mac(
+            &self.authority_key,
+            &Credential::signing_bytes(querier_id, &role, expires_at_round),
+        );
+        Credential {
+            querier_id: querier_id.to_string(),
+            role,
+            expires_at_round,
+            signature,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn issue_and_verify() {
+        let signer = CredentialSigner::new(b"ministry-of-health");
+        let cred = signer.issue("dr-smith", Role::new("physician"), 100);
+        assert!(cred.verify(&signer.verification_key(), 50).is_ok());
+    }
+
+    #[test]
+    fn expired_rejected() {
+        let signer = CredentialSigner::new(b"authority");
+        let cred = signer.issue("q", Role::new("r"), 10);
+        assert_eq!(
+            cred.verify(&signer.verification_key(), 11),
+            Err(CryptoError::BadCredential)
+        );
+    }
+
+    #[test]
+    fn forged_role_rejected() {
+        let signer = CredentialSigner::new(b"authority");
+        let mut cred = signer.issue("q", Role::new("reader"), u64::MAX);
+        cred.role = Role::new("admin");
+        assert_eq!(
+            cred.verify(&signer.verification_key(), 0),
+            Err(CryptoError::BadCredential)
+        );
+    }
+
+    #[test]
+    fn wrong_authority_rejected() {
+        let signer = CredentialSigner::new(b"authority-a");
+        let other = CredentialSigner::new(b"authority-b");
+        let cred = signer.issue("q", Role::new("r"), u64::MAX);
+        assert_eq!(
+            cred.verify(&other.verification_key(), 0),
+            Err(CryptoError::BadCredential)
+        );
+    }
+
+    #[test]
+    fn field_boundaries_unambiguous() {
+        // ("ab","c") must not collide with ("a","bc") thanks to length
+        // prefixes in the signed encoding.
+        let signer = CredentialSigner::new(b"authority");
+        let c1 = signer.issue("ab", Role::new("c"), 5);
+        let mut c2 = signer.issue("a", Role::new("bc"), 5);
+        c2.querier_id = "ab".into();
+        c2.role = Role::new("c");
+        assert_eq!(
+            c2.verify(&signer.verification_key(), 0),
+            Err(CryptoError::BadCredential)
+        );
+        assert!(c1.verify(&signer.verification_key(), 0).is_ok());
+    }
+}

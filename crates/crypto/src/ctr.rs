@@ -1,0 +1,96 @@
+//! AES-128 CTR mode keystream.
+//!
+//! CTR is used by both encryption schemes of the paper's protocols:
+//! * `nDet_Enc` draws a fresh random nonce per message,
+//! * `Det_Enc` derives a synthetic IV from the plaintext (SIV), so equal
+//!   plaintexts produce equal ciphertexts under the same key.
+
+use crate::aes::{Aes128, BLOCK_SIZE};
+
+/// XOR `data` with the AES-CTR keystream for (`cipher`, `iv`), in place.
+///
+/// The counter occupies the last 4 bytes of the IV block, big-endian, so a
+/// single message may span up to 2^32 blocks (64 GiB) — far beyond any
+/// partition the SSI ever ships.
+pub fn apply_keystream(cipher: &Aes128, iv: &[u8; BLOCK_SIZE], data: &mut [u8]) {
+    let mut counter_block = *iv;
+    let base = u32::from_be_bytes([iv[12], iv[13], iv[14], iv[15]]);
+    for (i, chunk) in data.chunks_mut(BLOCK_SIZE).enumerate() {
+        let ctr = base.wrapping_add(i as u32);
+        counter_block[12..16].copy_from_slice(&ctr.to_be_bytes());
+        let mut keystream = counter_block;
+        cipher.encrypt_block(&mut keystream);
+        for (b, k) in chunk.iter_mut().zip(keystream.iter()) {
+            *b ^= k;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// NIST SP 800-38A F.5.1 CTR-AES128.Encrypt.
+    #[test]
+    fn nist_sp800_38a_ctr() {
+        let key = [
+            0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6, 0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf,
+            0x4f, 0x3c,
+        ];
+        let iv = [
+            0xf0, 0xf1, 0xf2, 0xf3, 0xf4, 0xf5, 0xf6, 0xf7, 0xf8, 0xf9, 0xfa, 0xfb, 0xfc, 0xfd,
+            0xfe, 0xff,
+        ];
+        let mut data = [
+            0x6b, 0xc1, 0xbe, 0xe2, 0x2e, 0x40, 0x9f, 0x96, 0xe9, 0x3d, 0x7e, 0x11, 0x73, 0x93,
+            0x17, 0x2a, 0xae, 0x2d, 0x8a, 0x57, 0x1e, 0x03, 0xac, 0x9c, 0x9e, 0xb7, 0x6f, 0xac,
+            0x45, 0xaf, 0x8e, 0x51,
+        ];
+        let expected = [
+            0x87, 0x4d, 0x61, 0x91, 0xb6, 0x20, 0xe3, 0x26, 0x1b, 0xef, 0x68, 0x64, 0x99, 0x0d,
+            0xb6, 0xce, 0x98, 0x06, 0xf6, 0x6b, 0x79, 0x70, 0xfd, 0xff, 0x86, 0x17, 0x18, 0x7b,
+            0xb9, 0xff, 0xfd, 0xff,
+        ];
+        let aes = Aes128::new(&key);
+        apply_keystream(&aes, &iv, &mut data);
+        assert_eq!(data, expected);
+    }
+
+    #[test]
+    fn ctr_is_an_involution() {
+        let aes = Aes128::new(&[9u8; 16]);
+        let iv = [3u8; 16];
+        let original: Vec<u8> = (0..100).collect();
+        let mut data = original.clone();
+        apply_keystream(&aes, &iv, &mut data);
+        assert_ne!(data, original);
+        apply_keystream(&aes, &iv, &mut data);
+        assert_eq!(data, original);
+    }
+
+    #[test]
+    fn partial_block_messages() {
+        let aes = Aes128::new(&[1u8; 16]);
+        let iv = [0u8; 16];
+        for len in [0usize, 1, 15, 16, 17, 31, 33] {
+            let original = vec![0xabu8; len];
+            let mut data = original.clone();
+            apply_keystream(&aes, &iv, &mut data);
+            apply_keystream(&aes, &iv, &mut data);
+            assert_eq!(data, original, "len {len}");
+        }
+    }
+
+    #[test]
+    fn counter_wraps_with_offset_base() {
+        // IV with counter near u32::MAX: encrypt 3 blocks, ensure distinct
+        // keystream per block (wrap must not repeat within a message).
+        let aes = Aes128::new(&[5u8; 16]);
+        let mut iv = [0u8; 16];
+        iv[12..16].copy_from_slice(&u32::MAX.to_be_bytes());
+        let mut data = [0u8; 48];
+        apply_keystream(&aes, &iv, &mut data);
+        assert_ne!(data[0..16], data[16..32]);
+        assert_ne!(data[16..32], data[32..48]);
+    }
+}

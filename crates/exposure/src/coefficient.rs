@@ -1,0 +1,141 @@
+//! The exposure coefficient ε and closed-form bounds.
+
+use crate::schemes::{column_ic, ColumnScheme};
+use crate::table::PlainTable;
+
+/// Result of an exposure computation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExposureReport {
+    /// The coefficient ε ∈ [Π 1/N_j, 1].
+    pub epsilon: f64,
+    /// Per-column average IC (diagnostic: which attribute leaks).
+    pub per_column_avg_ic: Vec<f64>,
+}
+
+/// Compute ε = (1/n) Σ_i Π_j IC(i,j) for a table under per-column schemes.
+pub fn exposure_coefficient(table: &PlainTable, schemes: &[ColumnScheme]) -> ExposureReport {
+    assert_eq!(table.n_cols(), schemes.len(), "one scheme per column");
+    let n = table.n_rows();
+    if n == 0 || table.n_cols() == 0 {
+        return ExposureReport {
+            epsilon: 0.0,
+            per_column_avg_ic: vec![0.0; schemes.len()],
+        };
+    }
+    let ic_columns: Vec<Vec<f64>> = table
+        .columns
+        .iter()
+        .zip(schemes.iter())
+        .map(|(c, &s)| column_ic(c, s))
+        .collect();
+    let mut sum = 0.0;
+    for i in 0..n {
+        let mut prod = 1.0;
+        for col in &ic_columns {
+            prod *= col[i];
+        }
+        sum += prod;
+    }
+    let per_column_avg_ic = ic_columns
+        .iter()
+        .map(|col| col.iter().sum::<f64>() / n as f64)
+        .collect();
+    ExposureReport {
+        epsilon: sum / n as f64,
+        per_column_avg_ic,
+    }
+}
+
+/// Closed form: ε under `nDet_Enc` everywhere (the paper's ε_S_Agg and the
+/// floor for every other scheme): Π_j 1/N_j.
+pub fn epsilon_ndet(distinct_per_column: &[usize]) -> f64 {
+    distinct_per_column
+        .iter()
+        .map(|&n| 1.0 / n.max(1) as f64)
+        .product()
+}
+
+/// Closed form: ε of a fully plaintext table is 1.
+pub fn epsilon_plaintext() -> f64 {
+    1.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::PlainColumn;
+
+    fn accounts() -> PlainTable {
+        PlainTable::new(vec![
+            PlainColumn::new(
+                "customer",
+                ["Alice", "Alice", "Bob", "Chris", "Donna"]
+                    .iter()
+                    .map(|s| s.to_string())
+                    .collect(),
+            ),
+            PlainColumn::new(
+                "balance",
+                ["200", "200", "100", "300", "400"]
+                    .iter()
+                    .map(|s| s.to_string())
+                    .collect(),
+            ),
+        ])
+    }
+
+    #[test]
+    fn plaintext_epsilon_is_one() {
+        let t = accounts();
+        let r = exposure_coefficient(&t, &[ColumnScheme::Plaintext, ColumnScheme::Plaintext]);
+        assert!((r.epsilon - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ndet_epsilon_matches_closed_form() {
+        let t = accounts();
+        let r = exposure_coefficient(&t, &[ColumnScheme::NDet, ColumnScheme::NDet]);
+        // N_customer = 4, N_balance = 4.
+        assert!((r.epsilon - epsilon_ndet(&[4, 4])).abs() < 1e-12);
+        assert!((r.epsilon - 1.0 / 16.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn det_exposes_the_association() {
+        // The paper's association-inference example: <Alice, 200> is fully
+        // disclosed under Det_Enc because both hold the unique max frequency.
+        let t = accounts();
+        let r = exposure_coefficient(&t, &[ColumnScheme::Det, ColumnScheme::Det]);
+        // Rows 0 and 1 contribute IC product 1·1 = 1; rows 2..4 contribute
+        // (1/3)·(1/3). ε = (2·1 + 3·(1/9)) / 5.
+        let expected = (2.0 + 3.0 / 9.0) / 5.0;
+        assert!((r.epsilon - expected).abs() < 1e-12, "{}", r.epsilon);
+        assert!(r.epsilon > epsilon_ndet(&[4, 4]));
+        assert!(r.epsilon < epsilon_plaintext());
+    }
+
+    #[test]
+    fn scheme_ordering_holds() {
+        let t = accounts();
+        let det = exposure_coefficient(&t, &[ColumnScheme::Det, ColumnScheme::Det]).epsilon;
+        let cn = exposure_coefficient(&t, &[ColumnScheme::CNoise, ColumnScheme::CNoise]).epsilon;
+        let nd = exposure_coefficient(&t, &[ColumnScheme::NDet, ColumnScheme::NDet]).epsilon;
+        let pt =
+            exposure_coefficient(&t, &[ColumnScheme::Plaintext, ColumnScheme::Plaintext]).epsilon;
+        assert!(nd <= cn && cn <= det && det <= pt);
+        assert_eq!(nd, cn, "C_Noise is flat → same ε as nDet");
+    }
+
+    #[test]
+    fn empty_table() {
+        let t = PlainTable::new(vec![]);
+        let r = exposure_coefficient(&t, &[]);
+        assert_eq!(r.epsilon, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "one scheme per column")]
+    fn scheme_arity_checked() {
+        exposure_coefficient(&accounts(), &[ColumnScheme::Det]);
+    }
+}

@@ -1,0 +1,104 @@
+//! The IC table itself — Fig. 7's "table of the inverse of the cardinalities
+//! of the equivalence classes", one IC value per cell.
+
+use crate::schemes::{column_ic, ColumnScheme};
+use crate::table::PlainTable;
+
+/// A full IC table: `values[row][col]` is the probability the attacker
+/// assigns to correctly matching that cell's ciphertext to its plaintext.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IcTable {
+    /// Column names.
+    pub columns: Vec<String>,
+    /// IC values, row-major.
+    pub values: Vec<Vec<f64>>,
+}
+
+impl IcTable {
+    /// Compute the IC table for a plaintext table under per-column schemes.
+    pub fn compute(table: &PlainTable, schemes: &[ColumnScheme]) -> Self {
+        assert_eq!(table.n_cols(), schemes.len(), "one scheme per column");
+        let per_column: Vec<Vec<f64>> = table
+            .columns
+            .iter()
+            .zip(schemes.iter())
+            .map(|(c, &s)| column_ic(c, s))
+            .collect();
+        let n = table.n_rows();
+        let values = (0..n)
+            .map(|i| per_column.iter().map(|col| col[i]).collect())
+            .collect();
+        Self {
+            columns: table.columns.iter().map(|c| c.name.clone()).collect(),
+            values,
+        }
+    }
+
+    /// Per-row association-inference probability: the product of the row's
+    /// IC values (the paper's `P(<Alice,200>) = P(α=Alice)·P(κ=200)`).
+    pub fn row_products(&self) -> Vec<f64> {
+        self.values.iter().map(|row| row.iter().product()).collect()
+    }
+
+    /// Render as an aligned text table (used by the `figures` harness).
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for c in &self.columns {
+            let _ = write!(out, "{c:>10} ");
+        }
+        let _ = writeln!(out, "{:>12}", "P(assoc)");
+        for (row, p) in self.values.iter().zip(self.row_products()) {
+            for v in row {
+                let _ = write!(out, "{v:>10.4} ");
+            }
+            let _ = writeln!(out, "{p:>12.6}");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fig7::accounts_table;
+
+    #[test]
+    fn det_ic_table_matches_fig7() {
+        let table = accounts_table();
+        let ic = IcTable::compute(&table, &[ColumnScheme::Det; 3]);
+        assert_eq!(ic.columns, vec!["account", "customer", "balance"]);
+        assert_eq!(ic.values.len(), 5);
+        // Rows 0 & 1: Alice (unique max frequency) and 200 → customer and
+        // balance cells are certain; account is a 5-way tie.
+        assert_eq!(ic.values[0][1], 1.0);
+        assert_eq!(ic.values[0][2], 1.0);
+        assert!((ic.values[0][0] - 0.2).abs() < 1e-12);
+        // Association probability of the ⟨Acc?, Alice, 200⟩ rows: 0.2·1·1.
+        let p = ic.row_products();
+        assert!((p[0] - 0.2).abs() < 1e-12);
+        assert!((p[1] - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ndet_table_is_flat() {
+        let table = accounts_table();
+        let ic = IcTable::compute(&table, &[ColumnScheme::NDet; 3]);
+        // 5 accounts, 4 customers, 4 balances.
+        for row in &ic.values {
+            assert!((row[0] - 0.2).abs() < 1e-12);
+            assert!((row[1] - 0.25).abs() < 1e-12);
+            assert!((row[2] - 0.25).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn render_is_aligned_and_complete() {
+        let table = accounts_table();
+        let ic = IcTable::compute(&table, &[ColumnScheme::Det; 3]);
+        let text = ic.render();
+        assert_eq!(text.lines().count(), 6, "header + 5 rows");
+        assert!(text.contains("customer"));
+        assert!(text.contains("P(assoc)"));
+    }
+}

@@ -1,0 +1,104 @@
+//! Plaintext tables as the exposure analysis sees them.
+
+use std::collections::BTreeMap;
+
+/// One plaintext column: a name and the cell values (as strings — the
+/// analysis only needs equality and frequencies).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlainColumn {
+    /// Attribute name.
+    pub name: String,
+    /// Cell values, one per row.
+    pub cells: Vec<String>,
+}
+
+impl PlainColumn {
+    /// Build a column.
+    pub fn new(name: impl Into<String>, cells: Vec<String>) -> Self {
+        Self {
+            name: name.into(),
+            cells,
+        }
+    }
+
+    /// Value → occurrence count.
+    pub fn frequencies(&self) -> BTreeMap<&str, u64> {
+        let mut f: BTreeMap<&str, u64> = BTreeMap::new();
+        for c in &self.cells {
+            *f.entry(c.as_str()).or_default() += 1;
+        }
+        f
+    }
+
+    /// Number of distinct values (`N_j`).
+    pub fn distinct(&self) -> usize {
+        self.frequencies().len()
+    }
+}
+
+/// A plaintext table (all columns the same length).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlainTable {
+    /// Columns.
+    pub columns: Vec<PlainColumn>,
+}
+
+impl PlainTable {
+    /// Build from columns; panics if lengths differ.
+    pub fn new(columns: Vec<PlainColumn>) -> Self {
+        if let Some(first) = columns.first() {
+            assert!(
+                columns.iter().all(|c| c.cells.len() == first.cells.len()),
+                "ragged table"
+            );
+        }
+        Self { columns }
+    }
+
+    /// Row count.
+    pub fn n_rows(&self) -> usize {
+        self.columns.first().map(|c| c.cells.len()).unwrap_or(0)
+    }
+
+    /// Column count.
+    pub fn n_cols(&self) -> usize {
+        self.columns.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frequencies_and_distinct() {
+        let c = PlainColumn::new(
+            "customer",
+            ["Alice", "Alice", "Bob"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect(),
+        );
+        let f = c.frequencies();
+        assert_eq!(f["Alice"], 2);
+        assert_eq!(f["Bob"], 1);
+        assert_eq!(c.distinct(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_rejected() {
+        PlainTable::new(vec![
+            PlainColumn::new("a", vec!["x".into()]),
+            PlainColumn::new("b", vec![]),
+        ]);
+    }
+
+    #[test]
+    fn shape() {
+        let t = PlainTable::new(vec![PlainColumn::new("a", vec!["x".into(), "y".into()])]);
+        assert_eq!(t.n_rows(), 2);
+        assert_eq!(t.n_cols(), 1);
+        assert_eq!(PlainTable::new(vec![]).n_rows(), 0);
+    }
+}

@@ -1,0 +1,87 @@
+//! Property tests for the exposure analysis: on *any* table, ε must respect
+//! its bounds and the scheme ordering of Section 5.
+
+use proptest::prelude::*;
+
+use tdsql_exposure::coefficient::{epsilon_ndet, exposure_coefficient};
+use tdsql_exposure::schemes::ColumnScheme;
+use tdsql_exposure::table::{PlainColumn, PlainTable};
+
+fn arb_table() -> impl Strategy<Value = PlainTable> {
+    // 1-3 columns, 1-40 rows, values drawn from small alphabets so that
+    // frequency classes actually form.
+    (1usize..=3, 1usize..=40).prop_flat_map(|(n_cols, n_rows)| {
+        prop::collection::vec(
+            prop::collection::vec("[a-e]{1,2}", n_rows..=n_rows),
+            n_cols..=n_cols,
+        )
+        .prop_map(|cols| {
+            PlainTable::new(
+                cols.into_iter()
+                    .enumerate()
+                    .map(|(i, cells)| PlainColumn::new(format!("c{i}"), cells))
+                    .collect(),
+            )
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// ε ∈ [Π 1/N_j, 1] for every scheme.
+    #[test]
+    fn epsilon_bounds(table in arb_table(), scheme_idx in 0usize..6) {
+        let scheme = [
+            ColumnScheme::Plaintext,
+            ColumnScheme::NDet,
+            ColumnScheme::Det,
+            ColumnScheme::RnfNoise { nf: 3, seed: 5 },
+            ColumnScheme::CNoise,
+            ColumnScheme::EdHist { buckets: 3 },
+        ][scheme_idx];
+        let schemes = vec![scheme; table.n_cols()];
+        let eps = exposure_coefficient(&table, &schemes).epsilon;
+        let floor = epsilon_ndet(
+            &table.columns.iter().map(|c| c.distinct()).collect::<Vec<_>>(),
+        );
+        prop_assert!(eps <= 1.0 + 1e-12, "ε = {eps}");
+        prop_assert!(eps >= floor - 1e-12, "ε = {eps} below floor {floor}");
+    }
+
+    /// Det is never more private than nDet, and plaintext never more private
+    /// than Det.
+    #[test]
+    fn scheme_ordering(table in arb_table()) {
+        let eps = |s: ColumnScheme| {
+            exposure_coefficient(&table, &vec![s; table.n_cols()]).epsilon
+        };
+        let ndet = eps(ColumnScheme::NDet);
+        let det = eps(ColumnScheme::Det);
+        let plain = eps(ColumnScheme::Plaintext);
+        prop_assert!(ndet <= det + 1e-12);
+        prop_assert!(det <= plain + 1e-12);
+        // C_Noise is exactly the floor.
+        prop_assert!((eps(ColumnScheme::CNoise) - ndet).abs() < 1e-12);
+    }
+
+    /// ED_Hist with one bucket is the floor; with ≥ distinct-many buckets it
+    /// equals Det.
+    #[test]
+    fn ed_hist_extremes(table in arb_table()) {
+        let eps = |s: ColumnScheme| {
+            exposure_coefficient(&table, &vec![s; table.n_cols()]).epsilon
+        };
+        let floor = eps(ColumnScheme::NDet);
+        let one_bucket = eps(ColumnScheme::EdHist { buckets: 1 });
+        prop_assert!((one_bucket - floor).abs() < 1e-12);
+        let max_distinct =
+            table.columns.iter().map(|c| c.distinct()).max().unwrap_or(1) as u32;
+        // Enough buckets that the greedy walk always closes per value
+        // (target depth ≤ 1): Det-equivalent.
+        let rows = table.n_rows() as u32;
+        let det = eps(ColumnScheme::Det);
+        let h1 = eps(ColumnScheme::EdHist { buckets: rows.max(max_distinct) });
+        prop_assert!((h1 - det).abs() < 1e-12, "h1 {h1} vs det {det}");
+    }
+}

@@ -1,0 +1,1 @@
+//! Carrier crate: see `/tests` and `/examples`.

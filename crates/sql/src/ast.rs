@@ -1,0 +1,609 @@
+//! Abstract syntax for the paper's SQL dialect:
+//!
+//! ```text
+//! SELECT <attribute(s) and/or aggregate function(s)>
+//! FROM <Table(s)>
+//! [WHERE <condition(s)>]
+//! [GROUP BY <grouping attribute(s)>]
+//! [HAVING <grouping condition(s)>]
+//! [SIZE <size condition(s)>]
+//! ```
+//!
+//! `SIZE` is borrowed from StreamSQL windows: it bounds the collection phase
+//! by a number of tuples and/or a duration (we count duration in protocol
+//! rounds). Cross-TDS joins are not part of the dialect, but comma joins in
+//! `FROM` *are*: they are internal joins executed locally by each TDS.
+
+use crate::value::Value;
+
+/// A parsed query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Query {
+    /// Projection list.
+    pub select: Vec<SelectItem>,
+    /// Comma-joined table references (internal joins only).
+    pub from: Vec<TableRef>,
+    /// WHERE predicate.
+    pub where_clause: Option<Expr>,
+    /// GROUP BY expressions.
+    pub group_by: Vec<Expr>,
+    /// HAVING predicate (may contain aggregates).
+    pub having: Option<Expr>,
+    /// ORDER BY items — applied to the *final result* (by the querier after
+    /// decryption in the distributed setting; intermediate results are
+    /// unordered ciphertexts by construction).
+    pub order_by: Vec<OrderItem>,
+    /// LIMIT — also a final-result operation.
+    pub limit: Option<u64>,
+    /// SIZE clause.
+    pub size: Option<SizeClause>,
+}
+
+/// One ORDER BY item. Ordering keys reference the output row, either by
+/// 1-based position (`ORDER BY 2`) or by output column name / alias.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OrderItem {
+    /// The ordering key.
+    pub key: OrderKey,
+    /// Descending flag (`DESC`).
+    pub descending: bool,
+}
+
+/// What an ORDER BY item references.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OrderKey {
+    /// 1-based output column position.
+    Position(usize),
+    /// Output column name or alias (lowercase).
+    Name(String),
+}
+
+impl Query {
+    /// Does the query aggregate (GROUP BY present, or any aggregate call in
+    /// SELECT/HAVING)?
+    pub fn is_aggregate(&self) -> bool {
+        !self.group_by.is_empty()
+            || self.having.is_some()
+            || self.select.iter().any(|item| match item {
+                SelectItem::Wildcard => false,
+                SelectItem::Expr { expr, .. } => expr.contains_aggregate(),
+            })
+    }
+}
+
+/// A table reference with optional alias (`Power P`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableRef {
+    /// Table name (lowercase).
+    pub table: String,
+    /// Alias (lowercase), if given.
+    pub alias: Option<String>,
+}
+
+impl TableRef {
+    /// The name this relation binds in the query (alias if present).
+    pub fn binding(&self) -> &str {
+        self.alias.as_deref().unwrap_or(&self.table)
+    }
+}
+
+/// One projection item.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectItem {
+    /// `*`
+    Wildcard,
+    /// An expression with optional alias.
+    Expr {
+        /// The projected expression.
+        expr: Expr,
+        /// `AS alias`, if given.
+        alias: Option<String>,
+    },
+}
+
+/// Column reference, optionally qualified (`C.cid` or `cid`).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ColumnRef {
+    /// Qualifier (table binding), lowercase.
+    pub table: Option<String>,
+    /// Column name, lowercase.
+    pub column: String,
+}
+
+impl ColumnRef {
+    /// Unqualified reference.
+    pub fn bare(column: impl Into<String>) -> Self {
+        Self {
+            table: None,
+            column: column.into().to_ascii_lowercase(),
+        }
+    }
+
+    /// Qualified reference.
+    pub fn qualified(table: impl Into<String>, column: impl Into<String>) -> Self {
+        Self {
+            table: Some(table.into().to_ascii_lowercase()),
+            column: column.into().to_ascii_lowercase(),
+        }
+    }
+}
+
+/// Binary operators, lowest to highest precedence handled in the parser.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// `OR`
+    Or,
+    /// `AND`
+    And,
+    /// `=`
+    Eq,
+    /// `!=` / `<>`
+    NotEq,
+    /// `<`
+    Lt,
+    /// `<=`
+    LtEq,
+    /// `>`
+    Gt,
+    /// `>=`
+    GtEq,
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Mod,
+}
+
+impl BinOp {
+    /// SQL spelling.
+    pub fn symbol(&self) -> &'static str {
+        match self {
+            BinOp::Or => "OR",
+            BinOp::And => "AND",
+            BinOp::Eq => "=",
+            BinOp::NotEq => "<>",
+            BinOp::Lt => "<",
+            BinOp::LtEq => "<=",
+            BinOp::Gt => ">",
+            BinOp::GtEq => ">=",
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Mod => "%",
+        }
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnaryOp {
+    /// `-`
+    Neg,
+    /// `NOT`
+    Not,
+}
+
+/// Aggregate functions. The paper targets the distributive, algebraic and
+/// holistic classes of \[27\]; we implement representatives of each.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AggFunc {
+    /// COUNT (distributive).
+    Count,
+    /// SUM (distributive).
+    Sum,
+    /// MIN (distributive).
+    Min,
+    /// MAX (distributive).
+    Max,
+    /// AVG (algebraic: SUM/COUNT).
+    Avg,
+    /// Sample variance (algebraic: sum, sum of squares, count).
+    Variance,
+    /// Sample standard deviation (algebraic).
+    StdDev,
+    /// MEDIAN (holistic: needs the full multiset).
+    Median,
+    /// MODE — most frequent value (holistic).
+    Mode,
+}
+
+impl AggFunc {
+    /// SQL spelling.
+    pub fn name(&self) -> &'static str {
+        match self {
+            AggFunc::Count => "COUNT",
+            AggFunc::Sum => "SUM",
+            AggFunc::Min => "MIN",
+            AggFunc::Max => "MAX",
+            AggFunc::Avg => "AVG",
+            AggFunc::Variance => "VARIANCE",
+            AggFunc::StdDev => "STDDEV",
+            AggFunc::Median => "MEDIAN",
+            AggFunc::Mode => "MODE",
+        }
+    }
+
+    /// Parse a function name (case-insensitive).
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name.to_ascii_uppercase().as_str() {
+            "COUNT" => Some(AggFunc::Count),
+            "SUM" => Some(AggFunc::Sum),
+            "MIN" => Some(AggFunc::Min),
+            "MAX" => Some(AggFunc::Max),
+            "AVG" => Some(AggFunc::Avg),
+            "VARIANCE" | "VAR" => Some(AggFunc::Variance),
+            "STDDEV" | "STD" => Some(AggFunc::StdDev),
+            "MEDIAN" => Some(AggFunc::Median),
+            "MODE" => Some(AggFunc::Mode),
+            _ => None,
+        }
+    }
+}
+
+/// An aggregate call, e.g. `COUNT(DISTINCT C.cid)` or `AVG(Cons)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AggCall {
+    /// Which function.
+    pub func: AggFunc,
+    /// Argument; `None` means `COUNT(*)`.
+    pub arg: Option<Box<Expr>>,
+    /// DISTINCT flag.
+    pub distinct: bool,
+}
+
+/// Expressions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Column reference.
+    Column(ColumnRef),
+    /// Literal value.
+    Literal(Value),
+    /// Unary operation.
+    Unary {
+        /// Operator.
+        op: UnaryOp,
+        /// Operand.
+        expr: Box<Expr>,
+    },
+    /// Binary operation.
+    Binary {
+        /// Left operand.
+        left: Box<Expr>,
+        /// Operator.
+        op: BinOp,
+        /// Right operand.
+        right: Box<Expr>,
+    },
+    /// Aggregate call (only legal in SELECT and HAVING).
+    Aggregate(AggCall),
+    /// `expr IS [NOT] NULL`.
+    IsNull {
+        /// Tested expression.
+        expr: Box<Expr>,
+        /// NOT flag.
+        negated: bool,
+    },
+    /// `expr [NOT] IN (v1, v2, ...)`.
+    InList {
+        /// Tested expression.
+        expr: Box<Expr>,
+        /// Candidate list.
+        list: Vec<Expr>,
+        /// NOT flag.
+        negated: bool,
+    },
+    /// `expr [NOT] BETWEEN low AND high`.
+    Between {
+        /// Tested expression.
+        expr: Box<Expr>,
+        /// Lower bound (inclusive).
+        low: Box<Expr>,
+        /// Upper bound (inclusive).
+        high: Box<Expr>,
+        /// NOT flag.
+        negated: bool,
+    },
+    /// `expr [NOT] LIKE 'pattern'` with `%` and `_` wildcards.
+    Like {
+        /// Tested expression.
+        expr: Box<Expr>,
+        /// Pattern literal.
+        pattern: String,
+        /// NOT flag.
+        negated: bool,
+    },
+}
+
+impl Expr {
+    /// Does this expression contain an aggregate call?
+    pub fn contains_aggregate(&self) -> bool {
+        match self {
+            Expr::Aggregate(_) => true,
+            Expr::Column(_) | Expr::Literal(_) => false,
+            Expr::Unary { expr, .. } => expr.contains_aggregate(),
+            Expr::Binary { left, right, .. } => {
+                left.contains_aggregate() || right.contains_aggregate()
+            }
+            Expr::IsNull { expr, .. } => expr.contains_aggregate(),
+            Expr::InList { expr, list, .. } => {
+                expr.contains_aggregate() || list.iter().any(Expr::contains_aggregate)
+            }
+            Expr::Between {
+                expr, low, high, ..
+            } => expr.contains_aggregate() || low.contains_aggregate() || high.contains_aggregate(),
+            Expr::Like { expr, .. } => expr.contains_aggregate(),
+        }
+    }
+
+    /// Collect every aggregate call in evaluation order.
+    pub fn collect_aggregates<'a>(&'a self, out: &mut Vec<&'a AggCall>) {
+        match self {
+            Expr::Aggregate(call) => out.push(call),
+            Expr::Column(_) | Expr::Literal(_) => {}
+            Expr::Unary { expr, .. } => expr.collect_aggregates(out),
+            Expr::Binary { left, right, .. } => {
+                left.collect_aggregates(out);
+                right.collect_aggregates(out);
+            }
+            Expr::IsNull { expr, .. } => expr.collect_aggregates(out),
+            Expr::InList { expr, list, .. } => {
+                expr.collect_aggregates(out);
+                for e in list {
+                    e.collect_aggregates(out);
+                }
+            }
+            Expr::Between {
+                expr, low, high, ..
+            } => {
+                expr.collect_aggregates(out);
+                low.collect_aggregates(out);
+                high.collect_aggregates(out);
+            }
+            Expr::Like { expr, .. } => expr.collect_aggregates(out),
+        }
+    }
+}
+
+/// SIZE clause: bound on collected tuples and/or collection duration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SizeClause {
+    /// Stop after this many collected tuples.
+    pub max_tuples: Option<u64>,
+    /// Stop after this many collection rounds.
+    pub max_rounds: Option<u64>,
+}
+
+// ---------------------------------------------------------------------------
+// Pretty-printing (used to ship queries encrypted as SQL text, and for the
+// parse → print → parse property tests).
+// ---------------------------------------------------------------------------
+
+impl std::fmt::Display for Query {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("SELECT ")?;
+        for (i, item) in self.select.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            match item {
+                SelectItem::Wildcard => f.write_str("*")?,
+                SelectItem::Expr { expr, alias } => {
+                    write!(f, "{expr}")?;
+                    if let Some(a) = alias {
+                        write!(f, " AS {a}")?;
+                    }
+                }
+            }
+        }
+        f.write_str(" FROM ")?;
+        for (i, t) in self.from.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            f.write_str(&t.table)?;
+            if let Some(a) = &t.alias {
+                write!(f, " {a}")?;
+            }
+        }
+        if let Some(w) = &self.where_clause {
+            write!(f, " WHERE {w}")?;
+        }
+        if !self.group_by.is_empty() {
+            f.write_str(" GROUP BY ")?;
+            for (i, g) in self.group_by.iter().enumerate() {
+                if i > 0 {
+                    f.write_str(", ")?;
+                }
+                write!(f, "{g}")?;
+            }
+        }
+        if let Some(h) = &self.having {
+            write!(f, " HAVING {h}")?;
+        }
+        if !self.order_by.is_empty() {
+            f.write_str(" ORDER BY ")?;
+            for (i, o) in self.order_by.iter().enumerate() {
+                if i > 0 {
+                    f.write_str(", ")?;
+                }
+                match &o.key {
+                    OrderKey::Position(p) => write!(f, "{p}")?,
+                    OrderKey::Name(n) => f.write_str(n)?,
+                }
+                if o.descending {
+                    f.write_str(" DESC")?;
+                }
+            }
+        }
+        if let Some(n) = self.limit {
+            write!(f, " LIMIT {n}")?;
+        }
+        if let Some(s) = &self.size {
+            f.write_str(" SIZE ")?;
+            let mut first = true;
+            if let Some(n) = s.max_tuples {
+                write!(f, "{n} TUPLES")?;
+                first = false;
+            }
+            if let Some(r) = s.max_rounds {
+                if !first {
+                    f.write_str(", ")?;
+                }
+                write!(f, "{r} ROUNDS")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+impl std::fmt::Display for Expr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Expr::Column(c) => {
+                if let Some(t) = &c.table {
+                    write!(f, "{t}.{}", c.column)
+                } else {
+                    f.write_str(&c.column)
+                }
+            }
+            Expr::Literal(v) => write!(f, "{v}"),
+            Expr::Unary { op, expr } => match op {
+                UnaryOp::Neg => write!(f, "(-{expr})"),
+                UnaryOp::Not => write!(f, "(NOT {expr})"),
+            },
+            Expr::Binary { left, op, right } => {
+                write!(f, "({left} {} {right})", op.symbol())
+            }
+            Expr::Aggregate(call) => {
+                write!(f, "{}(", call.func.name())?;
+                if call.distinct {
+                    f.write_str("DISTINCT ")?;
+                }
+                match &call.arg {
+                    Some(e) => write!(f, "{e})"),
+                    None => f.write_str("*)"),
+                }
+            }
+            Expr::IsNull { expr, negated } => {
+                write!(f, "({expr} IS {}NULL)", if *negated { "NOT " } else { "" })
+            }
+            Expr::InList {
+                expr,
+                list,
+                negated,
+            } => {
+                write!(f, "({expr} {}IN (", if *negated { "NOT " } else { "" })?;
+                for (i, e) in list.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    write!(f, "{e}")?;
+                }
+                f.write_str("))")
+            }
+            Expr::Between {
+                expr,
+                low,
+                high,
+                negated,
+            } => write!(
+                f,
+                "({expr} {}BETWEEN {low} AND {high})",
+                if *negated { "NOT " } else { "" }
+            ),
+            Expr::Like {
+                expr,
+                pattern,
+                negated,
+            } => {
+                let escaped = pattern.replace('\'', "''");
+                write!(
+                    f,
+                    "({expr} {}LIKE '{escaped}')",
+                    if *negated { "NOT " } else { "" }
+                )
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregate_detection() {
+        let q = Query {
+            select: vec![SelectItem::Expr {
+                expr: Expr::Aggregate(AggCall {
+                    func: AggFunc::Avg,
+                    arg: None,
+                    distinct: false,
+                }),
+                alias: None,
+            }],
+            from: vec![TableRef {
+                table: "power".into(),
+                alias: None,
+            }],
+            where_clause: None,
+            group_by: vec![],
+            having: None,
+            order_by: vec![],
+            limit: None,
+            size: None,
+        };
+        assert!(q.is_aggregate());
+    }
+
+    #[test]
+    fn binding_prefers_alias() {
+        let t = TableRef {
+            table: "power".into(),
+            alias: Some("p".into()),
+        };
+        assert_eq!(t.binding(), "p");
+        let t = TableRef {
+            table: "power".into(),
+            alias: None,
+        };
+        assert_eq!(t.binding(), "power");
+    }
+
+    #[test]
+    fn collect_aggregates_in_having() {
+        // COUNT(DISTINCT cid) > 100 AND AVG(cons) < 3
+        let e = Expr::Binary {
+            left: Box::new(Expr::Binary {
+                left: Box::new(Expr::Aggregate(AggCall {
+                    func: AggFunc::Count,
+                    arg: Some(Box::new(Expr::Column(ColumnRef::bare("cid")))),
+                    distinct: true,
+                })),
+                op: BinOp::Gt,
+                right: Box::new(Expr::Literal(Value::Int(100))),
+            }),
+            op: BinOp::And,
+            right: Box::new(Expr::Binary {
+                left: Box::new(Expr::Aggregate(AggCall {
+                    func: AggFunc::Avg,
+                    arg: Some(Box::new(Expr::Column(ColumnRef::bare("cons")))),
+                    distinct: false,
+                })),
+                op: BinOp::Lt,
+                right: Box::new(Expr::Literal(Value::Int(3))),
+            }),
+        };
+        let mut aggs = Vec::new();
+        e.collect_aggregates(&mut aggs);
+        assert_eq!(aggs.len(), 2);
+        assert!(aggs[0].distinct);
+        assert_eq!(aggs[1].func, AggFunc::Avg);
+    }
+}

@@ -1,0 +1,12 @@
+//! Local relational engine: the query machinery each TDS runs over its own
+//! data, also used centrally as the trusted reference oracle in tests.
+
+pub mod group;
+pub mod join;
+pub mod select;
+pub mod table;
+
+pub use group::{execute_aggregate, AggregatePlan};
+pub use join::JoinedRelation;
+pub use select::{execute, output_columns, QueryOutput};
+pub use table::{Database, Table};

@@ -1,0 +1,58 @@
+//! SQL error type shared by the tokenizer, parser, planner and executor.
+
+/// Errors from parsing or evaluating SQL.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SqlError {
+    /// Tokenizer rejected the input.
+    Lex {
+        /// Byte offset of the offending character.
+        position: usize,
+        /// Human-readable description.
+        message: String,
+    },
+    /// Parser rejected the token stream.
+    Parse {
+        /// Human-readable description.
+        message: String,
+    },
+    /// Unknown table referenced.
+    UnknownTable(String),
+    /// Unknown column referenced.
+    UnknownColumn(String),
+    /// Ambiguous unqualified column name.
+    AmbiguousColumn(String),
+    /// Type error during evaluation.
+    Type {
+        /// Human-readable description.
+        message: String,
+    },
+    /// Aggregate function misuse (nested aggregates, aggregate in WHERE, ...).
+    Aggregate {
+        /// Human-readable description.
+        message: String,
+    },
+    /// Division by zero.
+    DivisionByZero,
+}
+
+impl std::fmt::Display for SqlError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SqlError::Lex { position, message } => {
+                write!(f, "lex error at byte {position}: {message}")
+            }
+            SqlError::Parse { message } => write!(f, "parse error: {message}"),
+            SqlError::UnknownTable(t) => write!(f, "unknown table: {t}"),
+            SqlError::UnknownColumn(c) => write!(f, "unknown column: {c}"),
+            SqlError::AmbiguousColumn(c) => write!(f, "ambiguous column: {c}"),
+            SqlError::Type { message } => write!(f, "type error: {message}"),
+            SqlError::Aggregate { message } => write!(f, "aggregate error: {message}"),
+            SqlError::DivisionByZero => write!(f, "division by zero"),
+        }
+    }
+}
+
+impl std::error::Error for SqlError {}
+
+/// Convenience alias.
+pub type Result<T> = std::result::Result<T, SqlError>;

@@ -1,0 +1,62 @@
+//! SQL substrate for the decentralized querying protocols.
+//!
+//! The paper's queriers issue queries of the form
+//!
+//! ```text
+//! SELECT <attribute(s) and/or aggregate function(s)>
+//! FROM <Table(s)>
+//! [WHERE <condition(s)>]
+//! [GROUP BY <grouping attribute(s)>]
+//! [HAVING <grouping condition(s)>]
+//! [SIZE <size condition(s)>]
+//! ```
+//!
+//! This crate provides everything needed to parse and evaluate that dialect:
+//!
+//! * [`value`] — typed values, SQL NULL semantics, canonical encodings and
+//!   [`value::GroupKey`]s (the `A_G` grouping keys shipped by the protocols);
+//! * [`schema`] — the common schema all TDSs conform to;
+//! * [`token`] / [`parser`] / [`ast`] — the SQL front end, including the
+//!   StreamSQL-style `SIZE` clause;
+//! * [`expr`] — three-valued expression evaluation;
+//! * [`aggregate`] — mergeable partial aggregate states (the protocols' `⊕`),
+//!   covering distributive, algebraic and holistic functions;
+//! * [`engine`] — the per-TDS local engine (scan, filter, internal join,
+//!   group-by), also used as the trusted single-node reference oracle.
+//!
+//! # Example
+//!
+//! ```
+//! use tdsql_sql::engine::{execute, Database};
+//! use tdsql_sql::parser::parse_query;
+//! use tdsql_sql::schema::{Column, TableSchema};
+//! use tdsql_sql::value::{DataType, Value};
+//!
+//! let mut db = Database::new();
+//! db.create_table(TableSchema::new(
+//!     "power",
+//!     vec![Column::new("district", DataType::Str), Column::new("cons", DataType::Float)],
+//! ));
+//! db.insert("power", vec![Value::from("north"), Value::from(3.0)]).unwrap();
+//! db.insert("power", vec![Value::from("north"), Value::from(5.0)]).unwrap();
+//!
+//! let q = parse_query("SELECT district, AVG(cons) FROM power GROUP BY district").unwrap();
+//! let out = execute(&db, &q).unwrap();
+//! assert_eq!(out.rows, vec![vec![Value::from("north"), Value::from(4.0)]]);
+//! ```
+
+#![warn(missing_docs)]
+pub mod aggregate;
+pub mod ast;
+pub mod engine;
+pub mod error;
+pub mod expr;
+pub mod order;
+pub mod parser;
+pub mod schema;
+pub mod token;
+pub mod value;
+
+pub use ast::Query;
+pub use error::SqlError;
+pub use value::{DataType, GroupKey, Value};

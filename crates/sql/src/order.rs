@@ -1,0 +1,206 @@
+//! ORDER BY / LIMIT application.
+//!
+//! In the distributed protocols, ordering is necessarily a **final-result**
+//! operation: every intermediate is an unordered set of ciphertexts, and any
+//! order the SSI imposed would itself be information. The querier (or the
+//! local engine, acting as the oracle) applies the ORDER BY and LIMIT of the
+//! query to the decrypted rows with this module.
+
+use std::cmp::Ordering;
+
+use crate::ast::{OrderKey, Query, SelectItem};
+use crate::error::{Result, SqlError};
+use crate::value::Value;
+
+/// Output column names derivable from the query alone — `None` when a
+/// wildcard makes names schema-dependent.
+pub fn output_names(q: &Query) -> Option<Vec<String>> {
+    let mut names = Vec::with_capacity(q.select.len());
+    for item in &q.select {
+        match item {
+            SelectItem::Wildcard => return None,
+            SelectItem::Expr { expr, alias } => {
+                names.push(alias.clone().unwrap_or_else(|| expr.to_string()));
+            }
+        }
+    }
+    Some(names)
+}
+
+/// Resolve the ORDER BY keys of `q` to output column indices.
+fn resolve_keys(q: &Query, arity: usize) -> Result<Vec<(usize, bool)>> {
+    let names = output_names(q);
+    q.order_by
+        .iter()
+        .map(|item| {
+            let idx = match &item.key {
+                OrderKey::Position(p) => {
+                    let idx = p - 1;
+                    if idx >= arity {
+                        return Err(SqlError::Parse {
+                            message: format!("ORDER BY position {p} exceeds output arity {arity}"),
+                        });
+                    }
+                    idx
+                }
+                OrderKey::Name(n) => match &names {
+                    None => {
+                        return Err(SqlError::Parse {
+                            message: "ORDER BY name is ambiguous with SELECT *; use a position"
+                                .into(),
+                        })
+                    }
+                    Some(names) => names
+                        .iter()
+                        .position(|c| c.eq_ignore_ascii_case(n))
+                        .ok_or_else(|| SqlError::UnknownColumn(n.clone()))?,
+                },
+            };
+            Ok((idx, item.descending))
+        })
+        .collect()
+}
+
+/// Compare two values for ordering purposes: NULLs sort last, incomparable
+/// types fall back to a stable type-rank + display comparison (a total order
+/// is required to sort at all).
+fn order_cmp(a: &Value, b: &Value) -> Ordering {
+    match (a.is_null(), b.is_null()) {
+        (true, true) => return Ordering::Equal,
+        (true, false) => return Ordering::Greater,
+        (false, true) => return Ordering::Less,
+        _ => {}
+    }
+    if let Some(ord) = a.sql_cmp(b) {
+        return ord;
+    }
+    let rank = |v: &Value| match v {
+        Value::Null => 4,
+        Value::Bool(_) => 0,
+        Value::Int(_) | Value::Float(_) => 1,
+        Value::Str(_) => 2,
+    };
+    rank(a)
+        .cmp(&rank(b))
+        .then_with(|| a.to_string().cmp(&b.to_string()))
+}
+
+/// Apply `q`'s ORDER BY and LIMIT to a set of result rows, in place.
+/// A query without either clause leaves `rows` untouched.
+pub fn apply_order_limit(q: &Query, rows: &mut Vec<Vec<Value>>) -> Result<()> {
+    if !q.order_by.is_empty() {
+        let arity = rows.first().map(|r| r.len()).unwrap_or(q.select.len());
+        let keys = resolve_keys(q, arity)?;
+        rows.sort_by(|a, b| {
+            for &(idx, desc) in &keys {
+                let ord = order_cmp(&a[idx], &b[idx]);
+                let ord = if desc { ord.reverse() } else { ord };
+                if ord != Ordering::Equal {
+                    return ord;
+                }
+            }
+            Ordering::Equal
+        });
+    }
+    if let Some(limit) = q.limit {
+        rows.truncate(limit as usize);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_query;
+
+    fn rows() -> Vec<Vec<Value>> {
+        vec![
+            vec![Value::Str("b".into()), Value::Int(2)],
+            vec![Value::Str("a".into()), Value::Int(3)],
+            vec![Value::Str("c".into()), Value::Null],
+            vec![Value::Str("a".into()), Value::Int(1)],
+        ]
+    }
+
+    #[test]
+    fn order_by_name_and_position() {
+        let q = parse_query("SELECT city, n FROM t ORDER BY city, 2 DESC").unwrap();
+        let mut r = rows();
+        apply_order_limit(&q, &mut r).unwrap();
+        assert_eq!(
+            r,
+            vec![
+                vec![Value::Str("a".into()), Value::Int(3)],
+                vec![Value::Str("a".into()), Value::Int(1)],
+                vec![Value::Str("b".into()), Value::Int(2)],
+                vec![Value::Str("c".into()), Value::Null],
+            ]
+        );
+    }
+
+    #[test]
+    fn nulls_sort_last() {
+        let q = parse_query("SELECT city, n FROM t ORDER BY n").unwrap();
+        let mut r = rows();
+        apply_order_limit(&q, &mut r).unwrap();
+        assert_eq!(r.last().unwrap()[1], Value::Null);
+        assert_eq!(r[0][1], Value::Int(1));
+    }
+
+    #[test]
+    fn limit_truncates() {
+        let q = parse_query("SELECT city, n FROM t ORDER BY 1 LIMIT 2").unwrap();
+        let mut r = rows();
+        apply_order_limit(&q, &mut r).unwrap();
+        assert_eq!(r.len(), 2);
+        let q = parse_query("SELECT city, n FROM t LIMIT 0").unwrap();
+        let mut r = rows();
+        apply_order_limit(&q, &mut r).unwrap();
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn alias_resolution() {
+        let q = parse_query("SELECT n AS amount FROM t ORDER BY amount DESC").unwrap();
+        let mut r = vec![vec![Value::Int(1)], vec![Value::Int(5)]];
+        apply_order_limit(&q, &mut r).unwrap();
+        assert_eq!(r[0], vec![Value::Int(5)]);
+    }
+
+    #[test]
+    fn errors() {
+        let q = parse_query("SELECT city FROM t ORDER BY 3").unwrap();
+        assert!(apply_order_limit(&q, &mut rows()).is_err());
+        let q = parse_query("SELECT city FROM t ORDER BY nope").unwrap();
+        assert!(apply_order_limit(&q, &mut rows()).is_err());
+        let q = parse_query("SELECT * FROM t ORDER BY city").unwrap();
+        assert!(matches!(
+            apply_order_limit(&q, &mut rows()),
+            Err(SqlError::Parse { .. })
+        ));
+        // Positions still work with a wildcard.
+        let q = parse_query("SELECT * FROM t ORDER BY 1").unwrap();
+        assert!(apply_order_limit(&q, &mut rows()).is_ok());
+    }
+
+    #[test]
+    fn no_clause_is_identity() {
+        let q = parse_query("SELECT city, n FROM t").unwrap();
+        let mut r = rows();
+        apply_order_limit(&q, &mut r).unwrap();
+        assert_eq!(r, rows());
+    }
+
+    #[test]
+    fn display_roundtrip_with_order() {
+        let q =
+            parse_query("SELECT city, COUNT(*) FROM t GROUP BY city ORDER BY 2 DESC, city LIMIT 5")
+                .unwrap();
+        let printed = q.to_string();
+        assert_eq!(parse_query(&printed).unwrap(), q);
+        assert!(
+            printed.contains("ORDER BY 2 DESC, city LIMIT 5"),
+            "{printed}"
+        );
+    }
+}

@@ -1,0 +1,626 @@
+//! Recursive-descent parser for the paper's SQL dialect.
+
+use crate::ast::{
+    AggCall, AggFunc, BinOp, ColumnRef, Expr, OrderItem, OrderKey, Query, SelectItem, SizeClause,
+    TableRef, UnaryOp,
+};
+use crate::error::{Result, SqlError};
+use crate::token::{tokenize, Token};
+use crate::value::Value;
+
+/// Parse a full query.
+pub fn parse_query(sql: &str) -> Result<Query> {
+    let tokens = tokenize(sql)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let q = p.query()?;
+    if p.pos != p.tokens.len() {
+        return Err(SqlError::Parse {
+            message: format!("trailing input after query: {:?}", p.tokens[p.pos]),
+        });
+    }
+    Ok(q)
+}
+
+/// Parse a standalone expression (used in tests and policy predicates).
+pub fn parse_expr(sql: &str) -> Result<Expr> {
+    let tokens = tokenize(sql)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let e = p.expr()?;
+    if p.pos != p.tokens.len() {
+        return Err(SqlError::Parse {
+            message: format!("trailing input after expression: {:?}", p.tokens[p.pos]),
+        });
+    }
+    Ok(e)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    /// Peek the uppercase spelling of an identifier token.
+    fn peek_kw(&self) -> Option<String> {
+        match self.peek() {
+            Some(Token::Ident(s)) => Some(s.to_ascii_uppercase()),
+            _ => None,
+        }
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if self.peek_kw().as_deref() == Some(kw) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<()> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            Err(SqlError::Parse {
+                message: format!("expected {kw}, found {:?}", self.peek()),
+            })
+        }
+    }
+
+    fn eat(&mut self, tok: &Token) -> bool {
+        if self.peek() == Some(tok) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, tok: &Token) -> Result<()> {
+        if self.eat(tok) {
+            Ok(())
+        } else {
+            Err(SqlError::Parse {
+                message: format!("expected {tok:?}, found {:?}", self.peek()),
+            })
+        }
+    }
+
+    fn ident(&mut self) -> Result<String> {
+        match self.next() {
+            Some(Token::Ident(s)) => Ok(s),
+            other => Err(SqlError::Parse {
+                message: format!("expected identifier, found {other:?}"),
+            }),
+        }
+    }
+
+    // -- grammar ----------------------------------------------------------
+
+    fn query(&mut self) -> Result<Query> {
+        self.expect_kw("SELECT")?;
+        let select = self.select_list()?;
+        self.expect_kw("FROM")?;
+        let from = self.table_list()?;
+        let where_clause = if self.eat_kw("WHERE") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        let group_by = if self.eat_kw("GROUP") {
+            self.expect_kw("BY")?;
+            self.expr_list()?
+        } else {
+            Vec::new()
+        };
+        let having = if self.eat_kw("HAVING") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        let order_by = if self.eat_kw("ORDER") {
+            self.expect_kw("BY")?;
+            self.order_list()?
+        } else {
+            Vec::new()
+        };
+        let limit = if self.eat_kw("LIMIT") {
+            match self.next() {
+                Some(Token::Int(n)) if n >= 0 => Some(n as u64),
+                other => {
+                    return Err(SqlError::Parse {
+                        message: format!("LIMIT expects a non-negative integer, found {other:?}"),
+                    })
+                }
+            }
+        } else {
+            None
+        };
+        let size = if self.eat_kw("SIZE") {
+            Some(self.size_clause()?)
+        } else {
+            None
+        };
+        Ok(Query {
+            select,
+            from,
+            where_clause,
+            group_by,
+            having,
+            order_by,
+            limit,
+            size,
+        })
+    }
+
+    fn select_list(&mut self) -> Result<Vec<SelectItem>> {
+        let mut items = Vec::new();
+        loop {
+            if self.eat(&Token::Star) {
+                items.push(SelectItem::Wildcard);
+            } else {
+                let expr = self.expr()?;
+                let alias = if self.eat_kw("AS") {
+                    Some(self.ident()?.to_ascii_lowercase())
+                } else {
+                    None
+                };
+                items.push(SelectItem::Expr { expr, alias });
+            }
+            if !self.eat(&Token::Comma) {
+                break;
+            }
+        }
+        Ok(items)
+    }
+
+    fn table_list(&mut self) -> Result<Vec<TableRef>> {
+        let mut tables = Vec::new();
+        loop {
+            let table = self.ident()?.to_ascii_lowercase();
+            // Optional alias: a bare identifier that is not a clause keyword.
+            let alias = match self.peek_kw().as_deref() {
+                Some("WHERE" | "GROUP" | "HAVING" | "ORDER" | "LIMIT" | "SIZE" | "AS") => {
+                    if self.eat_kw("AS") {
+                        Some(self.ident()?.to_ascii_lowercase())
+                    } else {
+                        None
+                    }
+                }
+                Some(_) => Some(self.ident()?.to_ascii_lowercase()),
+                None => None,
+            };
+            tables.push(TableRef { table, alias });
+            if !self.eat(&Token::Comma) {
+                break;
+            }
+        }
+        Ok(tables)
+    }
+
+    fn order_list(&mut self) -> Result<Vec<OrderItem>> {
+        let mut items = Vec::new();
+        loop {
+            let key = match self.next() {
+                Some(Token::Int(p)) if p >= 1 => OrderKey::Position(p as usize),
+                Some(Token::Ident(name)) => OrderKey::Name(name.to_ascii_lowercase()),
+                other => {
+                    return Err(SqlError::Parse {
+                        message: format!(
+                            "ORDER BY expects a column name or 1-based position, found {other:?}"
+                        ),
+                    })
+                }
+            };
+            let descending = if self.eat_kw("DESC") {
+                true
+            } else {
+                self.eat_kw("ASC");
+                false
+            };
+            items.push(OrderItem { key, descending });
+            if !self.eat(&Token::Comma) {
+                break;
+            }
+        }
+        Ok(items)
+    }
+
+    fn expr_list(&mut self) -> Result<Vec<Expr>> {
+        let mut exprs = vec![self.expr()?];
+        while self.eat(&Token::Comma) {
+            exprs.push(self.expr()?);
+        }
+        Ok(exprs)
+    }
+
+    fn size_clause(&mut self) -> Result<SizeClause> {
+        let mut clause = SizeClause::default();
+        loop {
+            let n = match self.next() {
+                Some(Token::Int(n)) if n >= 0 => n as u64,
+                other => {
+                    return Err(SqlError::Parse {
+                        message: format!("expected non-negative integer in SIZE, found {other:?}"),
+                    })
+                }
+            };
+            if self.eat_kw("ROUNDS") {
+                clause.max_rounds = Some(n);
+            } else {
+                // `TUPLES` is optional: `SIZE 50000` means 50 000 tuples.
+                self.eat_kw("TUPLES");
+                clause.max_tuples = Some(n);
+            }
+            if !self.eat(&Token::Comma) {
+                break;
+            }
+        }
+        Ok(clause)
+    }
+
+    // Precedence climbing: OR < AND < NOT < comparison < add < mul < unary.
+
+    fn expr(&mut self) -> Result<Expr> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr> {
+        let mut left = self.and_expr()?;
+        while self.eat_kw("OR") {
+            let right = self.and_expr()?;
+            left = Expr::Binary {
+                left: Box::new(left),
+                op: BinOp::Or,
+                right: Box::new(right),
+            };
+        }
+        Ok(left)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr> {
+        let mut left = self.not_expr()?;
+        while self.eat_kw("AND") {
+            let right = self.not_expr()?;
+            left = Expr::Binary {
+                left: Box::new(left),
+                op: BinOp::And,
+                right: Box::new(right),
+            };
+        }
+        Ok(left)
+    }
+
+    fn not_expr(&mut self) -> Result<Expr> {
+        if self.eat_kw("NOT") {
+            let inner = self.not_expr()?;
+            Ok(Expr::Unary {
+                op: UnaryOp::Not,
+                expr: Box::new(inner),
+            })
+        } else {
+            self.comparison()
+        }
+    }
+
+    fn comparison(&mut self) -> Result<Expr> {
+        let left = self.additive()?;
+        // IS [NOT] NULL / [NOT] IN / [NOT] BETWEEN / [NOT] LIKE
+        if self.eat_kw("IS") {
+            let negated = self.eat_kw("NOT");
+            self.expect_kw("NULL")?;
+            return Ok(Expr::IsNull {
+                expr: Box::new(left),
+                negated,
+            });
+        }
+        let negated = if self.peek_kw().as_deref() == Some("NOT")
+            && matches!(
+                self.tokens.get(self.pos + 1),
+                Some(Token::Ident(s)) if matches!(s.to_ascii_uppercase().as_str(), "IN" | "BETWEEN" | "LIKE")
+            ) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        };
+        if self.eat_kw("IN") {
+            self.expect(&Token::LParen)?;
+            let list = self.expr_list()?;
+            self.expect(&Token::RParen)?;
+            return Ok(Expr::InList {
+                expr: Box::new(left),
+                list,
+                negated,
+            });
+        }
+        if self.eat_kw("BETWEEN") {
+            let low = self.additive()?;
+            self.expect_kw("AND")?;
+            let high = self.additive()?;
+            return Ok(Expr::Between {
+                expr: Box::new(left),
+                low: Box::new(low),
+                high: Box::new(high),
+                negated,
+            });
+        }
+        if self.eat_kw("LIKE") {
+            let pattern = match self.next() {
+                Some(Token::Str(s)) => s,
+                other => {
+                    return Err(SqlError::Parse {
+                        message: format!("LIKE expects a string literal, found {other:?}"),
+                    })
+                }
+            };
+            return Ok(Expr::Like {
+                expr: Box::new(left),
+                pattern,
+                negated,
+            });
+        }
+        if negated {
+            return Err(SqlError::Parse {
+                message: "dangling NOT before comparison".into(),
+            });
+        }
+        let op = match self.peek() {
+            Some(Token::Eq) => Some(BinOp::Eq),
+            Some(Token::NotEq) => Some(BinOp::NotEq),
+            Some(Token::Lt) => Some(BinOp::Lt),
+            Some(Token::LtEq) => Some(BinOp::LtEq),
+            Some(Token::Gt) => Some(BinOp::Gt),
+            Some(Token::GtEq) => Some(BinOp::GtEq),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.pos += 1;
+            let right = self.additive()?;
+            return Ok(Expr::Binary {
+                left: Box::new(left),
+                op,
+                right: Box::new(right),
+            });
+        }
+        Ok(left)
+    }
+
+    fn additive(&mut self) -> Result<Expr> {
+        let mut left = self.multiplicative()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Plus) => BinOp::Add,
+                Some(Token::Minus) => BinOp::Sub,
+                _ => break,
+            };
+            self.pos += 1;
+            let right = self.multiplicative()?;
+            left = Expr::Binary {
+                left: Box::new(left),
+                op,
+                right: Box::new(right),
+            };
+        }
+        Ok(left)
+    }
+
+    fn multiplicative(&mut self) -> Result<Expr> {
+        let mut left = self.unary()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Star) => BinOp::Mul,
+                Some(Token::Slash) => BinOp::Div,
+                Some(Token::Percent) => BinOp::Mod,
+                _ => break,
+            };
+            self.pos += 1;
+            let right = self.unary()?;
+            left = Expr::Binary {
+                left: Box::new(left),
+                op,
+                right: Box::new(right),
+            };
+        }
+        Ok(left)
+    }
+
+    fn unary(&mut self) -> Result<Expr> {
+        if self.eat(&Token::Minus) {
+            let inner = self.unary()?;
+            // Fold negated numeric literals so `-1` is the literal −1 (and
+            // printed negative literals re-parse to themselves).
+            return Ok(match inner {
+                Expr::Literal(Value::Int(i)) => {
+                    Expr::Literal(Value::Int(i.checked_neg().ok_or_else(|| {
+                        SqlError::Parse {
+                            message: "integer literal overflow on negation".into(),
+                        }
+                    })?))
+                }
+                Expr::Literal(Value::Float(x)) => Expr::Literal(Value::Float(-x)),
+                other => Expr::Unary {
+                    op: UnaryOp::Neg,
+                    expr: Box::new(other),
+                },
+            });
+        }
+        self.primary()
+    }
+
+    fn primary(&mut self) -> Result<Expr> {
+        match self.next() {
+            Some(Token::Int(n)) => Ok(Expr::Literal(Value::Int(n))),
+            Some(Token::Float(f)) => Ok(Expr::Literal(Value::Float(f))),
+            Some(Token::Str(s)) => Ok(Expr::Literal(Value::Str(s))),
+            Some(Token::LParen) => {
+                let e = self.expr()?;
+                self.expect(&Token::RParen)?;
+                Ok(e)
+            }
+            Some(Token::Ident(name)) => self.ident_expr(name),
+            other => Err(SqlError::Parse {
+                message: format!("unexpected token {other:?}"),
+            }),
+        }
+    }
+
+    /// Identifier-led expression: literal keyword, aggregate call, or
+    /// (qualified) column reference.
+    fn ident_expr(&mut self, name: String) -> Result<Expr> {
+        match name.to_ascii_uppercase().as_str() {
+            "NULL" => return Ok(Expr::Literal(Value::Null)),
+            "TRUE" => return Ok(Expr::Literal(Value::Bool(true))),
+            "FALSE" => return Ok(Expr::Literal(Value::Bool(false))),
+            _ => {}
+        }
+        if self.peek() == Some(&Token::LParen) {
+            let func = AggFunc::from_name(&name).ok_or_else(|| SqlError::Parse {
+                message: format!("unknown function {name}"),
+            })?;
+            self.pos += 1; // consume '('
+            let distinct = self.eat_kw("DISTINCT");
+            let arg = if self.eat(&Token::Star) {
+                if func != AggFunc::Count {
+                    return Err(SqlError::Parse {
+                        message: format!("{}(*) is not valid; only COUNT(*)", func.name()),
+                    });
+                }
+                None
+            } else {
+                Some(Box::new(self.expr()?))
+            };
+            self.expect(&Token::RParen)?;
+            let call = AggCall {
+                func,
+                arg,
+                distinct,
+            };
+            if let Some(arg) = &call.arg {
+                if arg.contains_aggregate() {
+                    return Err(SqlError::Aggregate {
+                        message: "nested aggregate calls are not allowed".into(),
+                    });
+                }
+            }
+            return Ok(Expr::Aggregate(call));
+        }
+        if self.eat(&Token::Dot) {
+            let column = self.ident()?;
+            return Ok(Expr::Column(ColumnRef::qualified(name, column)));
+        }
+        Ok(Expr::Column(ColumnRef::bare(name)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_headline_query() {
+        let q = parse_query(
+            "SELECT AVG(Cons) FROM Power P, Consumer C \
+             WHERE C.accomodation='detached house' and C.cid = P.cid \
+             GROUP BY C.district HAVING Count(distinct C.cid) > 100 SIZE 50000",
+        )
+        .unwrap();
+        assert_eq!(q.from.len(), 2);
+        assert_eq!(q.from[0].binding(), "p");
+        assert_eq!(q.group_by.len(), 1);
+        assert!(q.having.is_some());
+        assert_eq!(q.size.unwrap().max_tuples, Some(50_000));
+        assert!(q.is_aggregate());
+    }
+
+    #[test]
+    fn simple_select() {
+        let q = parse_query("SELECT * FROM health WHERE age >= 80 SIZE 1000, 5 ROUNDS").unwrap();
+        assert_eq!(q.select, vec![SelectItem::Wildcard]);
+        let size = q.size.unwrap();
+        assert_eq!(size.max_tuples, Some(1000));
+        assert_eq!(size.max_rounds, Some(5));
+        assert!(!q.is_aggregate());
+    }
+
+    #[test]
+    fn precedence() {
+        let e = parse_expr("1 + 2 * 3 = 7 AND NOT FALSE OR x IS NULL").unwrap();
+        // Top level must be OR.
+        match e {
+            Expr::Binary { op: BinOp::Or, .. } => {}
+            other => panic!("expected OR at top, got {other:?}"),
+        }
+        let arith = parse_expr("1 + 2 * 3").unwrap();
+        assert_eq!(format!("{arith}"), "(1 + (2 * 3))");
+    }
+
+    #[test]
+    fn between_in_like() {
+        let e = parse_expr("age BETWEEN 10 AND 20").unwrap();
+        assert!(matches!(e, Expr::Between { negated: false, .. }));
+        let e = parse_expr("city NOT IN ('Paris', 'Lyon')").unwrap();
+        assert!(matches!(e, Expr::InList { negated: true, .. }));
+        let e = parse_expr("name LIKE 'A%'").unwrap();
+        assert!(matches!(e, Expr::Like { negated: false, .. }));
+        let e = parse_expr("x IS NOT NULL").unwrap();
+        assert!(matches!(e, Expr::IsNull { negated: true, .. }));
+    }
+
+    #[test]
+    fn count_star_only() {
+        assert!(parse_query("SELECT COUNT(*) FROM t").is_ok());
+        assert!(parse_query("SELECT SUM(*) FROM t").is_err());
+    }
+
+    #[test]
+    fn nested_aggregates_rejected() {
+        assert!(matches!(
+            parse_query("SELECT SUM(AVG(x)) FROM t"),
+            Err(SqlError::Aggregate { .. })
+        ));
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        assert!(parse_query("SELECT a FROM t WHERE 1=1 1").is_err());
+        assert!(parse_expr("1 + ").is_err());
+    }
+
+    #[test]
+    fn aliases() {
+        let q = parse_query("SELECT cons AS usage FROM power AS p").unwrap();
+        match &q.select[0] {
+            SelectItem::Expr { alias, .. } => assert_eq!(alias.as_deref(), Some("usage")),
+            _ => panic!(),
+        }
+        assert_eq!(q.from[0].alias.as_deref(), Some("p"));
+    }
+
+    #[test]
+    fn roundtrip_display_parse() {
+        let inputs = [
+            "SELECT AVG(cons) FROM power p GROUP BY district HAVING COUNT(*) > 10 SIZE 100 TUPLES",
+            "SELECT * FROM t WHERE (a = 1 OR b < 2) AND c IS NOT NULL",
+            "SELECT MEDIAN(x) FROM t WHERE s LIKE '%it''s%' SIZE 5 ROUNDS",
+        ];
+        for sql in inputs {
+            let q1 = parse_query(sql).unwrap();
+            let printed = q1.to_string();
+            let q2 = parse_query(&printed).unwrap();
+            assert_eq!(q1, q2, "roundtrip failed for {sql}\nprinted: {printed}");
+        }
+    }
+}

@@ -1,0 +1,318 @@
+//! SQL tokenizer for the paper's dialect.
+
+use crate::error::{Result, SqlError};
+
+/// Token kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Keyword or identifier (uppercased keywords are recognised in the
+    /// parser; the tokenizer keeps the raw text).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// String literal (already unescaped).
+    Str(String),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `*`
+    Star,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `=`
+    Eq,
+    /// `!=` or `<>`
+    NotEq,
+    /// `<`
+    Lt,
+    /// `<=`
+    LtEq,
+    /// `>`
+    Gt,
+    /// `>=`
+    GtEq,
+}
+
+/// Tokenize a SQL string.
+pub fn tokenize(input: &str) -> Result<Vec<Token>> {
+    let bytes = input.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\r' | '\n' => i += 1,
+            '(' => {
+                tokens.push(Token::LParen);
+                i += 1;
+            }
+            ')' => {
+                tokens.push(Token::RParen);
+                i += 1;
+            }
+            ',' => {
+                tokens.push(Token::Comma);
+                i += 1;
+            }
+            '.' if !next_is_digit(bytes, i + 1) => {
+                tokens.push(Token::Dot);
+                i += 1;
+            }
+            '*' => {
+                tokens.push(Token::Star);
+                i += 1;
+            }
+            '+' => {
+                tokens.push(Token::Plus);
+                i += 1;
+            }
+            '-' => {
+                // `--` line comment.
+                if bytes.get(i + 1) == Some(&b'-') {
+                    while i < bytes.len() && bytes[i] != b'\n' {
+                        i += 1;
+                    }
+                } else {
+                    tokens.push(Token::Minus);
+                    i += 1;
+                }
+            }
+            '/' => {
+                tokens.push(Token::Slash);
+                i += 1;
+            }
+            '%' => {
+                tokens.push(Token::Percent);
+                i += 1;
+            }
+            '=' => {
+                tokens.push(Token::Eq);
+                i += 1;
+            }
+            '!' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token::NotEq);
+                    i += 2;
+                } else {
+                    return Err(SqlError::Lex {
+                        position: i,
+                        message: "expected '=' after '!'".into(),
+                    });
+                }
+            }
+            '<' => match bytes.get(i + 1) {
+                Some(b'=') => {
+                    tokens.push(Token::LtEq);
+                    i += 2;
+                }
+                Some(b'>') => {
+                    tokens.push(Token::NotEq);
+                    i += 2;
+                }
+                _ => {
+                    tokens.push(Token::Lt);
+                    i += 1;
+                }
+            },
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token::GtEq);
+                    i += 2;
+                } else {
+                    tokens.push(Token::Gt);
+                    i += 1;
+                }
+            }
+            '\'' => {
+                let (s, consumed) = lex_string(input, i)?;
+                tokens.push(Token::Str(s));
+                i += consumed;
+            }
+            c if c.is_ascii_digit() || c == '.' => {
+                let (tok, consumed) = lex_number(input, i)?;
+                tokens.push(tok);
+                i += consumed;
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                tokens.push(Token::Ident(input[start..i].to_string()));
+            }
+            other => {
+                return Err(SqlError::Lex {
+                    position: i,
+                    message: format!("unexpected character {other:?}"),
+                })
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+fn next_is_digit(bytes: &[u8], i: usize) -> bool {
+    bytes.get(i).is_some_and(|b| b.is_ascii_digit())
+}
+
+/// Lex a single-quoted string with `''` escaping. Returns (value, bytes consumed).
+fn lex_string(input: &str, start: usize) -> Result<(String, usize)> {
+    let bytes = input.as_bytes();
+    debug_assert_eq!(bytes[start], b'\'');
+    let mut s = String::new();
+    let mut i = start + 1;
+    while i < bytes.len() {
+        if bytes[i] == b'\'' {
+            if bytes.get(i + 1) == Some(&b'\'') {
+                s.push('\'');
+                i += 2;
+            } else {
+                return Ok((s, i + 1 - start));
+            }
+        } else {
+            // Keep UTF-8 intact: advance by full character.
+            let ch = input[i..].chars().next().expect("valid utf8");
+            s.push(ch);
+            i += ch.len_utf8();
+        }
+    }
+    Err(SqlError::Lex {
+        position: start,
+        message: "unterminated string literal".into(),
+    })
+}
+
+/// Lex a number. Returns (token, bytes consumed).
+fn lex_number(input: &str, start: usize) -> Result<(Token, usize)> {
+    let bytes = input.as_bytes();
+    let mut i = start;
+    let mut is_float = false;
+    while i < bytes.len() && bytes[i].is_ascii_digit() {
+        i += 1;
+    }
+    if i < bytes.len() && bytes[i] == b'.' && next_is_digit(bytes, i + 1) {
+        is_float = true;
+        i += 1;
+        while i < bytes.len() && bytes[i].is_ascii_digit() {
+            i += 1;
+        }
+    }
+    if i < bytes.len() && (bytes[i] == b'e' || bytes[i] == b'E') {
+        let mut j = i + 1;
+        if j < bytes.len() && (bytes[j] == b'+' || bytes[j] == b'-') {
+            j += 1;
+        }
+        if next_is_digit(bytes, j) {
+            is_float = true;
+            i = j;
+            while i < bytes.len() && bytes[i].is_ascii_digit() {
+                i += 1;
+            }
+        }
+    }
+    let text = &input[start..i];
+    let tok = if is_float {
+        Token::Float(text.parse().map_err(|_| SqlError::Lex {
+            position: start,
+            message: format!("bad float literal {text:?}"),
+        })?)
+    } else {
+        Token::Int(text.parse().map_err(|_| SqlError::Lex {
+            position: start,
+            message: format!("bad integer literal {text:?}"),
+        })?)
+    };
+    Ok((tok, i - start))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_query() {
+        let toks = tokenize("SELECT AVG(Cons) FROM Power P WHERE P.cid >= 10").unwrap();
+        assert_eq!(toks[0], Token::Ident("SELECT".into()));
+        assert!(toks.contains(&Token::GtEq));
+        assert!(toks.contains(&Token::Dot));
+        assert!(toks.contains(&Token::Int(10)));
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(tokenize("42").unwrap(), vec![Token::Int(42)]);
+        assert_eq!(tokenize("3.5").unwrap(), vec![Token::Float(3.5)]);
+        assert_eq!(tokenize("1e3").unwrap(), vec![Token::Float(1000.0)]);
+        assert_eq!(tokenize("2.5e-1").unwrap(), vec![Token::Float(0.25)]);
+        // `1.e3` is Int(1) Dot Ident — we don't accept trailing dot floats.
+        assert_eq!(
+            tokenize("1.x").unwrap(),
+            vec![Token::Int(1), Token::Dot, Token::Ident("x".into())]
+        );
+    }
+
+    #[test]
+    fn strings_with_escapes() {
+        assert_eq!(
+            tokenize("'detached house'").unwrap(),
+            vec![Token::Str("detached house".into())]
+        );
+        assert_eq!(
+            tokenize("'it''s'").unwrap(),
+            vec![Token::Str("it's".into())]
+        );
+        assert_eq!(
+            tokenize("'héllo'").unwrap(),
+            vec![Token::Str("héllo".into())]
+        );
+        assert!(tokenize("'oops").is_err());
+    }
+
+    #[test]
+    fn operators() {
+        let toks = tokenize("= != <> < <= > >= + - * / %").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Eq,
+                Token::NotEq,
+                Token::NotEq,
+                Token::Lt,
+                Token::LtEq,
+                Token::Gt,
+                Token::GtEq,
+                Token::Plus,
+                Token::Minus,
+                Token::Star,
+                Token::Slash,
+                Token::Percent
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_skipped() {
+        let toks = tokenize("SELECT -- the projection\n1").unwrap();
+        assert_eq!(toks, vec![Token::Ident("SELECT".into()), Token::Int(1)]);
+    }
+
+    #[test]
+    fn bad_char_rejected() {
+        assert!(matches!(tokenize("SELECT ;"), Err(SqlError::Lex { .. })));
+    }
+}

@@ -1,0 +1,220 @@
+//! Property tests for the SQL front end: any AST we can print must re-parse
+//! to the identical AST, and evaluation must never panic on well-typed rows.
+
+use proptest::prelude::*;
+
+use tdsql_sql::ast::{
+    AggCall, AggFunc, BinOp, ColumnRef, Expr, Query, SelectItem, SizeClause, TableRef, UnaryOp,
+};
+use tdsql_sql::parser::{parse_expr, parse_query};
+use tdsql_sql::value::Value;
+
+fn arb_literal() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        Just(Value::Null),
+        (-1_000_000i64..1_000_000).prop_map(Value::Int),
+        // Finite, non-exponential floats that Display round-trips exactly.
+        (-1000i32..1000).prop_map(|i| Value::Float(i as f64 / 4.0)),
+        "[a-z ']{0,12}".prop_map(Value::Str),
+        any::<bool>().prop_map(Value::Bool),
+    ]
+}
+
+/// Reserved words of the dialect — not valid bare identifiers.
+const RESERVED: &[&str] = &[
+    "select", "from", "where", "group", "by", "having", "size", "tuples", "rounds", "as",
+    "distinct", "and", "or", "not", "is", "in", "between", "like", "null", "true", "false",
+    "order", "limit", "asc", "desc",
+];
+
+fn arb_ident(pattern: &'static str) -> impl Strategy<Value = String> {
+    pattern
+        .prop_map(|s: String| s.to_ascii_lowercase())
+        .prop_filter("reserved word", |s| !RESERVED.contains(&s.as_str()))
+}
+
+fn arb_column() -> impl Strategy<Value = ColumnRef> {
+    (
+        proptest::option::of(arb_ident("[a-z][a-z0-9_]{0,6}")),
+        arb_ident("[a-z][a-z0-9_]{0,8}"),
+    )
+        .prop_map(|(table, column)| ColumnRef { table, column })
+}
+
+fn arb_binop() -> impl Strategy<Value = BinOp> {
+    prop_oneof![
+        Just(BinOp::Or),
+        Just(BinOp::And),
+        Just(BinOp::Eq),
+        Just(BinOp::NotEq),
+        Just(BinOp::Lt),
+        Just(BinOp::LtEq),
+        Just(BinOp::Gt),
+        Just(BinOp::GtEq),
+        Just(BinOp::Add),
+        Just(BinOp::Sub),
+        Just(BinOp::Mul),
+        Just(BinOp::Div),
+        Just(BinOp::Mod),
+    ]
+}
+
+fn arb_aggfunc() -> impl Strategy<Value = AggFunc> {
+    prop_oneof![
+        Just(AggFunc::Count),
+        Just(AggFunc::Sum),
+        Just(AggFunc::Min),
+        Just(AggFunc::Max),
+        Just(AggFunc::Avg),
+        Just(AggFunc::Variance),
+        Just(AggFunc::StdDev),
+        Just(AggFunc::Median),
+        Just(AggFunc::Mode),
+    ]
+}
+
+/// Scalar (non-aggregate) expressions, recursion-bounded.
+fn arb_scalar_expr() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        arb_literal().prop_map(Expr::Literal),
+        arb_column().prop_map(Expr::Column),
+    ];
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        prop_oneof![
+            (inner.clone(), arb_binop(), inner.clone()).prop_map(|(l, op, r)| Expr::Binary {
+                left: Box::new(l),
+                op,
+                right: Box::new(r),
+            }),
+            (inner.clone(), any::<bool>()).prop_map(|(e, negated)| Expr::IsNull {
+                expr: Box::new(e),
+                negated,
+            }),
+            inner.clone().prop_map(|e| Expr::Unary {
+                op: UnaryOp::Not,
+                expr: Box::new(e)
+            }),
+            // Negation of numeric literals folds in the parser, so generate
+            // Neg only over column references (which never fold).
+            arb_column().prop_map(|c| Expr::Unary {
+                op: UnaryOp::Neg,
+                expr: Box::new(Expr::Column(c)),
+            }),
+            (
+                inner.clone(),
+                prop::collection::vec(inner.clone(), 1..4),
+                any::<bool>()
+            )
+                .prop_map(|(e, list, negated)| Expr::InList {
+                    expr: Box::new(e),
+                    list,
+                    negated
+                }),
+            (inner.clone(), "[a-z%_]{0,8}", any::<bool>()).prop_map(|(e, pattern, negated)| {
+                Expr::Like {
+                    expr: Box::new(e),
+                    pattern,
+                    negated,
+                }
+            }),
+        ]
+    })
+}
+
+fn arb_agg_call() -> impl Strategy<Value = AggCall> {
+    (
+        arb_aggfunc(),
+        proptest::option::of(arb_scalar_expr()),
+        any::<bool>(),
+    )
+        .prop_map(|(func, arg, distinct)| {
+            // COUNT may be star; everything else needs an argument.
+            let arg = match (func, arg) {
+                (AggFunc::Count, None) => None,
+                (_, Some(a)) => Some(Box::new(a)),
+                (_, None) => Some(Box::new(Expr::Column(ColumnRef::bare("x")))),
+            };
+            AggCall {
+                func,
+                arg,
+                distinct,
+            }
+        })
+}
+
+fn arb_query() -> impl Strategy<Value = Query> {
+    let table = (
+        arb_ident("[a-z][a-z0-9_]{0,6}"),
+        proptest::option::of(arb_ident("[a-z][a-z0-9_]{0,4}")),
+    )
+        .prop_map(|(t, a)| TableRef { table: t, alias: a });
+    let select_item = prop_oneof![
+        3 => arb_scalar_expr().prop_map(|e| SelectItem::Expr { expr: e, alias: None }),
+        1 => arb_agg_call().prop_map(|c| SelectItem::Expr {
+            expr: Expr::Aggregate(c),
+            alias: None
+        }),
+        1 => Just(SelectItem::Wildcard),
+    ];
+    (
+        prop::collection::vec(select_item, 1..4),
+        prop::collection::vec(table, 1..3),
+        proptest::option::of(arb_scalar_expr()),
+        prop::collection::vec(arb_scalar_expr(), 0..3),
+        proptest::option::of((proptest::option::of(0u64..100_000), any::<bool>())),
+    )
+        .prop_map(|(select, from, where_clause, group_by, size)| Query {
+            select,
+            from,
+            where_clause,
+            group_by,
+            having: None,
+            order_by: vec![],
+            limit: None,
+            size: size.map(|(tuples, rounds)| SizeClause {
+                max_tuples: tuples.or(Some(1)),
+                max_rounds: rounds.then_some(5),
+            }),
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 256, ..ProptestConfig::default() })]
+
+    #[test]
+    fn expr_display_reparses(e in arb_scalar_expr()) {
+        let printed = e.to_string();
+        let reparsed = parse_expr(&printed)
+            .unwrap_or_else(|err| panic!("{printed:?} failed to reparse: {err}"));
+        prop_assert_eq!(reparsed, e, "printed: {}", printed);
+    }
+
+    #[test]
+    fn aggregate_display_reparses(c in arb_agg_call()) {
+        let e = Expr::Aggregate(c);
+        let printed = e.to_string();
+        let reparsed = parse_expr(&printed).unwrap();
+        prop_assert_eq!(reparsed, e, "printed: {}", printed);
+    }
+
+    #[test]
+    fn query_display_reparses(q in arb_query()) {
+        let printed = q.to_string();
+        let reparsed = parse_query(&printed)
+            .unwrap_or_else(|err| panic!("{printed:?} failed to reparse: {err}"));
+        prop_assert_eq!(reparsed, q, "printed: {}", printed);
+    }
+
+    /// The tokenizer never panics on arbitrary input.
+    #[test]
+    fn tokenizer_total(input in "\\PC{0,64}") {
+        let _ = tdsql_sql::token::tokenize(&input);
+    }
+
+    /// The parser never panics on arbitrary token soup.
+    #[test]
+    fn parser_total(input in "[a-zA-Z0-9 ,.()*'<>=!+%/-]{0,64}") {
+        let _ = parse_query(&input);
+        let _ = parse_expr(&input);
+    }
+}

@@ -1,0 +1,113 @@
+//! Run the same query through all four Group-By protocols and print the
+//! measured trade-offs next to the analytical model's predictions — a
+//! miniature of the paper's Section 6 evaluation and Fig. 11 conclusion.
+//!
+//! ```sh
+//! cargo run --release --example protocol_tradeoffs
+//! ```
+
+use tdsql_core::access::AccessPolicy;
+use tdsql_core::protocol::{ProtocolKind, ProtocolParams};
+use tdsql_core::runtime::SimBuilder;
+use tdsql_core::stats::Phase;
+use tdsql_core::workload::{smart_meters, Skew, SmartMeterConfig};
+use tdsql_costmodel::ed_hist::EdHistModel;
+use tdsql_costmodel::noise::NoiseModel;
+use tdsql_costmodel::s_agg::SAggModel;
+use tdsql_costmodel::{ModelParams, ProtocolModel};
+use tdsql_crypto::credential::Role;
+use tdsql_sql::parser::parse_query;
+
+fn main() {
+    let cfg = SmartMeterConfig {
+        n_tds: 1_000,
+        districts: 10,
+        skew: Skew::Zipf(1.0),
+        readings_per_tds: 1,
+        ..Default::default()
+    };
+    let (databases, _) = smart_meters(&cfg);
+    let query = parse_query(
+        "SELECT c.district, AVG(p.cons), COUNT(*) FROM power p, consumer c \
+         WHERE c.cid = p.cid GROUP BY c.district",
+    )
+    .expect("valid SQL");
+
+    let protocols = [
+        ProtocolKind::SAgg,
+        ProtocolKind::RnfNoise { nf: 2 },
+        ProtocolKind::RnfNoise { nf: 20 },
+        ProtocolKind::CNoise,
+        ProtocolKind::EdHist { buckets: 5 },
+    ];
+
+    println!(
+        "{:<14} {:>8} {:>12} {:>10} {:>10} {:>8}",
+        "protocol", "P_TDS", "Load_Q (B)", "agg steps", "SSI msgs", "groups"
+    );
+    for kind in protocols {
+        let mut world = SimBuilder::new().seed(31).build(
+            databases.clone(),
+            AccessPolicy::allow_all(Role::new("supplier")),
+        );
+        let querier = world.make_querier("energy-co", "supplier");
+        let rows = world
+            .run_query(&querier, &query, ProtocolParams::new(kind))
+            .expect("protocol run");
+        println!(
+            "{:<14} {:>8} {:>12} {:>10} {:>10} {:>8}",
+            kind.name(),
+            world.stats.participating_tds(),
+            world.stats.load_bytes(),
+            world.stats.phase(Phase::Aggregation).steps,
+            world.ssi.observations.len(),
+            rows.len(),
+        );
+    }
+
+    // The analytical model at nation-wide scale (the paper's defaults:
+    // Nt = 10⁶, G = 10³, 10% availability).
+    println!("\nanalytical model at Nt = 10⁶, G = 10³ (paper defaults):");
+    println!(
+        "{:<14} {:>10} {:>14} {:>12} {:>12}",
+        "protocol", "P_TDS", "Load_Q (B)", "T_Q (s)", "T_local (s)"
+    );
+    let p = ModelParams::default();
+    let models: Vec<Box<dyn ProtocolModel>> = vec![
+        Box::new(SAggModel),
+        Box::new(NoiseModel::r2()),
+        Box::new(NoiseModel::r1000()),
+        Box::new(NoiseModel::controlled()),
+        Box::new(EdHistModel),
+    ];
+    for m in &models {
+        let met = m.metrics(&p);
+        println!(
+            "{:<14} {:>10.0} {:>14.0} {:>12.5} {:>12.6}",
+            m.name(),
+            met.ptds,
+            met.load_bytes,
+            met.tq,
+            met.tlocal
+        );
+    }
+
+    println!("\nEXPLAIN for the headline query under ED_Hist:");
+    let mut world = SimBuilder::new().seed(32).build(
+        databases.clone(),
+        AccessPolicy::allow_all(Role::new("supplier")),
+    );
+    let ed_params = world
+        .prepare_params(&query, ProtocolKind::EdHist { buckets: 5 })
+        .expect("discovery");
+    print!("{}", tdsql_core::explain::explain(&query, &ed_params));
+
+    println!("\nFig. 11 conclusion (computed):");
+    for ranking in tdsql_costmodel::ranking::fig11() {
+        println!(
+            "  {:<42} worst → best: {}",
+            ranking.axis.label(),
+            ranking.worst_to_best.join(" → ")
+        );
+    }
+}

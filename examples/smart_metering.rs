@@ -1,0 +1,125 @@
+//! The paper's Section 2.3 scenario, end to end: the energy distribution
+//! company polls its customers' smart meters —
+//!
+//! ```sql
+//! SELECT AVG(Cons) FROM Power P, Consumer C
+//! WHERE C.accomodation = 'detached house' AND C.cid = P.cid
+//! GROUP BY C.district
+//! HAVING COUNT(DISTINCT C.cid) > 100
+//! SIZE 50000
+//! ```
+//!
+//! scaled down to a runnable population. The internal join runs **inside**
+//! each meter; the SSI only ever stores ciphertexts; the HAVING clause is
+//! evaluated by TDSs during the filtering phase; the SIZE clause closes the
+//! collection window at the SSI.
+//!
+//! ```sh
+//! cargo run --example smart_metering
+//! ```
+
+use tdsql_core::access::{AccessPolicy, Grant};
+use tdsql_core::connectivity::Connectivity;
+use tdsql_core::protocol::{ProtocolKind, ProtocolParams};
+use tdsql_core::runtime::SimBuilder;
+use tdsql_core::stats::Phase;
+use tdsql_core::workload::{smart_meters, Skew, SmartMeterConfig};
+use tdsql_crypto::credential::Role;
+use tdsql_sql::parser::parse_query;
+
+fn main() {
+    // 2 000 meters across 12 districts, Zipf-skewed like a real city.
+    let cfg = SmartMeterConfig {
+        n_tds: 2_000,
+        districts: 12,
+        skew: Skew::Zipf(1.1),
+        readings_per_tds: 1,
+        detached_fraction: 0.55,
+        seed: 9,
+    };
+    let (databases, _oracle) = smart_meters(&cfg);
+
+    // The distribution company may read consumption and district — but has
+    // no business reading customer ids, so the policy grants columns only.
+    let mut policy = AccessPolicy::deny_all();
+    policy.add(Grant::Columns {
+        role: Role::new("supplier"),
+        table: "power".into(),
+        columns: ["cid", "cons"].iter().map(|s| s.to_string()).collect(),
+    });
+    policy.add(Grant::Columns {
+        role: Role::new("supplier"),
+        table: "consumer".into(),
+        columns: ["cid", "district", "accomodation"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect(),
+    });
+
+    // Meters are always on but only 30% respond in any given round.
+    let mut world = SimBuilder::new()
+        .seed(77)
+        .connectivity(Connectivity::fraction(0.3))
+        .build(databases, policy);
+    let querier = world.make_querier("energy-distribution-co", "supplier");
+
+    // The headline query, with a threshold scaled to the population.
+    let query = parse_query(
+        "SELECT c.district, AVG(p.cons) FROM power p, consumer c \
+         WHERE c.accomodation = 'detached house' AND c.cid = p.cid \
+         GROUP BY c.district HAVING COUNT(DISTINCT c.cid) > 100 \
+         SIZE 1500",
+    )
+    .expect("valid SQL");
+
+    // ED_Hist is the right protocol for seldom-connected, resource-pinched
+    // personal devices (Section 6.4's first scenario).
+    let rows = world
+        .run_query(
+            &querier,
+            &query,
+            ProtocolParams::new(ProtocolKind::EdHist { buckets: 4 }),
+        )
+        .expect("protocol run");
+
+    println!("districts with >100 detached-house respondents:");
+    let mut sorted = rows;
+    sorted.sort_by(|a, b| format!("{a:?}").cmp(&format!("{b:?}")));
+    for row in &sorted {
+        println!("  {:<16}  avg(cons) = {}", row[0], row[1]);
+    }
+
+    let collected = world.stats.phase(Phase::Collection).ssi_tuples_stored;
+    println!("\ncollection closed at {collected} tuples (SIZE 1500)");
+    println!(
+        "collection ran {} rounds at 30% connectivity",
+        world.stats.phase(Phase::Collection).steps
+    );
+    println!(
+        "aggregation mobilised {} TDSs over {} steps",
+        world.stats.phase(Phase::Aggregation).participating_tds(),
+        world.stats.phase(Phase::Aggregation).steps
+    );
+
+    // What would a frequency-attacking SSI see? Only bucket hashes. (The
+    // discovery sub-query has its own id; show the headline query only.)
+    let target = world
+        .ssi
+        .observations
+        .iter()
+        .map(|o| o.query_id)
+        .max()
+        .unwrap_or(0);
+    let mut tags = std::collections::BTreeMap::new();
+    for obs in &world.ssi.observations {
+        if obs.phase == Phase::Collection && obs.query_id == target {
+            *tags.entry(format!("{:?}", obs.tag)).or_insert(0u64) += 1;
+        }
+    }
+    println!("\nSSI's view of the collection phase (tag → count):");
+    for (tag, count) in &tags {
+        let short = if tag.len() > 28 { &tag[..28] } else { tag };
+        println!("  {short:<30} {count}");
+    }
+    println!("(near-uniform by equi-depth construction — nothing to match on)");
+}

@@ -1,0 +1,86 @@
+//! Stream-relational semantics: "the data is pushed from the TDSs to SSI in
+//! the form of windows" (Section 2.3). Each poll is a window bounded by the
+//! StreamSQL-style `SIZE` clause — here a round budget, modelling "collect
+//! for two connection rounds, then aggregate whatever arrived".
+//!
+//! The example polls the smart-meter fleet repeatedly under 15% connectivity
+//! and prints how each window's coverage and per-district means evolve —
+//! exactly what a distribution company's monitoring dashboard would consume.
+//!
+//! ```sh
+//! cargo run --example streaming_windows
+//! ```
+
+use tdsql_core::access::AccessPolicy;
+use tdsql_core::connectivity::Connectivity;
+use tdsql_core::protocol::{ProtocolKind, ProtocolParams};
+use tdsql_core::runtime::SimBuilder;
+use tdsql_core::stats::Phase;
+use tdsql_core::workload::{smart_meters, SmartMeterConfig};
+use tdsql_crypto::credential::Role;
+use tdsql_sql::parser::parse_query;
+use tdsql_sql::value::Value;
+
+fn main() {
+    let cfg = SmartMeterConfig {
+        n_tds: 800,
+        districts: 4,
+        readings_per_tds: 1,
+        seed: 23,
+        ..Default::default()
+    };
+    let (databases, _) = smart_meters(&cfg);
+    let mut world = SimBuilder::new()
+        .seed(5)
+        .connectivity(Connectivity::fraction(0.15))
+        .build(databases, AccessPolicy::allow_all(Role::new("supplier")));
+    let querier = world.make_querier("energy-co", "supplier");
+
+    // Window: two collection rounds (≈ 28% expected coverage at 15%/round),
+    // then aggregate whatever was received — stream semantics, not a census.
+    let window_query = parse_query(
+        "SELECT c.district, COUNT(*), AVG(p.cons) FROM power p, consumer c \
+         WHERE c.cid = p.cid GROUP BY c.district ORDER BY 1 SIZE 2 ROUNDS",
+    )
+    .expect("valid SQL");
+
+    println!(
+        "polling {} meters at 15% connectivity; window = SIZE 2 ROUNDS",
+        cfg.n_tds
+    );
+    println!(
+        "expected per-window coverage ≈ {:.0} meters (coverage model)",
+        tdsql_costmodel::collection::expected_contributors(0.15, cfg.n_tds as u64, 2)
+    );
+    println!();
+    println!(
+        "{:<8} {:>9} {:>10}  per-district AVG(cons)",
+        "window", "answers", "agg-steps"
+    );
+    for window in 1..=5 {
+        let rows = world
+            .run_query(
+                &querier,
+                &window_query,
+                ProtocolParams::new(ProtocolKind::SAgg),
+            )
+            .expect("window run");
+        let answers = world.stats.phase(Phase::Collection).ssi_tuples_stored;
+        let steps = world.stats.phase(Phase::Aggregation).steps;
+        let means: Vec<String> = rows
+            .iter()
+            .map(|r| match (&r[0], &r[2]) {
+                (Value::Str(d), Value::Float(m)) => {
+                    format!("{}={:.2}", &d[d.len().saturating_sub(2)..], m)
+                }
+                _ => "?".into(),
+            })
+            .collect();
+        println!("{window:<8} {answers:>9} {steps:>10}  {}", means.join("  "));
+    }
+    println!(
+        "\neach window sees a different random sample; the per-district means\n\
+         are stable across windows because sampling is unbiased, while counts\n\
+         track the window's coverage — the stream picture of Section 2.3."
+    );
+}

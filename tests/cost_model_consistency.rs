@@ -1,0 +1,146 @@
+//! Consistency between the functional runtime and the analytical cost model:
+//! the model's qualitative claims (who moves more bytes, who mobilises more
+//! TDSs, who converges in more steps) must also hold in the simulator.
+
+mod common;
+
+use tdsql_core::access::AccessPolicy;
+use tdsql_core::protocol::{ProtocolKind, ProtocolParams};
+use tdsql_core::runtime::{SimBuilder, SimWorld};
+use tdsql_core::stats::Phase;
+use tdsql_core::workload::{smart_meters, SmartMeterConfig};
+use tdsql_costmodel::ed_hist::EdHistModel;
+use tdsql_costmodel::noise::NoiseModel;
+use tdsql_costmodel::s_agg::SAggModel;
+use tdsql_costmodel::{ModelParams, ProtocolModel};
+use tdsql_crypto::credential::Role;
+use tdsql_sql::parser::parse_query;
+
+fn run(kind: ProtocolKind, n_tds: usize, districts: usize, seed: u64) -> SimWorld {
+    let (dbs, _) = smart_meters(&SmartMeterConfig {
+        n_tds,
+        districts,
+        readings_per_tds: 1,
+        ..Default::default()
+    });
+    let mut world = SimBuilder::new()
+        .seed(seed)
+        .build(dbs, AccessPolicy::allow_all(Role::new("supplier")));
+    let querier = world.make_querier("energy-co", "supplier");
+    let query =
+        parse_query("SELECT c.district, COUNT(*) FROM consumer c GROUP BY c.district").unwrap();
+    // Small chunks so the iterative structure is visible at test scale.
+    let mut params = ProtocolParams::new(kind);
+    params.chunk = 16;
+    params.alpha = 4;
+    world.run_query(&querier, &query, params).unwrap();
+    world
+}
+
+#[test]
+fn noise_load_dominates_simulated_and_modelled() {
+    let s_agg = run(ProtocolKind::SAgg, 60, 4, 400);
+    let noisy = run(ProtocolKind::RnfNoise { nf: 10 }, 60, 4, 400);
+    assert!(
+        noisy.stats.load_bytes() > 3 * s_agg.stats.load_bytes(),
+        "sim: noise {} vs s_agg {}",
+        noisy.stats.load_bytes(),
+        s_agg.stats.load_bytes()
+    );
+    let p = ModelParams::default();
+    let m_noise = NoiseModel { nf: Some(10.0) }.metrics(&p);
+    let m_sagg = SAggModel.metrics(&p);
+    assert!(m_noise.load_bytes > 3.0 * m_sagg.load_bytes, "model agrees");
+}
+
+#[test]
+fn s_agg_iterates_more_with_more_tuples() {
+    let small = run(ProtocolKind::SAgg, 30, 3, 401);
+    let large = run(ProtocolKind::SAgg, 150, 3, 401);
+    assert!(
+        large.stats.phase(Phase::Aggregation).steps > small.stats.phase(Phase::Aggregation).steps,
+        "log_α(Nt/G) grows with Nt: {} vs {}",
+        large.stats.phase(Phase::Aggregation).steps,
+        small.stats.phase(Phase::Aggregation).steps
+    );
+}
+
+#[test]
+fn tag_protocols_mobilise_more_tds_at_large_g() {
+    // With many groups, ED_Hist/noise fan out per group while S_Agg funnels
+    // into a single reducer chain — both in the model (Fig. 10a) and here.
+    let g = 12;
+    let s_agg = run(ProtocolKind::SAgg, 90, g, 402);
+    let ed = run(ProtocolKind::EdHist { buckets: 6 }, 90, g, 402);
+    let s_agg_p = s_agg.stats.phase(Phase::Aggregation).participating_tds();
+    let ed_p = ed.stats.phase(Phase::Aggregation).participating_tds();
+    assert!(
+        ed_p >= s_agg_p,
+        "ED_Hist aggregation parallelism {ed_p} vs S_Agg {s_agg_p}"
+    );
+}
+
+#[test]
+fn device_profile_matches_paper_tuple_time() {
+    // Fig. 9 calibration: the default profile reproduces Tt ≈ 16 µs and the
+    // transfer-dominated breakdown the whole model rests on.
+    let d = tdsql_costmodel::DeviceProfile::default();
+    let b = d.partition_breakdown(4096.0);
+    assert!(b.transfer / b.total() > 0.5, "transfer dominates (Fig. 9b)");
+    let simulated_tt = d.tuple_time();
+    let p = ModelParams::default();
+    assert!((simulated_tt - p.tt).abs() / p.tt < 0.5);
+}
+
+#[test]
+fn simulated_bytes_scale_with_population() {
+    let small = run(ProtocolKind::SAgg, 30, 3, 403);
+    let large = run(ProtocolKind::SAgg, 120, 3, 403);
+    let ratio = large.stats.load_bytes() as f64 / small.stats.load_bytes().max(1) as f64;
+    assert!(
+        ratio > 2.0 && ratio < 8.0,
+        "≈linear in Nt (got ×{ratio:.2})"
+    );
+}
+
+#[test]
+fn collection_rounds_match_the_coverage_model() {
+    // With 20% connectivity and no SIZE bound, the simulator should need
+    // roughly ln(1−q)/ln(1−p) rounds to reach full coverage; check the
+    // SIZE-bounded case against the closed form.
+    use tdsql_core::connectivity::Connectivity;
+    let n_tds = 200usize;
+    let (dbs, _) = smart_meters(&SmartMeterConfig {
+        n_tds,
+        districts: 3,
+        readings_per_tds: 1,
+        ..Default::default()
+    });
+    let mut world = SimBuilder::new()
+        .seed(404)
+        .connectivity(Connectivity::fraction(0.2))
+        .build(dbs, AccessPolicy::allow_all(Role::new("supplier")));
+    let querier = world.make_querier("q", "supplier");
+    // SIZE 100 = 50% coverage → model predicts ≈ 3.1 rounds at p = 0.2.
+    let query = parse_query("SELECT c.cid FROM consumer c SIZE 100").unwrap();
+    world
+        .run_query(&querier, &query, ProtocolParams::new(ProtocolKind::Basic))
+        .unwrap();
+    let simulated = world.stats.phase(Phase::Collection).steps as f64;
+    let predicted = tdsql_costmodel::collection::rounds_to_size(0.2, n_tds as u64, 100);
+    assert!(
+        (simulated - predicted).abs() <= 2.0,
+        "simulated {simulated} vs predicted {predicted:.2}"
+    );
+}
+
+#[test]
+fn model_crossover_reflected_in_paper_defaults() {
+    // Not a simulation check: pin the headline crossover numbers the README
+    // quotes. S_Agg ≈ 0.4 s and ED_Hist ≈ 1 ms at the paper's defaults.
+    let p = ModelParams::default();
+    let sa = SAggModel.metrics(&p);
+    let ed = EdHistModel.metrics(&p);
+    assert!(sa.tq > 0.2 && sa.tq < 0.8, "S_Agg T_Q = {}", sa.tq);
+    assert!(ed.tq > 2e-4 && ed.tq < 5e-3, "ED_Hist T_Q = {}", ed.tq);
+}

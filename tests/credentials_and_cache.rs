@@ -1,0 +1,92 @@
+//! Credential lifetimes and the SSI-side histogram cache, end to end.
+
+mod common;
+
+use common::assert_rows_eq;
+use tdsql_core::access::AccessPolicy;
+use tdsql_core::histogram::Histogram;
+use tdsql_core::protocol::{discovery, ProtocolKind, ProtocolParams};
+use tdsql_core::runtime::SimBuilder;
+use tdsql_core::workload::{health_survey, HealthConfig};
+use tdsql_crypto::credential::Role;
+use tdsql_sql::engine::execute;
+use tdsql_sql::parser::parse_query;
+
+const SQL: &str = "SELECT city, COUNT(*) FROM health GROUP BY city";
+
+#[test]
+fn expired_credentials_yield_dummies_only() {
+    let (dbs, oracle) = health_survey(&HealthConfig {
+        n_tds: 15,
+        ..Default::default()
+    });
+    let query = parse_query(SQL).unwrap();
+    let expected = execute(&oracle, &query).unwrap().rows;
+
+    let mut world = SimBuilder::new()
+        .seed(840)
+        .build(dbs, AccessPolicy::allow_all(Role::new("physician")));
+
+    // A credential that expires immediately: by the time any TDS opens the
+    // query the round clock has advanced past it.
+    let stale = world.make_querier_expiring("agency", "physician", 0);
+    let rows = world
+        .run_query(&stale, &query, ProtocolParams::new(ProtocolKind::SAgg))
+        .unwrap();
+    assert!(rows.is_empty(), "expired credential sees only dummies");
+
+    // A long-lived credential works.
+    let fresh = world.make_querier_expiring("agency", "physician", u64::MAX);
+    let rows = world
+        .run_query(&fresh, &query, ProtocolParams::new(ProtocolKind::SAgg))
+        .unwrap();
+    assert_rows_eq(rows, expected, "valid credential");
+}
+
+#[test]
+fn histogram_round_trips_through_the_ssi_cache() {
+    // The discovered distribution is sealed under k2 by a TDS, parked on the
+    // SSI, and any other TDS can download and open it — the deployment path
+    // for the "refreshed from time to time" histogram.
+    let (dbs, _) = health_survey(&HealthConfig {
+        n_tds: 20,
+        ..Default::default()
+    });
+    let query = parse_query(SQL).unwrap();
+    let mut world = SimBuilder::new()
+        .seed(841)
+        .build(dbs, AccessPolicy::allow_all(Role::new("physician")));
+
+    let dist = discovery::discover_distribution(&mut world, &query).unwrap();
+    let hist = Histogram::build(&dist, 2);
+
+    // TDS 0 seals and uploads; the SSI stores an opaque blob.
+    let mut rng = rand::SeedableRng::seed_from_u64(1);
+    let sealed = world.tdss[0].seal_histogram(&hist, &mut rng);
+    assert!(
+        !sealed.windows(4).any(|w| w == b"city" || w == b"Memp"),
+        "sealed histogram must not leak group names"
+    );
+    world.ssi.put_cache("health/city/hist-v1", sealed);
+
+    // TDS 7 downloads and opens it.
+    let blob = world.ssi.get_cache("health/city/hist-v1").unwrap().clone();
+    let opened = world.tdss[7].open_histogram(&blob).unwrap();
+    assert_eq!(opened, hist);
+    assert!(world.ssi.get_cache("no-such-entry").is_none());
+
+    // And the opened histogram drives a correct ED_Hist run.
+    let querier = world.make_querier("agency", "physician");
+    let mut params = ProtocolParams::new(ProtocolKind::EdHist { buckets: 2 });
+    params.histogram = Some(opened);
+    let rows = world.run_query(&querier, &query, params).unwrap();
+    let (_, oracle) = health_survey(&HealthConfig {
+        n_tds: 20,
+        ..Default::default()
+    });
+    assert_rows_eq(
+        rows,
+        execute(&oracle, &query).unwrap().rows,
+        "cached histogram run",
+    );
+}

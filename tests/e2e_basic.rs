@@ -1,0 +1,221 @@
+//! End-to-end tests of the **basic protocol** (Select-From-Where).
+
+mod common;
+
+use common::assert_rows_eq;
+use tdsql_core::access::{AccessPolicy, Grant};
+use tdsql_core::connectivity::Connectivity;
+use tdsql_core::protocol::{ProtocolKind, ProtocolParams};
+use tdsql_core::runtime::SimBuilder;
+use tdsql_core::stats::Phase;
+use tdsql_core::workload::{health_survey, HealthConfig};
+use tdsql_crypto::credential::Role;
+use tdsql_sql::engine::execute;
+use tdsql_sql::parser::parse_query;
+
+fn policy() -> AccessPolicy {
+    AccessPolicy::allow_all(Role::new("physician"))
+}
+
+#[test]
+fn select_where_matches_oracle() {
+    let (dbs, oracle) = health_survey(&HealthConfig {
+        n_tds: 25,
+        ..Default::default()
+    });
+    let query = parse_query("SELECT pid, city FROM health WHERE age >= 80 AND flu = TRUE").unwrap();
+    let expected = execute(&oracle, &query).unwrap().rows;
+
+    let mut world = SimBuilder::new().seed(3).build(dbs, policy());
+    let querier = world.make_querier("dr-smith", "physician");
+    let rows = world
+        .run_query(&querier, &query, ProtocolParams::new(ProtocolKind::Basic))
+        .unwrap();
+    assert_rows_eq(rows, expected, "basic SFW");
+}
+
+#[test]
+fn projection_expressions_and_wildcard() {
+    let (dbs, oracle) = health_survey(&HealthConfig {
+        n_tds: 12,
+        ..Default::default()
+    });
+    for sql in [
+        "SELECT * FROM health WHERE city = 'Memphis'",
+        "SELECT pid, age + 1 AS next_age FROM health WHERE age BETWEEN 20 AND 60",
+        "SELECT pid FROM health WHERE city LIKE 'K%' OR flu = TRUE",
+    ] {
+        let query = parse_query(sql).unwrap();
+        let expected = execute(&oracle, &query).unwrap().rows;
+        let mut world = SimBuilder::new().seed(4).build(dbs.clone(), policy());
+        let querier = world.make_querier("dr-smith", "physician");
+        let rows = world
+            .run_query(&querier, &query, ProtocolParams::new(ProtocolKind::Basic))
+            .unwrap();
+        assert_rows_eq(rows, expected, sql);
+    }
+}
+
+#[test]
+fn every_tds_answers_with_dummy_or_tuple() {
+    // The covering result must contain at least one tuple per contacted TDS
+    // even when the WHERE clause selects nobody — that is what hides the
+    // selectivity from the SSI.
+    let (dbs, _) = health_survey(&HealthConfig {
+        n_tds: 15,
+        ..Default::default()
+    });
+    let n = dbs.len();
+    let query = parse_query("SELECT pid FROM health WHERE age > 100000").unwrap();
+    let mut world = SimBuilder::new().seed(5).build(dbs, policy());
+    let querier = world.make_querier("dr-smith", "physician");
+    let rows = world
+        .run_query(&querier, &query, ProtocolParams::new(ProtocolKind::Basic))
+        .unwrap();
+    assert!(rows.is_empty(), "nobody matches");
+    // The SSI stored one (dummy) tuple per TDS during collection.
+    assert_eq!(
+        world.stats.phase(Phase::Collection).ssi_tuples_stored,
+        n as u64
+    );
+}
+
+#[test]
+fn unauthorized_role_sees_nothing_but_protocol_completes() {
+    let (dbs, _) = health_survey(&HealthConfig {
+        n_tds: 10,
+        ..Default::default()
+    });
+    let n = dbs.len();
+    let query = parse_query("SELECT pid FROM health").unwrap();
+    let mut world = SimBuilder::new().seed(6).build(dbs, policy());
+    let querier = world.make_querier("insurer", "marketing");
+    let rows = world
+        .run_query(&querier, &query, ProtocolParams::new(ProtocolKind::Basic))
+        .unwrap();
+    assert!(
+        rows.is_empty(),
+        "denied everywhere → only dummies → empty result"
+    );
+    // Dummies still flowed: denial is invisible at the SSI.
+    assert_eq!(
+        world.stats.phase(Phase::Collection).ssi_tuples_stored,
+        n as u64
+    );
+}
+
+#[test]
+fn column_restricted_grant() {
+    let (dbs, oracle) = health_survey(&HealthConfig {
+        n_tds: 10,
+        ..Default::default()
+    });
+    let mut p = AccessPolicy::deny_all();
+    p.add(Grant::Columns {
+        role: Role::new("stats"),
+        table: "health".into(),
+        columns: ["age", "city"].iter().map(|s| s.to_string()).collect(),
+    });
+    let mut world = SimBuilder::new().seed(7).build(dbs, p);
+    let querier = world.make_querier("inst", "stats");
+
+    let allowed = parse_query("SELECT age FROM health WHERE city = 'Memphis'").unwrap();
+    let expected = execute(&oracle, &allowed).unwrap().rows;
+    let rows = world
+        .run_query(&querier, &allowed, ProtocolParams::new(ProtocolKind::Basic))
+        .unwrap();
+    assert_rows_eq(rows, expected, "column-granted query");
+
+    let forbidden = parse_query("SELECT pid FROM health").unwrap();
+    let rows = world
+        .run_query(
+            &querier,
+            &forbidden,
+            ProtocolParams::new(ProtocolKind::Basic),
+        )
+        .unwrap();
+    assert!(rows.is_empty(), "pid is not granted");
+}
+
+#[test]
+fn size_clause_bounds_collection() {
+    let (dbs, _) = health_survey(&HealthConfig {
+        n_tds: 40,
+        ..Default::default()
+    });
+    // Each TDS contributes exactly one tuple; SIZE 10 stops the window early.
+    let query = parse_query("SELECT pid FROM health SIZE 10").unwrap();
+    let mut world = SimBuilder::new()
+        .seed(8)
+        .connectivity(Connectivity::fraction(0.25))
+        .build(dbs, policy());
+    let querier = world.make_querier("dr-smith", "physician");
+    let rows = world
+        .run_query(&querier, &query, ProtocolParams::new(ProtocolKind::Basic))
+        .unwrap();
+    let collected = world.stats.phase(Phase::Collection).ssi_tuples_stored;
+    assert!(collected >= 10, "window closes only once SIZE is reached");
+    assert!(collected < 40, "window closed early (got {collected})");
+    assert!(rows.len() <= collected as usize);
+}
+
+#[test]
+fn size_rounds_bounds_duration() {
+    let (dbs, _) = health_survey(&HealthConfig {
+        n_tds: 40,
+        ..Default::default()
+    });
+    let query = parse_query("SELECT pid FROM health SIZE 3 ROUNDS").unwrap();
+    let mut world = SimBuilder::new()
+        .seed(9)
+        .connectivity(Connectivity::fraction(0.1))
+        .build(dbs, policy());
+    let querier = world.make_querier("dr-smith", "physician");
+    let _ = world
+        .run_query(&querier, &query, ProtocolParams::new(ProtocolKind::Basic))
+        .unwrap();
+    assert!(world.stats.phase(Phase::Collection).steps <= 3);
+}
+
+#[test]
+fn partial_connectivity_still_complete() {
+    // With 20% connectivity per round and no SIZE bound, collection keeps
+    // running until everyone has contributed: the result is complete.
+    let (dbs, oracle) = health_survey(&HealthConfig {
+        n_tds: 30,
+        ..Default::default()
+    });
+    let query = parse_query("SELECT pid FROM health WHERE flu = TRUE").unwrap();
+    let expected = execute(&oracle, &query).unwrap().rows;
+    let mut world = SimBuilder::new()
+        .seed(10)
+        .connectivity(Connectivity::fraction(0.2))
+        .build(dbs, policy());
+    let querier = world.make_querier("dr-smith", "physician");
+    let rows = world
+        .run_query(&querier, &query, ProtocolParams::new(ProtocolKind::Basic))
+        .unwrap();
+    assert_rows_eq(rows, expected, "partial connectivity");
+    assert!(
+        world.stats.phase(Phase::Collection).steps > 1,
+        "took several rounds"
+    );
+}
+
+#[test]
+fn basic_protocol_rejects_aggregate_queries() {
+    let (dbs, _) = health_survey(&HealthConfig {
+        n_tds: 5,
+        ..Default::default()
+    });
+    let query = parse_query("SELECT COUNT(*) FROM health").unwrap();
+    let mut world = SimBuilder::new().seed(11).build(dbs, policy());
+    let querier = world.make_querier("dr-smith", "physician");
+    let err = world
+        .run_query(&querier, &query, ProtocolParams::new(ProtocolKind::Basic))
+        .unwrap_err();
+    assert!(
+        matches!(err, tdsql_core::ProtocolError::Unsupported(_)),
+        "{err}"
+    );
+}

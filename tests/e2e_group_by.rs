@@ -1,0 +1,296 @@
+//! End-to-end equivalence of every Group-By protocol against the trusted
+//! single-node oracle, across aggregates, HAVING, joins, and workloads.
+
+mod common;
+
+use common::assert_rows_eq;
+use tdsql_core::access::AccessPolicy;
+use tdsql_core::protocol::{ProtocolKind, ProtocolParams};
+use tdsql_core::runtime::SimBuilder;
+use tdsql_core::workload::{health_survey, smart_meters, HealthConfig, Skew, SmartMeterConfig};
+use tdsql_crypto::credential::Role;
+use tdsql_sql::engine::{execute, Database};
+use tdsql_sql::parser::parse_query;
+use tdsql_sql::value::Value;
+
+fn agg_protocols() -> Vec<ProtocolKind> {
+    vec![
+        ProtocolKind::SAgg,
+        ProtocolKind::RnfNoise { nf: 2 },
+        ProtocolKind::RnfNoise { nf: 10 },
+        ProtocolKind::CNoise,
+        ProtocolKind::EdHist { buckets: 3 },
+        ProtocolKind::EdHist { buckets: 16 },
+    ]
+}
+
+fn check_all(dbs: &[Database], oracle: &Database, sql: &str, role: &str, seed: u64) {
+    let query = parse_query(sql).unwrap();
+    let expected = execute(oracle, &query).unwrap().rows;
+    for kind in agg_protocols() {
+        let mut world = SimBuilder::new()
+            .seed(seed)
+            .build(dbs.to_vec(), AccessPolicy::allow_all(Role::new(role)));
+        let querier = world.make_querier("q", role);
+        let rows = world
+            .run_query(&querier, &query, ProtocolParams::new(kind))
+            .unwrap();
+        assert_rows_eq(rows, expected.clone(), &format!("{} :: {sql}", kind.name()));
+    }
+}
+
+#[test]
+fn paper_headline_query() {
+    let (dbs, oracle) = smart_meters(&SmartMeterConfig {
+        n_tds: 40,
+        districts: 5,
+        skew: Skew::Zipf(1.0),
+        readings_per_tds: 2,
+        ..Default::default()
+    });
+    check_all(
+        &dbs,
+        &oracle,
+        "SELECT c.district, AVG(p.cons) FROM power p, consumer c \
+         WHERE c.accomodation = 'detached house' AND c.cid = p.cid \
+         GROUP BY c.district HAVING COUNT(DISTINCT c.cid) > 2",
+        "supplier",
+        100,
+    );
+}
+
+#[test]
+fn every_aggregate_function() {
+    let (dbs, oracle) = smart_meters(&SmartMeterConfig {
+        n_tds: 25,
+        districts: 3,
+        readings_per_tds: 3,
+        ..Default::default()
+    });
+    check_all(
+        &dbs,
+        &oracle,
+        "SELECT c.district, COUNT(*), SUM(p.cons), MIN(p.cons), MAX(p.cons), \
+         AVG(p.cons), MEDIAN(p.cons), VARIANCE(p.cons), STDDEV(p.cons), MODE(p.cid), AVG(DISTINCT p.cid), SUM(DISTINCT p.cid), \
+         COUNT(DISTINCT p.cid) \
+         FROM power p, consumer c WHERE c.cid = p.cid GROUP BY c.district",
+        "supplier",
+        101,
+    );
+}
+
+#[test]
+fn global_aggregate_without_group_by() {
+    let (dbs, oracle) = health_survey(&HealthConfig {
+        n_tds: 30,
+        ..Default::default()
+    });
+    check_all(
+        &dbs,
+        &oracle,
+        "SELECT COUNT(*), AVG(age), MEDIAN(age) FROM health WHERE flu = TRUE",
+        "physician",
+        102,
+    );
+}
+
+#[test]
+fn group_by_computed_expression() {
+    let (dbs, oracle) = health_survey(&HealthConfig {
+        n_tds: 35,
+        ..Default::default()
+    });
+    check_all(
+        &dbs,
+        &oracle,
+        "SELECT age / 10, COUNT(*) FROM health GROUP BY age / 10 HAVING COUNT(*) >= 2",
+        "physician",
+        103,
+    );
+}
+
+#[test]
+fn multi_attribute_group_by() {
+    let (dbs, oracle) = health_survey(&HealthConfig {
+        n_tds: 45,
+        ..Default::default()
+    });
+    check_all(
+        &dbs,
+        &oracle,
+        "SELECT city, flu, COUNT(*) FROM health GROUP BY city, flu",
+        "physician",
+        104,
+    );
+}
+
+#[test]
+fn having_filters_groups() {
+    let (dbs, oracle) = smart_meters(&SmartMeterConfig {
+        n_tds: 30,
+        districts: 6,
+        skew: Skew::Zipf(1.2),
+        ..Default::default()
+    });
+    check_all(
+        &dbs,
+        &oracle,
+        "SELECT c.district, COUNT(*) FROM consumer c GROUP BY c.district \
+         HAVING COUNT(*) > 3",
+        "supplier",
+        105,
+    );
+}
+
+#[test]
+fn having_references_grouping_attribute() {
+    let (dbs, oracle) = health_survey(&HealthConfig {
+        n_tds: 20,
+        ..Default::default()
+    });
+    check_all(
+        &dbs,
+        &oracle,
+        "SELECT city, AVG(age) FROM health GROUP BY city HAVING city <> 'Memphis'",
+        "physician",
+        106,
+    );
+}
+
+#[test]
+fn flu_alert_scenario() {
+    // The paper's motivating identifying query: alert people older than 80
+    // in Memphis when the flu count in the survey passes a threshold.
+    let (dbs, oracle) = health_survey(&HealthConfig {
+        n_tds: 60,
+        flu_rate: 0.4,
+        ..Default::default()
+    });
+    // Step 1: aggregate — flu cases per city.
+    let count_q =
+        parse_query("SELECT city, COUNT(*) FROM health WHERE flu = TRUE GROUP BY city").unwrap();
+    let expected = execute(&oracle, &count_q).unwrap().rows;
+    let mut world = SimBuilder::new()
+        .seed(107)
+        .build(dbs.clone(), AccessPolicy::allow_all(Role::new("physician")));
+    let querier = world.make_querier("health-agency", "physician");
+    let rows = world
+        .run_query(&querier, &count_q, ProtocolParams::new(ProtocolKind::SAgg))
+        .unwrap();
+    assert_rows_eq(rows.clone(), expected, "flu counts");
+    let memphis_flu = rows
+        .iter()
+        .find(|r| r[0] == Value::Str("Memphis".into()))
+        .map(|r| match r[1] {
+            Value::Int(n) => n,
+            _ => 0,
+        })
+        .unwrap_or(0);
+    // Step 2: identifying query, only issued when the threshold is reached.
+    if memphis_flu >= 1 {
+        let alert_q =
+            parse_query("SELECT pid FROM health WHERE age > 80 AND city = 'Memphis'").unwrap();
+        let expected = execute(&oracle, &alert_q).unwrap().rows;
+        let rows = world
+            .run_query(&querier, &alert_q, ProtocolParams::new(ProtocolKind::Basic))
+            .unwrap();
+        assert_rows_eq(rows, expected, "alert recipients");
+    }
+}
+
+#[test]
+fn single_tds_population() {
+    let (dbs, oracle) = health_survey(&HealthConfig {
+        n_tds: 1,
+        ..Default::default()
+    });
+    check_all(
+        &dbs,
+        &oracle,
+        "SELECT city, COUNT(*) FROM health GROUP BY city",
+        "physician",
+        108,
+    );
+}
+
+#[test]
+fn group_count_equal_population() {
+    // Grouping on a key attribute: G = Nt, the paper's RAM-stress case.
+    let (dbs, oracle) = health_survey(&HealthConfig {
+        n_tds: 25,
+        ..Default::default()
+    });
+    check_all(
+        &dbs,
+        &oracle,
+        "SELECT pid, COUNT(*) FROM health GROUP BY pid",
+        "physician",
+        109,
+    );
+}
+
+#[test]
+fn noise_protocols_with_explicit_domain() {
+    // Pre-supplied domain (skipping discovery) must give the same answer.
+    let (dbs, oracle) = health_survey(&HealthConfig {
+        n_tds: 20,
+        ..Default::default()
+    });
+    let query = parse_query("SELECT city, COUNT(*) FROM health GROUP BY city").unwrap();
+    let expected = execute(&oracle, &query).unwrap().rows;
+    let mut params = ProtocolParams::new(ProtocolKind::CNoise);
+    params.noise_domain = ["Memphis", "Nashville", "Knoxville", "Chattanooga"]
+        .iter()
+        .map(|c| tdsql_sql::value::GroupKey::from_values(&[Value::Str(c.to_string())]))
+        .collect();
+    let mut world = SimBuilder::new()
+        .seed(110)
+        .build(dbs, AccessPolicy::allow_all(Role::new("physician")));
+    let querier = world.make_querier("q", "physician");
+    let rows = world.run_query(&querier, &query, params).unwrap();
+    assert_rows_eq(rows, expected, "C_Noise with declared domain");
+}
+
+#[test]
+fn order_by_and_limit_apply_at_the_querier() {
+    let (dbs, oracle) = health_survey(&HealthConfig {
+        n_tds: 40,
+        ..Default::default()
+    });
+    let query = parse_query(
+        "SELECT city, COUNT(*) AS n FROM health GROUP BY city ORDER BY n DESC, city LIMIT 2",
+    )
+    .unwrap();
+    let expected = execute(&oracle, &query).unwrap().rows;
+    assert_eq!(expected.len(), 2.min(expected.len()));
+    for kind in [ProtocolKind::SAgg, ProtocolKind::EdHist { buckets: 2 }] {
+        let mut world = SimBuilder::new()
+            .seed(112)
+            .build(dbs.clone(), AccessPolicy::allow_all(Role::new("physician")));
+        let querier = world.make_querier("q", "physician");
+        let rows = world
+            .run_query(&querier, &query, ProtocolParams::new(kind))
+            .unwrap();
+        // Ordered output: compare directly, no canonical sorting.
+        assert_eq!(rows, expected, "{}", kind.name());
+    }
+}
+
+#[test]
+fn unauthorized_aggregate_returns_empty() {
+    let (dbs, _) = health_survey(&HealthConfig {
+        n_tds: 10,
+        ..Default::default()
+    });
+    let query = parse_query("SELECT city, COUNT(*) FROM health GROUP BY city").unwrap();
+    for kind in [ProtocolKind::SAgg, ProtocolKind::EdHist { buckets: 4 }] {
+        let mut world = SimBuilder::new()
+            .seed(111)
+            .build(dbs.clone(), AccessPolicy::allow_all(Role::new("physician")));
+        let querier = world.make_querier("snoop", "marketing");
+        let rows = world
+            .run_query(&querier, &query, ProtocolParams::new(kind))
+            .unwrap();
+        assert!(rows.is_empty(), "{}", kind.name());
+    }
+}

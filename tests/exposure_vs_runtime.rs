@@ -1,0 +1,143 @@
+//! Bridging Section 5 and Section 3/4: the exposure coefficients computed
+//! analytically must order the protocols the same way the *observed* SSI tag
+//! distributions do in the functional runtime.
+
+mod common;
+
+use std::collections::BTreeMap;
+
+use tdsql_core::access::AccessPolicy;
+use tdsql_core::message::GroupTag;
+use tdsql_core::protocol::{ProtocolKind, ProtocolParams};
+use tdsql_core::runtime::SimBuilder;
+use tdsql_core::stats::Phase;
+use tdsql_core::workload::{smart_meters, Skew, SmartMeterConfig};
+use tdsql_crypto::credential::Role;
+use tdsql_exposure::coefficient::exposure_coefficient;
+use tdsql_exposure::schemes::ColumnScheme;
+use tdsql_exposure::table::{PlainColumn, PlainTable};
+use tdsql_sql::parser::parse_query;
+use tdsql_sql::value::Value;
+
+/// Run the protocol and return the observed collection-tag histogram plus
+/// the true plaintext district column.
+fn observe(kind: ProtocolKind, seed: u64) -> (BTreeMap<GroupTag, u64>, PlainTable) {
+    let (dbs, oracle) = smart_meters(&SmartMeterConfig {
+        n_tds: 150,
+        districts: 6,
+        skew: Skew::Zipf(1.3),
+        readings_per_tds: 1,
+        ..Default::default()
+    });
+    let districts: Vec<String> = oracle
+        .table("consumer")
+        .unwrap()
+        .rows()
+        .iter()
+        .map(|r| match &r[1] {
+            Value::Str(s) => s.clone(),
+            _ => unreachable!(),
+        })
+        .collect();
+    let table = PlainTable::new(vec![PlainColumn::new("district", districts)]);
+
+    let mut world = SimBuilder::new()
+        .seed(seed)
+        .build(dbs, AccessPolicy::allow_all(Role::new("supplier")));
+    let querier = world.make_querier("energy-co", "supplier");
+    let query =
+        parse_query("SELECT c.district, COUNT(*) FROM consumer c GROUP BY c.district").unwrap();
+    world
+        .run_query(&querier, &query, ProtocolParams::new(kind))
+        .unwrap();
+
+    let target = world
+        .ssi
+        .observations
+        .iter()
+        .map(|o| o.query_id)
+        .max()
+        .unwrap_or(0);
+    let mut counts = BTreeMap::new();
+    for obs in &world.ssi.observations {
+        if obs.phase == Phase::Collection && obs.query_id == target {
+            *counts.entry(obs.tag.clone()).or_default() += 1;
+        }
+    }
+    (counts, table)
+}
+
+/// A simple empirical leak measure on the observed tags: the coefficient of
+/// variation of tag frequencies (0 = flat = nothing to match on).
+fn tag_cv(counts: &BTreeMap<GroupTag, u64>) -> f64 {
+    let n = counts.len() as f64;
+    let mean = counts.values().sum::<u64>() as f64 / n;
+    let var = counts
+        .values()
+        .map(|&c| (c as f64 - mean).powi(2))
+        .sum::<f64>()
+        / n;
+    var.sqrt() / mean
+}
+
+#[test]
+fn observed_flatness_orders_like_epsilon() {
+    // Observed: Det (nf=0) is the most skewed; C_Noise and ED_Hist are flat.
+    let (det_tags, table) = observe(ProtocolKind::RnfNoise { nf: 0 }, 500);
+    let (cnoise_tags, _) = observe(ProtocolKind::CNoise, 500);
+    let (ed_tags, _) = observe(ProtocolKind::EdHist { buckets: 3 }, 500);
+
+    let det_cv = tag_cv(&det_tags);
+    let cnoise_cv = tag_cv(&cnoise_tags);
+    let ed_cv = tag_cv(&ed_tags);
+    assert!(
+        det_cv > cnoise_cv,
+        "det {det_cv:.3} vs c_noise {cnoise_cv:.3}"
+    );
+    assert!(det_cv > ed_cv, "det {det_cv:.3} vs ed_hist {ed_cv:.3}");
+
+    // Analytical: ε orders the same way on the same plaintext column.
+    let eps = |s: ColumnScheme| exposure_coefficient(&table, &[s]).epsilon;
+    let e_det = eps(ColumnScheme::Det);
+    let e_cnoise = eps(ColumnScheme::CNoise);
+    let e_ed = eps(ColumnScheme::EdHist { buckets: 3 });
+    let e_ndet = eps(ColumnScheme::NDet);
+    assert!(e_det > e_cnoise, "ε_det {e_det} vs ε_cnoise {e_cnoise}");
+    assert!(e_det > e_ed, "ε_det {e_det} vs ε_ed {e_ed}");
+    assert!(
+        e_cnoise >= e_ndet - 1e-12 && e_ed >= e_ndet - 1e-12,
+        "nDet is the floor"
+    );
+}
+
+#[test]
+fn s_agg_observations_admit_no_frequency_attack() {
+    let (tags, table) = observe(ProtocolKind::SAgg, 501);
+    // A single "tag" (None) with all the mass: the observable histogram is
+    // degenerate, CV is 0 by construction.
+    assert_eq!(tags.len(), 1);
+    assert!(tags.contains_key(&GroupTag::None));
+    // And the analytical ε is the floor.
+    let r = exposure_coefficient(&table, &[ColumnScheme::NDet]);
+    let distinct = table.columns[0].distinct();
+    assert!((r.epsilon - 1.0 / distinct as f64).abs() < 1e-12);
+}
+
+#[test]
+fn fig8_summary_ordering() {
+    // Fig. 8's conclusion on one concrete dataset: ε(S_Agg) = ε(C_Noise) =
+    // min; Rnf needs huge nf to approach it; ED_Hist needs collisions.
+    let (_, table) = observe(ProtocolKind::SAgg, 502);
+    let eps = |s: ColumnScheme| exposure_coefficient(&table, &[s]).epsilon;
+    let floor = eps(ColumnScheme::NDet);
+    assert!(eps(ColumnScheme::RnfNoise { nf: 2, seed: 9 }) >= floor);
+    assert!(
+        eps(ColumnScheme::RnfNoise { nf: 1000, seed: 9 })
+            <= eps(ColumnScheme::RnfNoise { nf: 2, seed: 9 })
+    );
+    assert!(
+        eps(ColumnScheme::EdHist { buckets: 1 })
+            <= eps(ColumnScheme::EdHist { buckets: 100 }) + 1e-12
+    );
+    assert!(eps(ColumnScheme::Plaintext) == 1.0);
+}

@@ -1,0 +1,159 @@
+//! Fault injection: TDSs dropping out mid-partition must never change the
+//! result — the SSI re-sends the partition after a timeout (the paper's
+//! correctness argument in Section 3.2).
+
+mod common;
+
+use common::assert_rows_eq;
+use tdsql_core::access::AccessPolicy;
+use tdsql_core::connectivity::Connectivity;
+use tdsql_core::protocol::{ProtocolKind, ProtocolParams};
+use tdsql_core::runtime::SimBuilder;
+use tdsql_core::stats::Phase;
+use tdsql_core::workload::{smart_meters, SmartMeterConfig};
+use tdsql_crypto::credential::Role;
+use tdsql_sql::engine::execute;
+use tdsql_sql::parser::parse_query;
+
+const SQL: &str = "SELECT c.district, AVG(p.cons), COUNT(*) FROM power p, consumer c \
+                   WHERE c.cid = p.cid GROUP BY c.district";
+
+#[test]
+fn dropouts_do_not_corrupt_results() {
+    let (dbs, oracle) = smart_meters(&SmartMeterConfig {
+        n_tds: 35,
+        districts: 4,
+        readings_per_tds: 2,
+        ..Default::default()
+    });
+    let query = parse_query(SQL).unwrap();
+    let expected = execute(&oracle, &query).unwrap().rows;
+
+    for kind in [
+        ProtocolKind::SAgg,
+        ProtocolKind::RnfNoise { nf: 2 },
+        ProtocolKind::EdHist { buckets: 2 },
+    ] {
+        let mut world = SimBuilder::new()
+            .seed(300)
+            .connectivity(Connectivity::always_on().with_dropout(0.3))
+            .build(dbs.clone(), AccessPolicy::allow_all(Role::new("supplier")));
+        let querier = world.make_querier("energy-co", "supplier");
+        // Small partitions → many assignments → dropouts are certain to hit.
+        let mut params = ProtocolParams::new(kind);
+        params.chunk = 4;
+        params.alpha = 2;
+        let rows = world.run_query(&querier, &query, params).unwrap();
+        assert_rows_eq(rows, expected.clone(), &kind.name());
+        let reassigned: u64 = Phase::ALL
+            .iter()
+            .map(|&p| world.stats.phase(p).partitions_reassigned)
+            .sum();
+        assert!(
+            reassigned > 0,
+            "{}: 30% dropout must trigger re-sends",
+            kind.name()
+        );
+    }
+}
+
+#[test]
+fn heavy_dropout_still_terminates() {
+    let (dbs, oracle) = smart_meters(&SmartMeterConfig {
+        n_tds: 15,
+        districts: 3,
+        readings_per_tds: 1,
+        ..Default::default()
+    });
+    let query = parse_query(SQL).unwrap();
+    let expected = execute(&oracle, &query).unwrap().rows;
+    let mut world = SimBuilder::new()
+        .seed(301)
+        .connectivity(Connectivity::always_on().with_dropout(0.7))
+        .build(dbs, AccessPolicy::allow_all(Role::new("supplier")));
+    let querier = world.make_querier("energy-co", "supplier");
+    let rows = world
+        .run_query(&querier, &query, ProtocolParams::new(ProtocolKind::SAgg))
+        .unwrap();
+    assert_rows_eq(rows, expected, "70% dropout");
+}
+
+#[test]
+fn dropout_plus_partial_connectivity() {
+    let (dbs, oracle) = smart_meters(&SmartMeterConfig {
+        n_tds: 30,
+        districts: 3,
+        readings_per_tds: 1,
+        ..Default::default()
+    });
+    let query = parse_query(SQL).unwrap();
+    let expected = execute(&oracle, &query).unwrap().rows;
+    let mut world = SimBuilder::new()
+        .seed(302)
+        .connectivity(Connectivity::fraction(0.3).with_dropout(0.2))
+        .build(dbs, AccessPolicy::allow_all(Role::new("supplier")));
+    let querier = world.make_querier("energy-co", "supplier");
+    let rows = world
+        .run_query(
+            &querier,
+            &query,
+            ProtocolParams::new(ProtocolKind::EdHist { buckets: 3 }),
+        )
+        .unwrap();
+    assert_rows_eq(rows, expected, "30% connected + 20% dropout");
+    assert!(
+        world.stats.rounds > 3,
+        "constrained world takes multiple rounds"
+    );
+}
+
+#[test]
+fn total_dropout_fails_loudly_not_forever() {
+    // Every TDS dies on every partition: the runtime must give up with
+    // NoProgress instead of spinning.
+    let (dbs, _) = smart_meters(&SmartMeterConfig {
+        n_tds: 5,
+        districts: 2,
+        readings_per_tds: 1,
+        ..Default::default()
+    });
+    let query = parse_query(SQL).unwrap();
+    let mut world = SimBuilder::new()
+        .seed(303)
+        .connectivity(Connectivity::always_on().with_dropout(1.0))
+        .build(dbs, AccessPolicy::allow_all(Role::new("supplier")));
+    let querier = world.make_querier("energy-co", "supplier");
+    let err = world
+        .run_query(&querier, &query, ProtocolParams::new(ProtocolKind::SAgg))
+        .unwrap_err();
+    assert!(
+        matches!(err, tdsql_core::ProtocolError::NoProgress { .. }),
+        "{err}"
+    );
+}
+
+#[test]
+fn deterministic_replay_with_same_seed() {
+    let (dbs, _) = smart_meters(&SmartMeterConfig {
+        n_tds: 20,
+        districts: 4,
+        ..Default::default()
+    });
+    let query = parse_query(SQL).unwrap();
+    let run = |seed: u64| {
+        let mut world = SimBuilder::new()
+            .seed(seed)
+            .connectivity(Connectivity::fraction(0.5).with_dropout(0.1))
+            .build(dbs.clone(), AccessPolicy::allow_all(Role::new("supplier")));
+        let querier = world.make_querier("energy-co", "supplier");
+        let rows = world
+            .run_query(&querier, &query, ProtocolParams::new(ProtocolKind::SAgg))
+            .unwrap();
+        (rows, world.stats.rounds, world.ssi.observations.len())
+    };
+    let a = run(55);
+    let b = run(55);
+    assert_eq!(a.1, b.1, "rounds must replay identically");
+    assert_eq!(a.2, b.2, "observation counts must replay identically");
+    assert_rows_eq(a.0, b.0, "replayed rows");
+}

@@ -1,0 +1,149 @@
+//! Personal queryboxes: queries directed at specific TDSs (Section 3.1's
+//! "get the monthly energy consumption of consumer C").
+
+mod common;
+
+use common::assert_rows_eq;
+use tdsql_core::access::AccessPolicy;
+use tdsql_core::message::QueryTarget;
+use tdsql_core::protocol::{ProtocolKind, ProtocolParams};
+use tdsql_core::runtime::SimBuilder;
+use tdsql_core::stats::Phase;
+use tdsql_core::workload::{smart_meters, SmartMeterConfig};
+use tdsql_crypto::credential::Role;
+use tdsql_sql::parser::parse_query;
+use tdsql_sql::value::Value;
+
+#[test]
+fn targeted_query_reaches_only_its_tds() {
+    let (dbs, _) = smart_meters(&SmartMeterConfig {
+        n_tds: 30,
+        districts: 3,
+        readings_per_tds: 2,
+        ..Default::default()
+    });
+    let mut world = SimBuilder::new()
+        .seed(810)
+        .build(dbs, AccessPolicy::allow_all(Role::new("supplier")));
+    let querier = world.make_querier("energy-co", "supplier");
+
+    // Consumer 7's own consumption — a personal query.
+    let query = parse_query("SELECT p.period, p.cons FROM power p ORDER BY 1").unwrap();
+    let rows = world
+        .run_query_targeted(
+            &querier,
+            &query,
+            ProtocolParams::new(ProtocolKind::Basic),
+            QueryTarget::Tds(vec![7]),
+        )
+        .unwrap();
+    assert_eq!(rows.len(), 2, "two readings on meter 7");
+
+    // Exactly one TDS participated in collection.
+    let collection = world.stats.phase(Phase::Collection);
+    assert_eq!(collection.participating_tds(), 1);
+    assert!(collection.per_tds.contains_key(&7));
+}
+
+#[test]
+fn targeted_aggregate_over_a_subset() {
+    let (dbs, oracle) = smart_meters(&SmartMeterConfig {
+        n_tds: 25,
+        districts: 2,
+        readings_per_tds: 1,
+        ..Default::default()
+    });
+    let mut world = SimBuilder::new()
+        .seed(811)
+        .build(dbs, AccessPolicy::allow_all(Role::new("supplier")));
+    let querier = world.make_querier("energy-co", "supplier");
+
+    // Aggregate over an explicit panel of consenting meters.
+    let panel: Vec<u64> = vec![1, 3, 5, 7, 9];
+    let query = parse_query("SELECT COUNT(*), SUM(p.cons) FROM power p").unwrap();
+    let rows = world
+        .run_query_targeted(
+            &querier,
+            &query,
+            ProtocolParams::new(ProtocolKind::SAgg),
+            QueryTarget::Tds(panel.clone()),
+        )
+        .unwrap();
+    assert_eq!(rows.len(), 1);
+    assert_eq!(rows[0][0], Value::Int(panel.len() as i64));
+
+    // Reference: sum over exactly those meters' readings.
+    let mut expected_sum = 0.0;
+    for row in oracle.table("power").unwrap().rows() {
+        if let (Value::Int(cid), Value::Float(cons)) = (&row[0], &row[1]) {
+            if panel.contains(&(*cid as u64)) {
+                expected_sum += cons;
+            }
+        }
+    }
+    match rows[0][1] {
+        Value::Float(s) => assert!((s - expected_sum).abs() < 1e-9),
+        ref other => panic!("{other:?}"),
+    }
+
+    // Only panel members were contacted.
+    let collection = world.stats.phase(Phase::Collection);
+    assert_eq!(collection.participating_tds(), panel.len());
+    for id in collection.per_tds.keys() {
+        assert!(panel.contains(id), "TDS {id} was not in the panel");
+    }
+}
+
+#[test]
+fn empty_target_produces_empty_result() {
+    let (dbs, _) = smart_meters(&SmartMeterConfig {
+        n_tds: 5,
+        districts: 2,
+        ..Default::default()
+    });
+    let mut world = SimBuilder::new()
+        .seed(812)
+        .build(dbs, AccessPolicy::allow_all(Role::new("supplier")));
+    let querier = world.make_querier("energy-co", "supplier");
+    let query = parse_query("SELECT p.cons FROM power p").unwrap();
+    let rows = world
+        .run_query_targeted(
+            &querier,
+            &query,
+            ProtocolParams::new(ProtocolKind::Basic),
+            QueryTarget::Tds(vec![]),
+        )
+        .unwrap();
+    assert!(rows.is_empty());
+}
+
+#[test]
+fn crowd_target_equals_plain_run() {
+    let (dbs, _) = smart_meters(&SmartMeterConfig {
+        n_tds: 12,
+        districts: 2,
+        ..Default::default()
+    });
+    let query =
+        parse_query("SELECT c.district, COUNT(*) FROM consumer c GROUP BY c.district").unwrap();
+    let mut w1 = SimBuilder::new()
+        .seed(813)
+        .build(dbs.clone(), AccessPolicy::allow_all(Role::new("supplier")));
+    let q1 = w1.make_querier("q", "supplier");
+    let a = w1
+        .run_query(&q1, &query, ProtocolParams::new(ProtocolKind::SAgg))
+        .unwrap();
+    let mut w2 = SimBuilder::new()
+        .seed(813)
+        .build(dbs, AccessPolicy::allow_all(Role::new("supplier")));
+    let q2 = w2.make_querier("q", "supplier");
+    let b = w2
+        .run_query_targeted(
+            &q2,
+            &query,
+            ProtocolParams::new(ProtocolKind::SAgg),
+            QueryTarget::Crowd,
+        )
+        .unwrap();
+    assert_rows_eq(a, b, "crowd == default");
+}

@@ -1,0 +1,236 @@
+//! Property-based tests across crates: random workloads and queries must
+//! always make every protocol agree with the trusted oracle, and the core
+//! data structures must uphold their invariants under arbitrary inputs.
+
+mod common;
+
+use proptest::prelude::*;
+
+use tdsql_core::access::AccessPolicy;
+use tdsql_core::protocol::{ProtocolKind, ProtocolParams};
+use tdsql_core::runtime::SimBuilder;
+use tdsql_core::tuple_codec::{AggInput, PlainTuple, ResultRow};
+use tdsql_crypto::credential::Role;
+use tdsql_sql::engine::{execute, Database};
+use tdsql_sql::parser::parse_query;
+use tdsql_sql::schema::{Column, TableSchema};
+use tdsql_sql::value::{DataType, GroupKey, Value};
+
+fn sorted_display(mut rows: Vec<Vec<Value>>) -> Vec<String> {
+    let mut out: Vec<String> = rows
+        .drain(..)
+        .map(|r| {
+            r.iter()
+                .map(|v| match v {
+                    // Round floats so merge-order ulps do not flake.
+                    Value::Float(f) => format!("F{:.6}", f),
+                    other => format!("{other}"),
+                })
+                .collect::<Vec<_>>()
+                .join("|")
+        })
+        .collect();
+    out.sort();
+    out
+}
+
+/// Build a tiny per-TDS population from a list of (group, value) readings.
+fn population(readings: &[(u8, i16)]) -> (Vec<Database>, Database) {
+    let schema = TableSchema::new(
+        "m",
+        vec![
+            Column::new("grp", DataType::Int),
+            Column::new("v", DataType::Int),
+        ],
+    );
+    let mut union = Database::new();
+    union.create_table(schema.clone());
+    let dbs = readings
+        .iter()
+        .map(|&(g, v)| {
+            let mut db = Database::new();
+            db.create_table(schema.clone());
+            let row = vec![Value::Int(g as i64), Value::Int(v as i64)];
+            db.insert("m", row.clone()).unwrap();
+            union.insert("m", row).unwrap();
+            db
+        })
+        .collect();
+    (dbs, union)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// Whatever the data and the protocol, the distributed answer equals the
+    /// trusted single-node answer.
+    #[test]
+    fn protocols_agree_with_oracle(
+        readings in prop::collection::vec((0u8..5, -50i16..50), 1..25),
+        proto in 0usize..4,
+        seed in 0u64..1000,
+    ) {
+        let (dbs, oracle) = population(&readings);
+        let query = parse_query(
+            "SELECT grp, COUNT(*), SUM(v), MIN(v), MAX(v) FROM m GROUP BY grp"
+        ).unwrap();
+        let expected = execute(&oracle, &query).unwrap().rows;
+        let kind = [
+            ProtocolKind::SAgg,
+            ProtocolKind::RnfNoise { nf: 3 },
+            ProtocolKind::CNoise,
+            ProtocolKind::EdHist { buckets: 2 },
+        ][proto];
+        let mut world = SimBuilder::new()
+            .seed(seed)
+            .build(dbs, AccessPolicy::allow_all(Role::new("r")));
+        let querier = world.make_querier("q", "r");
+        let rows = world.run_query(&querier, &query, ProtocolParams::new(kind)).unwrap();
+        prop_assert_eq!(sorted_display(rows), sorted_display(expected));
+    }
+
+    /// HAVING with SIZE-free queries under random predicates.
+    #[test]
+    fn having_threshold_respected(
+        readings in prop::collection::vec((0u8..4, 0i16..100), 1..20),
+        threshold in 1i64..6,
+        seed in 0u64..1000,
+    ) {
+        let (dbs, oracle) = population(&readings);
+        let sql = format!(
+            "SELECT grp, COUNT(*) FROM m GROUP BY grp HAVING COUNT(*) >= {threshold}"
+        );
+        let query = parse_query(&sql).unwrap();
+        let expected = execute(&oracle, &query).unwrap().rows;
+        let mut world = SimBuilder::new()
+            .seed(seed)
+            .build(dbs, AccessPolicy::allow_all(Role::new("r")));
+        let querier = world.make_querier("q", "r");
+        let rows = world
+            .run_query(&querier, &query, ProtocolParams::new(ProtocolKind::SAgg))
+            .unwrap();
+        prop_assert_eq!(sorted_display(rows.clone()), sorted_display(expected));
+        for row in rows {
+            if let Value::Int(c) = row[1] {
+                prop_assert!(c >= threshold);
+            }
+        }
+    }
+
+    /// Wire codec round-trips under arbitrary values and paddings.
+    #[test]
+    fn codec_roundtrips(
+        ints in prop::collection::vec(any::<i64>(), 0..6),
+        text in "[a-zA-Z0-9 ]{0,24}",
+        pad in 0usize..200,
+        fake in any::<bool>(),
+    ) {
+        let mut values: Vec<Value> = ints.iter().map(|&i| Value::Int(i)).collect();
+        values.push(Value::Str(text.clone()));
+        values.push(Value::Null);
+
+        let t = PlainTuple::Row(values.clone());
+        prop_assert_eq!(PlainTuple::decode(&t.encode(pad)).unwrap(), t);
+
+        let a = AggInput {
+            key: GroupKey::from_values(&values),
+            inputs: values.clone(),
+            fake,
+        };
+        prop_assert_eq!(AggInput::decode(&a.encode(pad)).unwrap(), a);
+
+        let r = ResultRow(values);
+        prop_assert_eq!(ResultRow::decode(&r.encode()).unwrap(), r);
+    }
+
+    /// GroupKey canonical encoding is injective on distinct value lists.
+    #[test]
+    fn group_key_injective(
+        a in prop::collection::vec(-100i64..100, 0..4),
+        b in prop::collection::vec(-100i64..100, 0..4),
+    ) {
+        let va: Vec<Value> = a.iter().map(|&i| Value::Int(i)).collect();
+        let vb: Vec<Value> = b.iter().map(|&i| Value::Int(i)).collect();
+        let ka = GroupKey::from_values(&va);
+        let kb = GroupKey::from_values(&vb);
+        prop_assert_eq!(ka == kb, va == vb);
+        prop_assert_eq!(ka.to_values(), va);
+    }
+
+    /// Random WHERE predicates: the distributed WHERE evaluation (inside
+    /// each TDS) must agree with the oracle for arbitrary range predicates.
+    #[test]
+    fn random_where_predicates_agree(
+        readings in prop::collection::vec((0u8..5, -50i16..50), 1..20),
+        lo in -60i16..60,
+        width in 0i16..80,
+        seed in 0u64..500,
+    ) {
+        let (dbs, oracle) = population(&readings);
+        let hi = lo.saturating_add(width);
+        let sql = format!(
+            "SELECT grp, COUNT(*), SUM(v) FROM m WHERE v BETWEEN {lo} AND {hi} GROUP BY grp"
+        );
+        let query = parse_query(&sql).unwrap();
+        let expected = execute(&oracle, &query).unwrap().rows;
+        let mut world = SimBuilder::new()
+            .seed(seed)
+            .build(dbs, AccessPolicy::allow_all(Role::new("r")));
+        let querier = world.make_querier("q", "r");
+        let rows = world
+            .run_query(&querier, &query, ProtocolParams::new(ProtocolKind::SAgg))
+            .unwrap();
+        prop_assert_eq!(sorted_display(rows), sorted_display(expected));
+    }
+
+    /// ORDER BY + LIMIT through the protocol: the top-k by count matches
+    /// the oracle's top-k exactly (same ordering applied on both sides).
+    #[test]
+    fn order_limit_through_protocol(
+        readings in prop::collection::vec((0u8..6, 0i16..10), 2..20),
+        k in 1u64..4,
+        seed in 0u64..500,
+    ) {
+        let (dbs, oracle) = population(&readings);
+        let sql = format!(
+            "SELECT grp, COUNT(*) FROM m GROUP BY grp ORDER BY 2 DESC, 1 LIMIT {k}"
+        );
+        let query = parse_query(&sql).unwrap();
+        let expected = execute(&oracle, &query).unwrap().rows;
+        let mut world = SimBuilder::new()
+            .seed(seed)
+            .build(dbs, AccessPolicy::allow_all(Role::new("r")));
+        let querier = world.make_querier("q", "r");
+        let rows = world
+            .run_query(&querier, &query, ProtocolParams::new(ProtocolKind::SAgg))
+            .unwrap();
+        prop_assert_eq!(rows, expected);
+    }
+
+    /// nDet encryption round-trips and never repeats ciphertexts.
+    #[test]
+    fn ndet_roundtrip_and_unique(data in prop::collection::vec(any::<u8>(), 0..300)) {
+        use rand::SeedableRng;
+        let key = tdsql_crypto::SymKey::derive(b"prop", "test");
+        let cipher = tdsql_crypto::NDetCipher::new(&key);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let c1 = cipher.encrypt(&mut rng, &data);
+        let c2 = cipher.encrypt(&mut rng, &data);
+        prop_assert_ne!(&c1, &c2);
+        prop_assert_eq!(cipher.decrypt(&c1).unwrap(), data.clone());
+        prop_assert_eq!(cipher.decrypt(&c2).unwrap(), data);
+    }
+
+    /// Det encryption is a deterministic injection.
+    #[test]
+    fn det_deterministic_injective(
+        a in prop::collection::vec(any::<u8>(), 0..100),
+        b in prop::collection::vec(any::<u8>(), 0..100),
+    ) {
+        let key = tdsql_crypto::SymKey::derive(b"prop", "det");
+        let cipher = tdsql_crypto::DetCipher::new(&key);
+        prop_assert_eq!(cipher.encrypt(&a), cipher.encrypt(&a));
+        prop_assert_eq!(cipher.encrypt(&a) == cipher.encrypt(&b), a == b);
+        prop_assert_eq!(cipher.decrypt(&cipher.encrypt(&a)).unwrap(), a);
+    }
+}

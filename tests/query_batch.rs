@@ -1,0 +1,138 @@
+//! Concurrent multi-query execution: the Load_Q scalability story.
+
+mod common;
+
+use common::assert_rows_eq;
+use tdsql_core::access::AccessPolicy;
+use tdsql_core::connectivity::Connectivity;
+use tdsql_core::protocol::{ProtocolKind, ProtocolParams};
+use tdsql_core::runtime::SimBuilder;
+use tdsql_core::stats::Phase;
+use tdsql_core::workload::{smart_meters, SmartMeterConfig};
+use tdsql_crypto::credential::Role;
+use tdsql_sql::engine::execute;
+use tdsql_sql::parser::parse_query;
+
+#[test]
+fn batch_matches_individual_runs() {
+    let (dbs, oracle) = smart_meters(&SmartMeterConfig {
+        n_tds: 30,
+        districts: 3,
+        readings_per_tds: 2,
+        ..Default::default()
+    });
+    let q1 =
+        parse_query("SELECT c.district, COUNT(*) FROM consumer c GROUP BY c.district").unwrap();
+    let q2 = parse_query("SELECT AVG(p.cons), MAX(p.cons) FROM power p").unwrap();
+    let q3 = parse_query("SELECT c.cid FROM consumer c WHERE c.accomodation = 'detached house'")
+        .unwrap();
+    let e1 = execute(&oracle, &q1).unwrap().rows;
+    let e2 = execute(&oracle, &q2).unwrap().rows;
+    let e3 = execute(&oracle, &q3).unwrap().rows;
+
+    let mut world = SimBuilder::new()
+        .seed(830)
+        .build(dbs, AccessPolicy::allow_all(Role::new("supplier")));
+    let querier = world.make_querier("energy-co", "supplier");
+    let results = world
+        .run_query_batch(&[
+            (&querier, &q1, ProtocolParams::new(ProtocolKind::SAgg)),
+            (&querier, &q2, ProtocolParams::new(ProtocolKind::SAgg)),
+            (&querier, &q3, ProtocolParams::new(ProtocolKind::Basic)),
+        ])
+        .unwrap();
+    assert_eq!(results.len(), 3);
+    assert_rows_eq(results[0].clone(), e1, "q1 in batch");
+    assert_rows_eq(results[1].clone(), e2, "q2 in batch");
+    assert_rows_eq(results[2].clone(), e3, "q3 in batch");
+}
+
+#[test]
+fn interleaving_shares_collection_rounds() {
+    // Under partial connectivity, collecting three queries together must
+    // take far fewer rounds than three separate collections (each TDS
+    // answers all pending queries on one connection).
+    let (dbs, _) = smart_meters(&SmartMeterConfig {
+        n_tds: 40,
+        districts: 3,
+        readings_per_tds: 1,
+        ..Default::default()
+    });
+    let queries: Vec<_> = (0..3)
+        .map(|_| {
+            parse_query("SELECT c.district, COUNT(*) FROM consumer c GROUP BY c.district").unwrap()
+        })
+        .collect();
+
+    // Batched.
+    let mut world = SimBuilder::new()
+        .seed(831)
+        .connectivity(Connectivity::fraction(0.25))
+        .build(dbs.clone(), AccessPolicy::allow_all(Role::new("supplier")));
+    let querier = world.make_querier("q", "supplier");
+    let jobs: Vec<_> = queries
+        .iter()
+        .map(|q| (&querier, q, ProtocolParams::new(ProtocolKind::SAgg)))
+        .collect();
+    world.run_query_batch(&jobs).unwrap();
+    let batched_rounds = world.stats.phase(Phase::Collection).steps;
+
+    // Sequential.
+    let mut world = SimBuilder::new()
+        .seed(831)
+        .connectivity(Connectivity::fraction(0.25))
+        .build(dbs, AccessPolicy::allow_all(Role::new("supplier")));
+    let querier = world.make_querier("q", "supplier");
+    let mut sequential_rounds = 0;
+    for q in &queries {
+        world
+            .run_query(&querier, q, ProtocolParams::new(ProtocolKind::SAgg))
+            .unwrap();
+        sequential_rounds += world.stats.phase(Phase::Collection).steps;
+    }
+    assert!(
+        batched_rounds * 2 <= sequential_rounds,
+        "batched {batched_rounds} rounds vs sequential {sequential_rounds}"
+    );
+}
+
+#[test]
+fn heterogeneous_policies_partition_the_population() {
+    // Half the consumers opted out (their policy denies the supplier):
+    // they still answer — with dummies — and the aggregate covers only the
+    // opt-ins, without the SSI or the querier learning who is who.
+    let (dbs, _) = smart_meters(&SmartMeterConfig {
+        n_tds: 20,
+        districts: 2,
+        readings_per_tds: 1,
+        ..Default::default()
+    });
+    let n = dbs.len();
+    let policies: Vec<AccessPolicy> = (0..n)
+        .map(|i| {
+            if i % 2 == 0 {
+                AccessPolicy::allow_all(Role::new("supplier"))
+            } else {
+                AccessPolicy::deny_all()
+            }
+        })
+        .collect();
+    let mut world = SimBuilder::new()
+        .seed(832)
+        .build_with_policies(dbs, policies);
+    let querier = world.make_querier("energy-co", "supplier");
+    let query = parse_query("SELECT COUNT(*) FROM consumer").unwrap();
+    let rows = world
+        .run_query(&querier, &query, ProtocolParams::new(ProtocolKind::SAgg))
+        .unwrap();
+    assert_eq!(
+        rows,
+        vec![vec![tdsql_sql::value::Value::Int((n / 2) as i64)]]
+    );
+    // Everyone participated in collection regardless of policy.
+    assert_eq!(
+        world.stats.phase(Phase::Collection).participating_tds(),
+        n,
+        "opt-outs are indistinguishable at the SSI"
+    );
+}

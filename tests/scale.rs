@@ -1,0 +1,50 @@
+//! Scale smoke: thousands of TDSs, three orders of magnitude beyond the
+//! other suites. Keeps the protocols honest about allocation patterns and
+//! quadratic traps before the cost model extrapolates to nation scale.
+
+mod common;
+
+use common::assert_rows_eq;
+use tdsql_core::access::AccessPolicy;
+use tdsql_core::protocol::{ProtocolKind, ProtocolParams};
+use tdsql_core::runtime::SimBuilder;
+use tdsql_core::workload::{smart_meters, Skew, SmartMeterConfig};
+use tdsql_crypto::credential::Role;
+use tdsql_sql::engine::execute;
+use tdsql_sql::parser::parse_query;
+
+#[test]
+fn five_thousand_meters_hundred_districts() {
+    let (dbs, oracle) = smart_meters(&SmartMeterConfig {
+        n_tds: 5_000,
+        districts: 100,
+        skew: Skew::Zipf(1.0),
+        readings_per_tds: 1,
+        ..Default::default()
+    });
+    let query = parse_query(
+        "SELECT c.district, COUNT(*), AVG(p.cons) FROM power p, consumer c \
+         WHERE c.cid = p.cid GROUP BY c.district",
+    )
+    .unwrap();
+    let expected = execute(&oracle, &query).unwrap().rows;
+    assert_eq!(expected.len(), 100);
+
+    for kind in [ProtocolKind::SAgg, ProtocolKind::EdHist { buckets: 20 }] {
+        let mut world = SimBuilder::new()
+            .seed(900)
+            .build(dbs.clone(), AccessPolicy::allow_all(Role::new("supplier")));
+        let querier = world.make_querier("energy-co", "supplier");
+        let mut params = ProtocolParams::new(kind);
+        params.chunk = 512;
+        let rows = world.run_query(&querier, &query, params).unwrap();
+        assert_rows_eq(
+            rows,
+            expected.clone(),
+            &format!("5k TDSs via {}", kind.name()),
+        );
+        // Sanity on the accounting at scale.
+        assert!(world.stats.load_bytes() > 1_000_000, "{}", kind.name());
+        assert!(world.stats.participating_tds() >= 5_000);
+    }
+}
