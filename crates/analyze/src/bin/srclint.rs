@@ -1,0 +1,99 @@
+//! `srclint` — run the source-level privacy lint over the workspace.
+//!
+//! ```text
+//! srclint [ROOT]          lint ROOT/crates (default: .)
+//! srclint --rules         print the rule catalogue
+//! ```
+//!
+//! Suppressions live in `ROOT/srclint.allow`. Exit code 1 if any
+//! non-allowlisted finding remains, 0 otherwise. Wired up as `cargo lint`
+//! through `.cargo/config.toml`.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use tdsql_analyze::lint::{lint_file, Allowlist};
+
+const RULES: &str = "\
+no-panic-path   no unwrap/expect/panic in protocol hot paths \
+(core/src/protocol, core/src/runtime, tds.rs, ssi.rs)
+ct-compare      MAC/digest/signature comparison must use ct_eq (crypto/src)
+no-debug-keys   no derived Debug on structs holding raw key bytes (crypto/src)
+no-nondet-rng   no RNG inside deterministic crypto primitives (det, \
+bucket_hash, kdf, sha256, hmac, aes, ctr)";
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name != "target" && !name.starts_with('.') {
+                collect_rs_files(&path, out);
+            }
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let root = match args.next() {
+        Some(a) if a == "--rules" => {
+            println!("{RULES}");
+            return ExitCode::SUCCESS;
+        }
+        Some(a) => PathBuf::from(a),
+        None => PathBuf::from("."),
+    };
+
+    let allow = std::fs::read_to_string(root.join("srclint.allow"))
+        .map(|t| Allowlist::parse(&t))
+        .unwrap_or_default();
+
+    let mut files = Vec::new();
+    collect_rs_files(&root.join("crates"), &mut files);
+    files.sort();
+    if files.is_empty() {
+        // A typo'd root must not pass green in CI.
+        eprintln!("srclint: no .rs files under {}/crates", root.display());
+        return ExitCode::FAILURE;
+    }
+
+    let mut violations = 0usize;
+    let mut suppressed = 0usize;
+    for path in &files {
+        let Ok(source) = std::fs::read_to_string(path) else {
+            continue;
+        };
+        let rel = path
+            .strip_prefix(&root)
+            .unwrap_or(path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        for finding in lint_file(&rel, &source) {
+            if allow.permits(&finding) {
+                suppressed += 1;
+            } else {
+                println!("{finding}");
+                violations += 1;
+            }
+        }
+    }
+
+    eprintln!(
+        "srclint: {} file(s), {} violation(s), {} suppressed",
+        files.len(),
+        violations,
+        suppressed
+    );
+    if violations > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,381 @@
+//! The taint/IFC checker: walks a lowered [`Plan`] and verifies the paper's
+//! exposure invariants, reporting violations as structured diagnostics with
+//! plan locations.
+//!
+//! Invariants checked (rule ids in brackets):
+//!
+//! * `[grouping-exposure]` a grouping attribute reaches the SSI only as a
+//!   `Det_Enc` tag, a keyed-hash bucket tag, or inside an nDet payload —
+//!   never in cleartext;
+//! * `[sensitive-exposure]` a non-grouping attribute reaches the SSI only
+//!   under nDet encryption;
+//! * `[untagged-only]` `Basic` and `S_Agg` reveal `GroupTag::None` only;
+//! * `[authorized-cleartext]` the only cleartext the SSI ever sees is the
+//!   SIZE bound, the signed credential, the protocol recipe and the routing
+//!   target;
+//! * `[undeclared-exposure]` every stage's tag form matches the protocol's
+//!   [`ExposureDeclaration`] for the corresponding runtime phase;
+//! * `[basic-aggregate]` the basic protocol cannot execute aggregate queries
+//!   (the runtime refuses; the checker reports it before any ciphertext
+//!   moves);
+//! * `[pad-floor]` (warning) a pad smaller than the encoded-tuple floor
+//!   makes dummies and fakes distinguishable by size;
+//! * `[discovery-first]` (info) noise/histogram protocols without discovered
+//!   parameters will run a discovery sub-query first.
+
+use std::fmt;
+
+use tdsql_core::leakage::ExposureDeclaration;
+use tdsql_core::protocol::{ProtocolKind, ProtocolParams};
+use tdsql_sql::ast::Query;
+
+use crate::ir::{lower, FieldKind, Flow, Plan, Sink, StageKind};
+use crate::lattice::Leakage;
+
+/// Diagnostic severity. Only `Error` means the plan violates an invariant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Advisory note (e.g. a discovery sub-query will run).
+    Info,
+    /// Legal but risky configuration.
+    Warning,
+    /// Invariant violation — the plan leaks.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Info => write!(f, "info"),
+            Severity::Warning => write!(f, "warning"),
+            Severity::Error => write!(f, "error"),
+        }
+    }
+}
+
+/// One finding, anchored to a plan stage where applicable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Severity.
+    pub severity: Severity,
+    /// Stable rule identifier.
+    pub rule: &'static str,
+    /// The stage the finding is anchored to, if any.
+    pub stage: Option<StageKind>,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} [{}]", self.severity, self.rule)?;
+        if let Some(stage) = self.stage {
+            write!(f, " ({})", stage.name())?;
+        }
+        write!(f, ": {}", self.message)
+    }
+}
+
+/// Do any of the diagnostics reject the plan?
+pub fn has_errors(diags: &[Diagnostic]) -> bool {
+    diags.iter().any(|d| d.severity == Severity::Error)
+}
+
+fn check_flow(kind: ProtocolKind, stage: StageKind, flow: &Flow, out: &mut Vec<Diagnostic>) {
+    if flow.sink != Sink::SsiVisible {
+        return;
+    }
+    match &flow.field {
+        FieldKind::Grouping(col) => {
+            // Grouping attributes may cross as Det tags, bucket hashes or
+            // nDet payload copies; anything weaker is a leak.
+            if !flow.label.at_least(Leakage::KeyedHash) {
+                out.push(Diagnostic {
+                    severity: Severity::Error,
+                    rule: "grouping-exposure",
+                    stage: Some(stage),
+                    message: format!(
+                        "grouping attribute `{col}` reaches the SSI as {}; \
+                         the weakest permitted form is a keyed bucket hash",
+                        flow.label.name()
+                    ),
+                });
+            }
+            // Under Basic/S_Agg no grouping information may cross at all
+            // below the nDet floor (there are no tags to carry it).
+            if matches!(kind, ProtocolKind::Basic | ProtocolKind::SAgg)
+                && flow.label != Leakage::NDetEnc
+            {
+                out.push(Diagnostic {
+                    severity: Severity::Error,
+                    rule: "untagged-only",
+                    stage: Some(stage),
+                    message: format!(
+                        "{} must not reveal grouping information, but `{col}` \
+                         crosses as {}",
+                        kind.name(),
+                        flow.label.name()
+                    ),
+                });
+            }
+        }
+        FieldKind::Sensitive(col) => {
+            if flow.label != Leakage::NDetEnc {
+                out.push(Diagnostic {
+                    severity: Severity::Error,
+                    rule: "sensitive-exposure",
+                    stage: Some(stage),
+                    message: format!(
+                        "attribute `{col}` reaches the SSI as {}; non-grouping \
+                         attributes may only cross under nDet encryption",
+                        flow.label.name()
+                    ),
+                });
+            }
+        }
+        FieldKind::AggState | FieldKind::ResultRow | FieldKind::QueryText => {
+            if flow.label != Leakage::NDetEnc {
+                out.push(Diagnostic {
+                    severity: Severity::Error,
+                    rule: "sensitive-exposure",
+                    stage: Some(stage),
+                    message: format!(
+                        "{} reaches the SSI as {}; it must stay under nDet \
+                         encryption",
+                        flow.field.describe(),
+                        flow.label.name()
+                    ),
+                });
+            }
+        }
+        FieldKind::SizeBound
+        | FieldKind::Credential
+        | FieldKind::ProtocolRecipe
+        | FieldKind::Routing => {
+            // The four authorized cleartexts; any label is fine.
+        }
+    }
+    // Anything in cleartext must be one of the four authorized fields.
+    if flow.label == Leakage::Plaintext
+        && !matches!(
+            flow.field,
+            FieldKind::SizeBound
+                | FieldKind::Credential
+                | FieldKind::ProtocolRecipe
+                | FieldKind::Routing
+        )
+    {
+        out.push(Diagnostic {
+            severity: Severity::Error,
+            rule: "authorized-cleartext",
+            stage: Some(stage),
+            message: format!(
+                "{} crosses to the SSI in cleartext; only the SIZE bound, the \
+                 credential, the protocol recipe and the routing target may",
+                flow.field.describe()
+            ),
+        });
+    }
+}
+
+/// Check a lowered plan against the invariants. `params` supplies the
+/// configuration-sensitive checks (pad size, discovery inputs).
+pub fn check(plan: &Plan, params: &ProtocolParams) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let kind = plan.protocol;
+
+    if plan.aggregate && kind == ProtocolKind::Basic {
+        out.push(Diagnostic {
+            severity: Severity::Error,
+            rule: "basic-aggregate",
+            stage: None,
+            message: "the basic protocol cannot execute aggregate queries; \
+                      pick S_Agg, a noise protocol or ED_Hist"
+                .into(),
+        });
+    }
+
+    for stage in &plan.stages {
+        for flow in &stage.flows {
+            check_flow(kind, stage.kind, flow, &mut out);
+        }
+        // Tag forms must match the runtime declaration phase by phase.
+        if let (Some(phase), Some(form)) = (stage.kind.phase(), stage.tag) {
+            let decl = ExposureDeclaration::for_protocol(kind);
+            if !decl.allows(phase, form) {
+                out.push(Diagnostic {
+                    severity: Severity::Error,
+                    rule: "undeclared-exposure",
+                    stage: Some(stage.kind),
+                    message: format!(
+                        "stage hands the SSI {form:?} tags, but {} declares \
+                         {:?} for the {phase:?} phase",
+                        kind.name(),
+                        decl.allowed(phase),
+                    ),
+                });
+            }
+        }
+    }
+
+    // Pad floor: an encoded aggregate input carries the group key, the
+    // aggregate accumulators and flags; below ~48 bytes real tuples routinely
+    // overflow the pad and become distinguishable from dummies by size.
+    const PAD_FLOOR: usize = 48;
+    if params.pad < PAD_FLOOR {
+        out.push(Diagnostic {
+            severity: Severity::Warning,
+            rule: "pad-floor",
+            stage: Some(StageKind::Collection),
+            message: format!(
+                "pad = {} is below the {PAD_FLOOR}-byte encoding floor; \
+                 oversized payloads are sent unpadded, so dummies and fakes \
+                 become distinguishable by size",
+                params.pad
+            ),
+        });
+    }
+
+    if kind.needs_discovery() && params.noise_domain.is_empty() && params.histogram.is_none() {
+        out.push(Diagnostic {
+            severity: Severity::Info,
+            rule: "discovery-first",
+            stage: None,
+            message: format!(
+                "{} has no discovered domain/histogram; a k2-sealed S_Agg \
+                 discovery sub-query will run first",
+                kind.name()
+            ),
+        });
+    }
+
+    out
+}
+
+/// Lower and check in one call — the entry point `explain_checked` and the
+/// golden tests use.
+pub fn check_query(query: &Query, params: &ProtocolParams) -> Vec<Diagnostic> {
+    check(&lower(query, params), params)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::Stage;
+    use tdsql_sql::parser::parse_query;
+
+    fn agg_query() -> Query {
+        parse_query("SELECT c.district, COUNT(*) FROM consumer c GROUP BY c.district SIZE 500")
+            .unwrap()
+    }
+
+    fn assert_clean(kind: ProtocolKind) {
+        let params = ProtocolParams::new(kind);
+        let diags = check_query(&agg_query(), &params);
+        assert!(
+            !has_errors(&diags),
+            "{} should satisfy the invariants: {diags:?}",
+            kind.name()
+        );
+    }
+
+    #[test]
+    fn all_aggregate_protocols_check_clean() {
+        assert_clean(ProtocolKind::SAgg);
+        assert_clean(ProtocolKind::RnfNoise { nf: 2 });
+        assert_clean(ProtocolKind::CNoise);
+        assert_clean(ProtocolKind::EdHist { buckets: 4 });
+    }
+
+    #[test]
+    fn basic_rejects_aggregates() {
+        let diags = check_query(&agg_query(), &ProtocolParams::new(ProtocolKind::Basic));
+        assert!(diags.iter().any(|d| d.rule == "basic-aggregate"));
+    }
+
+    #[test]
+    fn sfw_under_basic_is_clean() {
+        let q = parse_query("SELECT pid FROM health WHERE age > 80").unwrap();
+        let diags = check_query(&q, &ProtocolParams::new(ProtocolKind::Basic));
+        assert!(!has_errors(&diags), "{diags:?}");
+    }
+
+    #[test]
+    fn mislabeled_plan_is_rejected() {
+        // Simulate a buggy driver that tags S_Agg collection tuples with
+        // Det_Enc(A_G): the checker must flag both the label flow and the
+        // undeclared tag form.
+        let params = ProtocolParams::new(ProtocolKind::SAgg);
+        let mut plan = lower(&agg_query(), &params);
+        let collection = plan
+            .stages
+            .iter_mut()
+            .find(|s| s.kind == StageKind::Collection)
+            .unwrap();
+        collection.tag = Some(tdsql_core::leakage::TagForm::Det);
+        collection.flows.push(Flow {
+            field: FieldKind::Grouping("district".into()),
+            label: Leakage::DetEnc,
+            sink: Sink::SsiVisible,
+        });
+        let diags = check(&plan, &params);
+        assert!(diags.iter().any(|d| d.rule == "untagged-only"), "{diags:?}");
+        assert!(
+            diags.iter().any(|d| d.rule == "undeclared-exposure"),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn cleartext_grouping_is_flagged() {
+        let params = ProtocolParams::new(ProtocolKind::CNoise);
+        let mut plan = lower(&agg_query(), &params);
+        plan.stages[0].flows.push(Flow {
+            field: FieldKind::Grouping("district".into()),
+            label: Leakage::Plaintext,
+            sink: Sink::SsiVisible,
+        });
+        let diags = check(&plan, &params);
+        assert!(
+            diags.iter().any(|d| d.rule == "grouping-exposure"),
+            "{diags:?}"
+        );
+        assert!(
+            diags.iter().any(|d| d.rule == "authorized-cleartext"),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn undersized_pad_warns() {
+        let mut params = ProtocolParams::new(ProtocolKind::SAgg);
+        params.pad = 16;
+        let diags = check_query(&agg_query(), &params);
+        assert!(diags
+            .iter()
+            .any(|d| d.rule == "pad-floor" && d.severity == Severity::Warning));
+        assert!(!has_errors(&diags));
+    }
+
+    #[test]
+    fn discovery_note_for_unprepared_noise() {
+        let diags = check_query(&agg_query(), &ProtocolParams::new(ProtocolKind::CNoise));
+        assert!(diags.iter().any(|d| d.rule == "discovery-first"));
+    }
+
+    #[test]
+    fn stage_without_observations_is_ignored_by_declaration_rule() {
+        // Partitioning produces no runtime observations; a plan with only a
+        // partitioning tag must not trip undeclared-exposure.
+        let params = ProtocolParams::new(ProtocolKind::EdHist { buckets: 4 });
+        let plan = lower(&agg_query(), &params);
+        let partitioning: Vec<&Stage> = plan
+            .stages
+            .iter()
+            .filter(|s| s.kind == StageKind::Partitioning)
+            .collect();
+        assert_eq!(partitioning.len(), 1);
+        let diags = check(&plan, &params);
+        assert!(!has_errors(&diags), "{diags:?}");
+    }
+}

@@ -1,0 +1,414 @@
+//! The dataflow IR the checker runs on: a parsed [`Query`] plus
+//! [`ProtocolParams`] lowered into the sequence of protocol stages, each
+//! stage listing every field that crosses a trust boundary and the
+//! [`Leakage`] label it crosses with.
+//!
+//! The lowering is deliberately *total*: it enumerates everything the SSI
+//! could see under the chosen protocol, including the authorized cleartexts,
+//! so the checker's job reduces to comparing labels against floors — there
+//! is no separate "did we forget a field" pass.
+
+use std::collections::BTreeSet;
+
+use tdsql_core::leakage::TagForm;
+use tdsql_core::protocol::{ProtocolKind, ProtocolParams};
+use tdsql_core::stats::Phase;
+use tdsql_sql::ast::{Expr, Query, SelectItem};
+
+use crate::lattice::Leakage;
+
+/// One stage of the protocol dataflow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum StageKind {
+    /// TDSs evaluate locally and upload sealed tuples (steps 1–4).
+    Collection,
+    /// The SSI partitions the working set by tag (SSI-internal; what it
+    /// learns here it learned from the tags it already stored).
+    Partitioning,
+    /// TDSs merge partial aggregates, possibly iteratively (steps 5–8).
+    Aggregation,
+    /// HAVING + projection, results re-sealed under `k1` (steps 9–13).
+    Filtering,
+}
+
+impl StageKind {
+    /// The runtime [`Phase`] whose SSI observations this stage produces.
+    /// `Partitioning` produces none: it is computed server-side from tags
+    /// recorded in earlier phases.
+    pub fn phase(self) -> Option<Phase> {
+        match self {
+            StageKind::Collection => Some(Phase::Collection),
+            StageKind::Partitioning => None,
+            StageKind::Aggregation => Some(Phase::Aggregation),
+            StageKind::Filtering => Some(Phase::Filtering),
+        }
+    }
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            StageKind::Collection => "collection",
+            StageKind::Partitioning => "partitioning",
+            StageKind::Aggregation => "aggregation",
+            StageKind::Filtering => "filtering",
+        }
+    }
+}
+
+/// What kind of value a flow carries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FieldKind {
+    /// A grouping attribute (`A_G`) — named by its column.
+    Grouping(String),
+    /// A non-grouping attribute referenced by the query — sensitive payload.
+    Sensitive(String),
+    /// An encoded partial-aggregate state.
+    AggState,
+    /// A final result row.
+    ResultRow,
+    /// The query's SQL text.
+    QueryText,
+    /// The SIZE clause bound.
+    SizeBound,
+    /// The authority-signed credential.
+    Credential,
+    /// The protocol recipe (which dataflow to run).
+    ProtocolRecipe,
+    /// Querybox routing (crowd vs listed TDS ids).
+    Routing,
+}
+
+impl FieldKind {
+    /// Display name used in diagnostics.
+    pub fn describe(&self) -> String {
+        match self {
+            FieldKind::Grouping(c) => format!("grouping attribute `{c}`"),
+            FieldKind::Sensitive(c) => format!("attribute `{c}`"),
+            FieldKind::AggState => "partial aggregate state".into(),
+            FieldKind::ResultRow => "result row".into(),
+            FieldKind::QueryText => "query text".into(),
+            FieldKind::SizeBound => "SIZE bound".into(),
+            FieldKind::Credential => "credential".into(),
+            FieldKind::ProtocolRecipe => "protocol recipe".into(),
+            FieldKind::Routing => "querybox routing".into(),
+        }
+    }
+}
+
+/// Where a flow lands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Sink {
+    /// Visible to the untrusted SSI — the sink every invariant is about.
+    SsiVisible,
+    /// Stays inside the TDS trust perimeter (k2 secrets, local evaluation).
+    TdsOnly,
+    /// Delivered to the querier under `k1`.
+    Querier,
+}
+
+/// One labelled edge of the dataflow: `field` reaches `sink` under `label`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Flow {
+    /// What the edge carries.
+    pub field: FieldKind,
+    /// Protection it carries it under.
+    pub label: Leakage,
+    /// Where it lands.
+    pub sink: Sink,
+}
+
+/// One protocol stage with its flows and the tag form its stored tuples
+/// carry (None for stages that ship no stored tuples).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Stage {
+    /// Which stage.
+    pub kind: StageKind,
+    /// The partitioning-tag form attached to tuples this stage hands the
+    /// SSI, if it hands any.
+    pub tag: Option<TagForm>,
+    /// Every labelled boundary crossing of the stage.
+    pub flows: Vec<Flow>,
+}
+
+/// The lowered plan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Plan {
+    /// Protocol the plan executes under.
+    pub protocol: ProtocolKind,
+    /// Aggregate (Group By framework) or Select-From-Where.
+    pub aggregate: bool,
+    /// Grouping attribute names (empty for SFW queries).
+    pub grouping: Vec<String>,
+    /// Non-grouping attributes the query touches.
+    pub sensitive: Vec<String>,
+    /// The stage sequence.
+    pub stages: Vec<Stage>,
+}
+
+impl Plan {
+    /// The stage of a given kind, if the plan has one.
+    pub fn stage(&self, kind: StageKind) -> Option<&Stage> {
+        self.stages.iter().find(|s| s.kind == kind)
+    }
+}
+
+fn collect_columns(expr: &Expr, out: &mut BTreeSet<String>) {
+    match expr {
+        Expr::Column(c) => {
+            out.insert(c.column.clone());
+        }
+        Expr::Literal(_) => {}
+        Expr::Unary { expr, .. } => collect_columns(expr, out),
+        Expr::Binary { left, right, .. } => {
+            collect_columns(left, out);
+            collect_columns(right, out);
+        }
+        Expr::Aggregate(call) => {
+            if let Some(arg) = &call.arg {
+                collect_columns(arg, out);
+            }
+        }
+        Expr::IsNull { expr, .. } => collect_columns(expr, out),
+        Expr::InList { expr, list, .. } => {
+            collect_columns(expr, out);
+            for e in list {
+                collect_columns(e, out);
+            }
+        }
+        Expr::Between {
+            expr, low, high, ..
+        } => {
+            collect_columns(expr, out);
+            collect_columns(low, out);
+            collect_columns(high, out);
+        }
+        Expr::Like { expr, .. } => collect_columns(expr, out),
+    }
+}
+
+/// The label a grouping attribute crosses to the SSI under, as chosen by the
+/// protocol's tag form (the payload copy is always nDet in addition).
+fn grouping_tag(kind: ProtocolKind, stage: StageKind) -> (Option<TagForm>, Option<Leakage>) {
+    match (kind, stage) {
+        (ProtocolKind::Basic, _) | (ProtocolKind::SAgg, _) => (Some(TagForm::None), None),
+        (ProtocolKind::RnfNoise { .. } | ProtocolKind::CNoise, _) => {
+            (Some(TagForm::Det), Some(Leakage::DetEnc))
+        }
+        (ProtocolKind::EdHist { .. }, StageKind::Collection | StageKind::Partitioning) => {
+            (Some(TagForm::Bucket), Some(Leakage::KeyedHash))
+        }
+        (ProtocolKind::EdHist { .. }, _) => (Some(TagForm::Det), Some(Leakage::DetEnc)),
+    }
+}
+
+/// Lower a query + protocol choice into the dataflow plan.
+pub fn lower(query: &Query, params: &ProtocolParams) -> Plan {
+    let aggregate = query.is_aggregate();
+    let mut grouping: BTreeSet<String> = BTreeSet::new();
+    for g in &query.group_by {
+        collect_columns(g, &mut grouping);
+    }
+    let mut touched: BTreeSet<String> = BTreeSet::new();
+    for item in &query.select {
+        if let SelectItem::Expr { expr, .. } = item {
+            collect_columns(expr, &mut touched);
+        }
+    }
+    if let Some(w) = &query.where_clause {
+        collect_columns(w, &mut touched);
+    }
+    if let Some(h) = &query.having {
+        collect_columns(h, &mut touched);
+    }
+    let sensitive: Vec<String> = touched.difference(&grouping).cloned().collect();
+    let grouping: Vec<String> = grouping.into_iter().collect();
+
+    let kind = params.kind;
+    let mut stages = Vec::new();
+
+    // Collection: the envelope's authorized cleartexts, the sealed query,
+    // and one sealed tuple per local row (all attributes nDet; grouping
+    // attributes additionally exposed through the tag, per protocol).
+    let (tag, tag_label) = grouping_tag(kind, StageKind::Collection);
+    let mut flows = vec![
+        Flow {
+            field: FieldKind::QueryText,
+            label: Leakage::NDetEnc,
+            sink: Sink::SsiVisible,
+        },
+        Flow {
+            field: FieldKind::SizeBound,
+            label: Leakage::Plaintext,
+            sink: Sink::SsiVisible,
+        },
+        Flow {
+            field: FieldKind::Credential,
+            label: Leakage::Plaintext,
+            sink: Sink::SsiVisible,
+        },
+        Flow {
+            field: FieldKind::ProtocolRecipe,
+            label: Leakage::Plaintext,
+            sink: Sink::SsiVisible,
+        },
+        Flow {
+            field: FieldKind::Routing,
+            label: Leakage::Plaintext,
+            sink: Sink::SsiVisible,
+        },
+    ];
+    for col in &sensitive {
+        flows.push(Flow {
+            field: FieldKind::Sensitive(col.clone()),
+            label: Leakage::NDetEnc,
+            sink: Sink::SsiVisible,
+        });
+    }
+    for col in &grouping {
+        flows.push(Flow {
+            field: FieldKind::Grouping(col.clone()),
+            label: Leakage::NDetEnc,
+            sink: Sink::SsiVisible,
+        });
+        if let Some(label) = tag_label {
+            flows.push(Flow {
+                field: FieldKind::Grouping(col.clone()),
+                label,
+                sink: Sink::SsiVisible,
+            });
+        }
+    }
+    stages.push(Stage {
+        kind: StageKind::Collection,
+        tag,
+        flows,
+    });
+
+    // Partitioning: server-side; re-reads the stored tags only.
+    let (tag, tag_label) = grouping_tag(kind, StageKind::Partitioning);
+    let mut flows = Vec::new();
+    if let Some(label) = tag_label {
+        for col in &grouping {
+            flows.push(Flow {
+                field: FieldKind::Grouping(col.clone()),
+                label,
+                sink: Sink::SsiVisible,
+            });
+        }
+    }
+    stages.push(Stage {
+        kind: StageKind::Partitioning,
+        tag,
+        flows,
+    });
+
+    // Aggregation: only the Group By framework runs it.
+    if aggregate && kind != ProtocolKind::Basic {
+        let (tag, tag_label) = grouping_tag(kind, StageKind::Aggregation);
+        let mut flows = vec![Flow {
+            field: FieldKind::AggState,
+            label: Leakage::NDetEnc,
+            sink: Sink::SsiVisible,
+        }];
+        if let Some(label) = tag_label {
+            for col in &grouping {
+                flows.push(Flow {
+                    field: FieldKind::Grouping(col.clone()),
+                    label,
+                    sink: Sink::SsiVisible,
+                });
+            }
+        }
+        stages.push(Stage {
+            kind: StageKind::Aggregation,
+            tag,
+            flows,
+        });
+    }
+
+    // Filtering: k1-sealed result rows, never tagged.
+    stages.push(Stage {
+        kind: StageKind::Filtering,
+        tag: Some(TagForm::None),
+        flows: vec![Flow {
+            field: FieldKind::ResultRow,
+            label: Leakage::NDetEnc,
+            sink: Sink::Querier,
+        }],
+    });
+
+    Plan {
+        protocol: kind,
+        aggregate,
+        grouping,
+        sensitive,
+        stages,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tdsql_sql::parser::parse_query;
+
+    fn agg_query() -> Query {
+        parse_query(
+            "SELECT c.district, AVG(p.cons) FROM power p, consumer c \
+             WHERE c.cid = p.cid GROUP BY c.district SIZE 1000",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn lowering_separates_grouping_from_sensitive() {
+        let plan = lower(
+            &agg_query(),
+            &ProtocolParams::new(ProtocolKind::EdHist { buckets: 4 }),
+        );
+        assert_eq!(plan.grouping, vec!["district"]);
+        assert_eq!(plan.sensitive, vec!["cid", "cons"]);
+        assert!(plan.aggregate);
+    }
+
+    #[test]
+    fn ed_hist_switches_tag_form_between_steps() {
+        let plan = lower(
+            &agg_query(),
+            &ProtocolParams::new(ProtocolKind::EdHist { buckets: 4 }),
+        );
+        assert_eq!(
+            plan.stage(StageKind::Collection).unwrap().tag,
+            Some(TagForm::Bucket)
+        );
+        assert_eq!(
+            plan.stage(StageKind::Aggregation).unwrap().tag,
+            Some(TagForm::Det)
+        );
+    }
+
+    #[test]
+    fn s_agg_tags_nothing() {
+        let plan = lower(&agg_query(), &ProtocolParams::new(ProtocolKind::SAgg));
+        for stage in &plan.stages {
+            assert!(matches!(stage.tag, None | Some(TagForm::None)), "{stage:?}");
+        }
+        // No grouping attribute crosses at a label weaker than nDet.
+        for stage in &plan.stages {
+            for flow in &stage.flows {
+                if matches!(flow.field, FieldKind::Grouping(_)) {
+                    assert_eq!(flow.label, Leakage::NDetEnc);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sfw_query_has_no_aggregation_stage() {
+        let q = parse_query("SELECT pid FROM health WHERE age > 80").unwrap();
+        let plan = lower(&q, &ProtocolParams::new(ProtocolKind::Basic));
+        assert!(!plan.aggregate);
+        assert!(plan.stage(StageKind::Aggregation).is_none());
+        assert_eq!(plan.grouping, Vec::<String>::new());
+        assert_eq!(plan.sensitive, vec!["age", "pid"]);
+    }
+}

@@ -1,0 +1,88 @@
+//! The leakage lattice: how much an honest-but-curious observer learns from
+//! one exposed representation of a value.
+//!
+//! Ordered by *protection* — lower elements leak more:
+//!
+//! ```text
+//! Plaintext  <  KeyedHash  <  DetEnc  <  NDetEnc
+//! ```
+//!
+//! * `Plaintext` — the value itself (only ever authorized for the SIZE
+//!   bound, the signed credential, the protocol recipe and the routing
+//!   target);
+//! * `KeyedHash` — `h(bucketId)`: hides the value and the domain order, but
+//!   equal inputs produce equal outputs *within one bucket mapping*
+//!   (ED_Hist's first-step tags);
+//! * `DetEnc` — `Det_Enc_k2(v)`: hides the value but exposes the exact
+//!   equality pattern, hence frequencies (noise-protocol tags, ED_Hist's
+//!   second-step tags);
+//! * `NDetEnc` — `nDet_Enc(v)`: semantically secure, unlinkable ciphertexts
+//!   (every tuple payload; the exposure floor of S_Agg).
+
+/// One point of the leakage lattice. `Ord` follows protection strength.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Leakage {
+    /// Cleartext.
+    Plaintext,
+    /// Keyed hash of a coarsened value (bucket id).
+    KeyedHash,
+    /// Deterministic encryption — equality pattern exposed.
+    DetEnc,
+    /// Non-deterministic encryption — semantically secure.
+    NDetEnc,
+}
+
+impl Leakage {
+    /// Combine two representations of (parts of) the same value: the
+    /// adversary keeps whichever view leaks more, so the join of the
+    /// information-flow lattice is the *minimum* protection.
+    pub fn join(self, other: Leakage) -> Leakage {
+        self.min(other)
+    }
+
+    /// Does this representation protect at least as strongly as `floor`?
+    pub fn at_least(self, floor: Leakage) -> bool {
+        self >= floor
+    }
+
+    /// Display name used in diagnostics.
+    pub fn name(self) -> &'static str {
+        match self {
+            Leakage::Plaintext => "plaintext",
+            Leakage::KeyedHash => "keyed-hash",
+            Leakage::DetEnc => "Det_Enc",
+            Leakage::NDetEnc => "nDet_Enc",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn order_is_protection_strength() {
+        assert!(Leakage::Plaintext < Leakage::KeyedHash);
+        assert!(Leakage::KeyedHash < Leakage::DetEnc);
+        assert!(Leakage::DetEnc < Leakage::NDetEnc);
+    }
+
+    #[test]
+    fn join_keeps_the_leakier_view() {
+        assert_eq!(Leakage::NDetEnc.join(Leakage::DetEnc), Leakage::DetEnc);
+        assert_eq!(
+            Leakage::Plaintext.join(Leakage::NDetEnc),
+            Leakage::Plaintext
+        );
+        assert_eq!(
+            Leakage::KeyedHash.join(Leakage::KeyedHash),
+            Leakage::KeyedHash
+        );
+    }
+
+    #[test]
+    fn floors() {
+        assert!(Leakage::NDetEnc.at_least(Leakage::DetEnc));
+        assert!(!Leakage::KeyedHash.at_least(Leakage::DetEnc));
+    }
+}

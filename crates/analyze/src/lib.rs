@@ -1,0 +1,88 @@
+//! # tdsql-analyze — static leakage analysis for query plans
+//!
+//! The protocols of the paper are each defined by what they *refuse* to show
+//! the untrusted SSI. This crate makes that refusal checkable before a
+//! single ciphertext moves:
+//!
+//! * [`ir`] lowers a parsed query + protocol choice into a dataflow plan
+//!   whose every SSI-crossing edge carries a [`lattice::Leakage`] label;
+//! * [`checker`] verifies the plan against the paper's invariants (grouping
+//!   attributes cross only as Det/bucket tags, everything else stays nDet,
+//!   the only cleartexts are the four authorized envelope fields) and
+//!   reports violations as structured [`checker::Diagnostic`]s;
+//! * [`profile`] diffs a runtime SSI observation log against the same
+//!   declaration — the golden leakage-profile tests drive it for all five
+//!   protocols;
+//! * [`lint`] is the source-level companion (`srclint` binary): panic
+//!   freedom in protocol hot paths, constant-time MAC comparison, no Debug
+//!   on raw keys, no RNG in deterministic primitives.
+//!
+//! The same contract is enforced at runtime by debug assertions in
+//! `tdsql_core::ssi` via [`tdsql_core::leakage::ExposureDeclaration`] — one
+//! declaration, three enforcement points.
+
+pub mod checker;
+pub mod ir;
+pub mod lattice;
+pub mod lint;
+pub mod profile;
+
+use tdsql_core::protocol::ProtocolParams;
+use tdsql_sql::ast::Query;
+
+/// [`tdsql_core::explain::explain`] plus the leakage check: renders the
+/// execution plan, then appends the analyzer's verdict. The check never
+/// blocks — the caller decides what to do with an unclean plan — but the
+/// rendered text makes violations impossible to miss.
+pub fn explain_checked(query: &Query, params: &ProtocolParams) -> String {
+    let mut out = tdsql_core::explain::explain(query, params);
+    let diags = checker::check_query(query, params);
+    out.push_str("leakage check:\n");
+    if diags.is_empty() {
+        out.push_str("  ok — plan satisfies the declared exposure profile\n");
+    } else {
+        for d in &diags {
+            out.push_str(&format!("  {d}\n"));
+        }
+        if !checker::has_errors(&diags) {
+            out.push_str("  ok — no invariant violations (advisories above)\n");
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tdsql_core::protocol::ProtocolKind;
+    use tdsql_sql::parser::parse_query;
+
+    #[test]
+    fn explain_checked_reports_clean_plans() {
+        let q =
+            parse_query("SELECT c.district, COUNT(*) FROM consumer c GROUP BY c.district SIZE 100")
+                .unwrap();
+        let text = explain_checked(&q, &ProtocolParams::new(ProtocolKind::SAgg));
+        assert!(text.contains("leakage check:"));
+        assert!(text.contains("ok — plan satisfies"));
+    }
+
+    #[test]
+    fn explain_checked_reports_violations() {
+        let q =
+            parse_query("SELECT c.district, COUNT(*) FROM consumer c GROUP BY c.district SIZE 100")
+                .unwrap();
+        let text = explain_checked(&q, &ProtocolParams::new(ProtocolKind::Basic));
+        assert!(text.contains("error [basic-aggregate]"), "{text}");
+    }
+
+    #[test]
+    fn explain_checked_keeps_advisories_non_fatal() {
+        let q =
+            parse_query("SELECT c.district, COUNT(*) FROM consumer c GROUP BY c.district SIZE 100")
+                .unwrap();
+        let text = explain_checked(&q, &ProtocolParams::new(ProtocolKind::CNoise));
+        assert!(text.contains("info [discovery-first]"), "{text}");
+        assert!(text.contains("ok — no invariant violations"), "{text}");
+    }
+}

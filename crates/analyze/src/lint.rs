@@ -1,0 +1,341 @@
+//! `srclint` — a lexical privacy lint over the workspace sources.
+//!
+//! The protocols' security rests on a handful of source-level disciplines
+//! that ordinary testing does not enforce. The lint scans the workspace for
+//! violations of four rules:
+//!
+//! * `no-panic-path` — no `unwrap()`, `expect()`, `panic!`, `unreachable!`,
+//!   `todo!` or `unimplemented!` in protocol hot paths
+//!   (`core/src/protocol/`, `core/src/runtime/`, `tds.rs`, `ssi.rs`): a
+//!   panicking TDS drops out of a round and the SSI observes the failure
+//!   pattern; hot paths must return typed [`ProtocolError`]s instead;
+//! * `ct-compare` — no `==`/`!=` on MAC, digest or signature buffers inside
+//!   `crypto/src/`: verification must go through the constant-time
+//!   `tdsql_crypto::hmac::ct_eq`;
+//! * `no-debug-keys` — no `#[derive(Debug)]` on crypto structs holding raw
+//!   key bytes: a derived `Debug` prints key material into logs (redact by
+//!   hand, as `SymKey` does);
+//! * `no-nondet-rng` — no RNG use inside the deterministic crypto
+//!   primitives (`det.rs`, `bucket_hash.rs`, `kdf.rs`, `sha256.rs`,
+//!   `hmac.rs`, `aes.rs`, `ctr.rs`): determinism there is a correctness
+//!   *and* a security contract (equal plaintexts must produce equal tags).
+//!
+//! Findings can be suppressed through a checked-in allowlist (`srclint.allow`
+//! at the workspace root): one finding per line, `rule path-fragment
+//! line-fragment`, `#` comments allowed. Test modules (`#[cfg(test)]`) and
+//! comment lines are skipped entirely.
+//!
+//! [`ProtocolError`]: tdsql_core::error::ProtocolError
+
+/// One lint violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Which rule fired.
+    pub rule: &'static str,
+    /// Workspace-relative path of the offending file.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// The offending source line, trimmed.
+    pub text: String,
+}
+
+impl std::fmt::Display for Finding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.text
+        )
+    }
+}
+
+/// The checked-in suppression list.
+#[derive(Debug, Default)]
+pub struct Allowlist {
+    entries: Vec<(String, String, String)>,
+}
+
+impl Allowlist {
+    /// Parse the `srclint.allow` format: `rule path-fragment line-fragment`
+    /// per line, `#` comments and blank lines ignored. The line fragment is
+    /// the remainder of the line and may contain spaces.
+    pub fn parse(text: &str) -> Self {
+        let mut entries = Vec::new();
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut parts = line.splitn(3, char::is_whitespace);
+            if let (Some(rule), Some(path), Some(frag)) = (parts.next(), parts.next(), parts.next())
+            {
+                entries.push((rule.to_string(), path.to_string(), frag.trim().to_string()));
+            }
+        }
+        Self { entries }
+    }
+
+    /// Is this finding suppressed?
+    pub fn permits(&self, finding: &Finding) -> bool {
+        self.entries.iter().any(|(rule, path, frag)| {
+            rule == finding.rule
+                && finding.file.contains(path.as_str())
+                && finding.text.contains(frag.as_str())
+        })
+    }
+}
+
+fn is_hot_path(path: &str) -> bool {
+    path.contains("core/src/protocol/")
+        || path.contains("core/src/runtime/")
+        || path.ends_with("core/src/tds.rs")
+        || path.ends_with("core/src/ssi.rs")
+}
+
+fn is_crypto(path: &str) -> bool {
+    path.contains("crypto/src/")
+}
+
+const DETERMINISTIC_CRYPTO: &[&str] = &[
+    "det.rs",
+    "bucket_hash.rs",
+    "kdf.rs",
+    "sha256.rs",
+    "hmac.rs",
+    "aes.rs",
+    "ctr.rs",
+];
+
+fn is_deterministic_crypto(path: &str) -> bool {
+    is_crypto(path)
+        && DETERMINISTIC_CRYPTO
+            .iter()
+            .any(|f| path.ends_with(&format!("crypto/src/{f}")))
+}
+
+const PANIC_TOKENS: &[&str] = &[
+    ".unwrap()",
+    ".expect(",
+    "panic!(",
+    "unreachable!(",
+    "todo!(",
+    "unimplemented!(",
+];
+
+/// Lowercased identifier words of a line (splits on non-alphanumeric,
+/// keeping `_`).
+fn words(line: &str) -> Vec<String> {
+    line.split(|c: char| !c.is_ascii_alphanumeric() && c != '_')
+        .filter(|w| !w.is_empty())
+        .map(|w| w.to_ascii_lowercase())
+        .collect()
+}
+
+const COMPARE_SENSITIVE: &[&str] = &["mac", "hmac", "digest", "signature"];
+
+/// Mark which lines belong to `#[cfg(test)]` modules (skipped by every
+/// rule). Brace counting starts at the `mod` line that follows the
+/// attribute; nested braces are tracked, strings are not parsed (good
+/// enough for this codebase's formatting).
+fn test_block_mask(lines: &[&str]) -> Vec<bool> {
+    let mut mask = vec![false; lines.len()];
+    let mut i = 0;
+    while i < lines.len() {
+        if lines[i].trim() == "#[cfg(test)]" {
+            // Find the mod line (attributes may stack).
+            let mut j = i + 1;
+            while j < lines.len() && lines[j].trim().starts_with("#[") {
+                j += 1;
+            }
+            if j < lines.len() && lines[j].trim_start().starts_with("mod ") {
+                let mut depth = 0i32;
+                let mut entered = false;
+                let mut k = j;
+                while k < lines.len() {
+                    mask[k] = true;
+                    depth += lines[k].matches('{').count() as i32;
+                    depth -= lines[k].matches('}').count() as i32;
+                    entered |= lines[k].contains('{');
+                    // `mod tests;` (out-of-line module): nothing to mask.
+                    if !entered && lines[k].contains(';') {
+                        k += 1;
+                        break;
+                    }
+                    k += 1;
+                    if entered && depth <= 0 {
+                        break;
+                    }
+                }
+                mask[i] = true;
+                i = k;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    mask
+}
+
+/// Lint one source file. `rel_path` is the workspace-relative path (used
+/// for rule scoping and reporting).
+pub fn lint_file(rel_path: &str, source: &str) -> Vec<Finding> {
+    let lines: Vec<&str> = source.lines().collect();
+    let in_test = test_block_mask(&lines);
+    let mut findings = Vec::new();
+    let mut push = |rule: &'static str, idx: usize, text: &str| {
+        findings.push(Finding {
+            rule,
+            file: rel_path.to_string(),
+            line: idx + 1,
+            text: text.trim().to_string(),
+        });
+    };
+
+    for (idx, raw) in lines.iter().enumerate() {
+        if in_test[idx] {
+            continue;
+        }
+        let trimmed = raw.trim_start();
+        if trimmed.starts_with("//") {
+            continue;
+        }
+
+        if is_hot_path(rel_path) {
+            for token in PANIC_TOKENS {
+                if trimmed.contains(token) {
+                    push("no-panic-path", idx, raw);
+                    break;
+                }
+            }
+        }
+
+        if is_crypto(rel_path)
+            && (trimmed.contains("==") || trimmed.contains("!="))
+            && !trimmed.contains("ct_eq")
+        {
+            let ws = words(trimmed);
+            if ws.iter().any(|w| COMPARE_SENSITIVE.contains(&w.as_str())) {
+                push("ct-compare", idx, raw);
+            }
+        }
+
+        if is_crypto(rel_path) && trimmed.contains("derive(") && trimmed.contains("Debug") {
+            // Scan the struct body that follows for raw key-byte fields.
+            let mut k = idx + 1;
+            let mut body_depth = 0i32;
+            let mut leaky = false;
+            while k < lines.len() && k < idx + 40 {
+                let l = lines[k];
+                body_depth += l.matches('{').count() as i32;
+                let lw = words(l);
+                if lw.iter().any(|w| w.contains("key"))
+                    && (l.contains("[u8") || l.contains("Vec<u8>"))
+                {
+                    leaky = true;
+                }
+                body_depth -= l.matches('}').count() as i32;
+                if body_depth <= 0 && l.contains('}') {
+                    break;
+                }
+                k += 1;
+            }
+            if leaky {
+                push("no-debug-keys", idx, raw);
+            }
+        }
+
+        if is_deterministic_crypto(rel_path) {
+            let ws = words(trimmed);
+            if ws
+                .iter()
+                .any(|w| w.contains("rng") || w == "random" || w == "gen_range")
+            {
+                push("no-nondet-rng", idx, raw);
+            }
+        }
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn panics_flagged_only_in_hot_paths() {
+        let src = "fn f() {\n    x.unwrap();\n}\n";
+        assert_eq!(lint_file("crates/core/src/protocol/s_agg.rs", src).len(), 1);
+        assert_eq!(lint_file("crates/core/src/tds.rs", src).len(), 1);
+        assert!(lint_file("crates/core/src/workload.rs", src).is_empty());
+        assert!(lint_file("crates/sql/src/parser.rs", src).is_empty());
+    }
+
+    #[test]
+    fn test_modules_are_skipped() {
+        let src =
+            "fn f() {}\n#[cfg(test)]\nmod tests {\n    fn g() {\n        x.unwrap();\n    }\n}\n";
+        assert!(lint_file("crates/core/src/ssi.rs", src).is_empty());
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let src = "// call .unwrap() here would panic!(\nfn f() {}\n";
+        assert!(lint_file("crates/core/src/tds.rs", src).is_empty());
+    }
+
+    #[test]
+    fn non_ct_mac_compare_flagged() {
+        let src = "fn v(mac: &[u8], other: &[u8]) -> bool {\n    mac == other\n}\n";
+        let f = lint_file("crates/crypto/src/hmac.rs", src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "ct-compare");
+        let ct = "fn v(mac: &[u8], other: &[u8]) -> bool {\n    ct_eq(mac, other)\n}\n";
+        assert!(lint_file("crates/crypto/src/hmac.rs", ct).is_empty());
+    }
+
+    #[test]
+    fn macro_word_does_not_trip_mac_rule() {
+        let src = "fn f() {\n    let macro_like = a == b;\n}\n";
+        assert!(lint_file("crates/crypto/src/keys.rs", src).is_empty());
+    }
+
+    #[test]
+    fn debug_derive_on_raw_key_bytes_flagged() {
+        let src = "#[derive(Debug, Clone)]\npub struct Leaky {\n    key_bytes: [u8; 16],\n}\n";
+        let f = lint_file("crates/crypto/src/keys.rs", src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "no-debug-keys");
+        // SymKey-style: Debug derived but fields are a redacting type.
+        let ok = "#[derive(Debug, Clone)]\npub struct Ring {\n    k1: SymKey,\n}\n";
+        assert!(lint_file("crates/crypto/src/keys.rs", ok).is_empty());
+    }
+
+    #[test]
+    fn rng_in_deterministic_primitive_flagged() {
+        let src = "fn f(rng: &mut StdRng) {}\n";
+        let f = lint_file("crates/crypto/src/det.rs", src);
+        assert_eq!(f[0].rule, "no-nondet-rng");
+        // ndet is *supposed* to draw randomness.
+        assert!(lint_file("crates/crypto/src/ndet.rs", src).is_empty());
+    }
+
+    #[test]
+    fn allowlist_suppresses_matching_findings() {
+        let allow = Allowlist::parse("# comment\nno-panic-path core/src/tds.rs x.unwrap()\n");
+        let f = Finding {
+            rule: "no-panic-path",
+            file: "crates/core/src/tds.rs".into(),
+            line: 2,
+            text: "x.unwrap();".into(),
+        };
+        assert!(allow.permits(&f));
+        let other = Finding {
+            rule: "no-panic-path",
+            file: "crates/core/src/ssi.rs".into(),
+            line: 2,
+            text: "x.unwrap();".into(),
+        };
+        assert!(!allow.permits(&other));
+    }
+}

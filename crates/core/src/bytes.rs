@@ -1,0 +1,99 @@
+//! A minimal cheaply-clonable immutable byte buffer.
+//!
+//! The protocol dataflow clones ciphertext blobs freely (the SSI's working
+//! sets, retention archive and observation log all hold copies). The external
+//! `bytes` crate provided this; the hermetic build replaces it with an
+//! `Arc<[u8]>` wrapper exposing the small API subset the workspace uses.
+//! Clones are reference-count bumps, never byte copies.
+
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// An immutable, reference-counted byte buffer.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Bytes(Arc<[u8]>);
+
+impl Bytes {
+    /// Wrap a static byte string (allocates once; the `'static` bound keeps
+    /// the signature compatible with `bytes::Bytes::from_static`).
+    pub fn from_static(bytes: &'static [u8]) -> Self {
+        Bytes(Arc::from(bytes))
+    }
+
+    /// Copy a slice into a fresh buffer.
+    pub fn copy_from_slice(data: &[u8]) -> Self {
+        Bytes(Arc::from(data))
+    }
+
+    /// Copy the given subrange into a fresh buffer.
+    ///
+    /// The external crate returned a zero-copy view; an `Arc<[u8]>` cannot,
+    /// so this copies. Callers slice rarely (fault injection, truncation
+    /// tests), never on the protocol hot path.
+    pub fn slice(&self, range: std::ops::Range<usize>) -> Self {
+        Bytes(Arc::from(&self.0[range]))
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        Bytes(Arc::from(v))
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(v: &[u8]) -> Self {
+        Bytes(Arc::from(v))
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl std::fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Blobs are ciphertext; print length + a short prefix, not contents.
+        write!(f, "Bytes(len={})", self.0.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_equality() {
+        let a = Bytes::from(vec![1, 2, 3]);
+        let b = Bytes::copy_from_slice(&[1, 2, 3]);
+        let c = Bytes::from_static(b"xyz");
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a.len(), 3);
+        assert_eq!(&a[..2], &[1, 2]);
+        assert_eq!(c.as_ref(), b"xyz");
+    }
+
+    #[test]
+    fn clone_shares_storage() {
+        let a = Bytes::from(vec![9; 1024]);
+        let b = a.clone();
+        assert!(std::ptr::eq(a.as_ref().as_ptr(), b.as_ref().as_ptr()));
+    }
+
+    #[test]
+    fn debug_hides_contents() {
+        let a = Bytes::from_static(b"secret-ciphertext");
+        assert_eq!(format!("{a:?}"), "Bytes(len=17)");
+    }
+}

@@ -7,8 +7,8 @@
 //! partition to another TDS after a timeout (correctness argument of
 //! Section 3.2).
 
-use rand::seq::SliceRandom;
-use rand::Rng;
+use tdsql_crypto::rng::seq::SliceRandom;
+use tdsql_crypto::rng::Rng;
 
 /// Connectivity parameters for a simulation.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -68,8 +68,8 @@ impl Connectivity {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use tdsql_crypto::rng::SeedableRng;
+    use tdsql_crypto::rng::StdRng;
 
     #[test]
     fn always_on_connects_everyone() {

@@ -1,0 +1,136 @@
+//! The **declared exposure profile** of each protocol: which partitioning-tag
+//! forms the SSI is allowed to observe during each phase.
+//!
+//! The paper's protocols are each characterised by exactly what they hand the
+//! SSI in cleartext (Section 6.2): nothing beyond unlinkable nDet ciphertexts
+//! (`Basic`, `S_Agg`), deterministic `Det_Enc(A_G)` tags (`Rnf_Noise`,
+//! `C_Noise`, and the second aggregation step of `ED_Hist`), or keyed-hash
+//! bucket tags (the first step of `ED_Hist`). This module states that
+//! contract as data so it can be enforced in two places:
+//!
+//! * at runtime, the [`crate::ssi::Ssi`] receive paths debug-assert that
+//!   every observed tag form was declared for the posting protocol;
+//! * statically, `tdsql-analyze` checks a lowered query plan against the same
+//!   declaration and the golden leakage-profile tests compare declared
+//!   against observed sets.
+
+use crate::message::GroupTag;
+use crate::protocol::ProtocolKind;
+use crate::stats::Phase;
+
+/// The *shape* of a partitioning tag, abstracted from its payload. This is
+/// the unit the exposure contract is written in: a protocol declares which
+/// forms may appear, never which concrete tag values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum TagForm {
+    /// No partitioning information ([`GroupTag::None`]).
+    None,
+    /// A `Det_Enc(A_G)` ciphertext ([`GroupTag::Det`]).
+    Det,
+    /// A keyed bucket hash `h(bucketId)` ([`GroupTag::Bucket`]).
+    Bucket,
+}
+
+impl TagForm {
+    /// Classify a concrete tag.
+    pub fn of(tag: &GroupTag) -> TagForm {
+        match tag {
+            GroupTag::None => TagForm::None,
+            GroupTag::Det(_) => TagForm::Det,
+            GroupTag::Bucket(_) => TagForm::Bucket,
+        }
+    }
+}
+
+/// Per-phase sets of tag forms a protocol may show the SSI.
+///
+/// Indexed by [`Phase`]; each entry lists every form that may legitimately
+/// appear in that phase. An empty entry means the phase sends the SSI no
+/// stored tuples at all (e.g. `Basic` has no aggregation phase).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExposureDeclaration {
+    allowed: [&'static [TagForm]; 3],
+}
+
+const NONE_ONLY: &[TagForm] = &[TagForm::None];
+const DET_ONLY: &[TagForm] = &[TagForm::Det];
+const BUCKET_ONLY: &[TagForm] = &[TagForm::Bucket];
+const NOTHING: &[TagForm] = &[];
+
+impl ExposureDeclaration {
+    /// The declared profile of a protocol. This is the normative statement of
+    /// the paper's per-protocol leakage:
+    ///
+    /// | protocol  | collection | aggregation | filtering |
+    /// |-----------|------------|-------------|-----------|
+    /// | Basic     | none       | —           | none      |
+    /// | S_Agg     | none       | none        | none      |
+    /// | Rnf_Noise | det        | det         | none      |
+    /// | C_Noise   | det        | det         | none      |
+    /// | ED_Hist   | bucket     | det         | none      |
+    pub fn for_protocol(kind: ProtocolKind) -> Self {
+        let allowed = match kind {
+            ProtocolKind::Basic => [NONE_ONLY, NOTHING, NONE_ONLY],
+            ProtocolKind::SAgg => [NONE_ONLY, NONE_ONLY, NONE_ONLY],
+            ProtocolKind::RnfNoise { .. } | ProtocolKind::CNoise => [DET_ONLY, DET_ONLY, NONE_ONLY],
+            ProtocolKind::EdHist { .. } => [BUCKET_ONLY, DET_ONLY, NONE_ONLY],
+        };
+        Self { allowed }
+    }
+
+    fn idx(phase: Phase) -> usize {
+        match phase {
+            Phase::Collection => 0,
+            Phase::Aggregation => 1,
+            Phase::Filtering => 2,
+        }
+    }
+
+    /// May a tag of this form appear in this phase?
+    pub fn allows(&self, phase: Phase, form: TagForm) -> bool {
+        self.allowed[Self::idx(phase)].contains(&form)
+    }
+
+    /// Every form declared for a phase.
+    pub fn allowed(&self, phase: Phase) -> &[TagForm] {
+        self.allowed[Self::idx(phase)]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn s_agg_declares_nothing_but_untagged() {
+        let d = ExposureDeclaration::for_protocol(ProtocolKind::SAgg);
+        for phase in Phase::ALL {
+            assert!(d.allows(phase, TagForm::None));
+            assert!(!d.allows(phase, TagForm::Det));
+            assert!(!d.allows(phase, TagForm::Bucket));
+        }
+    }
+
+    #[test]
+    fn ed_hist_buckets_only_during_collection() {
+        let d = ExposureDeclaration::for_protocol(ProtocolKind::EdHist { buckets: 8 });
+        assert!(d.allows(Phase::Collection, TagForm::Bucket));
+        assert!(!d.allows(Phase::Collection, TagForm::Det));
+        assert!(d.allows(Phase::Aggregation, TagForm::Det));
+        assert!(!d.allows(Phase::Aggregation, TagForm::Bucket));
+        assert!(d.allows(Phase::Filtering, TagForm::None));
+    }
+
+    #[test]
+    fn basic_has_no_aggregation_phase() {
+        let d = ExposureDeclaration::for_protocol(ProtocolKind::Basic);
+        assert!(d.allowed(Phase::Aggregation).is_empty());
+    }
+
+    #[test]
+    fn tag_form_classification() {
+        assert_eq!(TagForm::of(&GroupTag::None), TagForm::None);
+        assert_eq!(TagForm::of(&GroupTag::Det(vec![1])), TagForm::Det);
+        assert_eq!(TagForm::of(&GroupTag::Bucket([0; 8])), TagForm::Bucket);
+    }
+}

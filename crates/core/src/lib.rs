@@ -46,10 +46,12 @@
 #![warn(missing_docs)]
 pub mod access;
 pub mod adversary;
+pub mod bytes;
 pub mod connectivity;
 pub mod error;
 pub mod explain;
 pub mod histogram;
+pub mod leakage;
 pub mod message;
 pub mod partition;
 pub mod protocol;

@@ -3,7 +3,7 @@
 //! credential, the partitioning tag), and the observation log used by the
 //! security tests and the exposure analysis.
 
-use bytes::Bytes;
+use crate::bytes::Bytes;
 use tdsql_crypto::Credential;
 use tdsql_sql::ast::SizeClause;
 

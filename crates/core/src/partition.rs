@@ -8,8 +8,8 @@
 
 use std::collections::BTreeMap;
 
-use rand::seq::SliceRandom;
-use rand::Rng;
+use tdsql_crypto::rng::seq::SliceRandom;
+use tdsql_crypto::rng::Rng;
 
 use crate::message::{GroupTag, StoredTuple};
 
@@ -66,9 +66,9 @@ pub fn tag_partitions(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use bytes::Bytes;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use crate::bytes::Bytes;
+    use tdsql_crypto::rng::SeedableRng;
+    use tdsql_crypto::rng::StdRng;
 
     fn tuple(tag: GroupTag, byte: u8) -> StoredTuple {
         StoredTuple {

@@ -4,8 +4,8 @@
 //! result — never the intermediate results parked on the SSI (those are
 //! under `k2`), which is exactly the access a traditional DBMS would grant.
 
-use bytes::Bytes;
-use rand::rngs::StdRng;
+use crate::bytes::Bytes;
+use tdsql_crypto::rng::StdRng;
 
 use tdsql_crypto::{Credential, NDetCipher, SymKey};
 use tdsql_sql::ast::Query;
@@ -87,8 +87,8 @@ impl std::fmt::Debug for Querier {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
     use tdsql_crypto::credential::{CredentialSigner, Role};
+    use tdsql_crypto::rng::SeedableRng;
     use tdsql_crypto::KeyRing;
     use tdsql_sql::parser::parse_query;
 

@@ -12,9 +12,9 @@
 
 use std::collections::VecDeque;
 
-use bytes::Bytes;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use crate::bytes::Bytes;
+use tdsql_crypto::rng::SeedableRng;
+use tdsql_crypto::rng::StdRng;
 
 use tdsql_crypto::credential::{CredentialSigner, Role};
 use tdsql_crypto::KeyRing;

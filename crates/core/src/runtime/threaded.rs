@@ -2,16 +2,16 @@
 //!
 //! The round-based runtime is deterministic but sequential. This runtime
 //! executes the same protocol dataflows with real parallelism: TDS workers
-//! pull partitions from a crossbeam channel and the shared state sits behind
-//! `parking_lot` mutexes — the "parallel feed" of Fig. 4 made literal. All
+//! pull partitions from a shared work queue and the shared state sits behind
+//! mutexes — the "parallel feed" of Fig. 4 made literal. All
 //! four protocols are supported; results are bit-identical to the round
 //! runtime's up to float merge order (tested in `tests/threaded_runtime.rs`).
 
-use bytes::Bytes;
-use crossbeam::channel;
-use parking_lot::Mutex;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use std::sync::Mutex;
+
+use tdsql_crypto::rng::{SeedableRng, StdRng};
+
+use crate::bytes::Bytes;
 
 use tdsql_sql::ast::Query;
 use tdsql_sql::value::Value;
@@ -29,6 +29,31 @@ enum Out {
     Results(Vec<Bytes>),
 }
 
+/// Lock a mutex, recovering the data on poison: a panicking worker thread
+/// must not turn into a second panic on the coordinating thread (the first
+/// error is already captured via `first_err`).
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// A shared pull-queue of partitions (the crossbeam channel of the original
+/// design, expressed with std primitives for the hermetic build).
+struct WorkQueue {
+    items: Mutex<std::collections::VecDeque<Vec<StoredTuple>>>,
+}
+
+impl WorkQueue {
+    fn new(partitions: Vec<Vec<StoredTuple>>) -> Self {
+        Self {
+            items: Mutex::new(partitions.into()),
+        }
+    }
+
+    fn pop(&self) -> Option<Vec<StoredTuple>> {
+        lock(&self.items).pop_front()
+    }
+}
+
 /// Fan a set of partitions out to `n_workers` threads; each partition is
 /// processed by some TDS via `work`. Returns the concatenated outputs.
 fn parallel_partitions<F>(
@@ -41,18 +66,14 @@ fn parallel_partitions<F>(
 where
     F: Fn(&Tds, &[StoredTuple], &mut StdRng) -> Result<Out> + Sync,
 {
-    let (tx, rx) = channel::unbounded::<Vec<StoredTuple>>();
-    for p in partitions {
-        tx.send(p).expect("open channel");
-    }
-    drop(tx);
+    let queue = WorkQueue::new(partitions);
 
     let working: Mutex<Vec<StoredTuple>> = Mutex::new(Vec::new());
     let results: Mutex<Vec<Bytes>> = Mutex::new(Vec::new());
     let first_err: Mutex<Option<ProtocolError>> = Mutex::new(None);
     std::thread::scope(|scope| {
         for w in 0..n_workers {
-            let rx = rx.clone();
+            let queue = &queue;
             let working = &working;
             let results = &results;
             let first_err = &first_err;
@@ -60,12 +81,12 @@ where
             let tds = &tdss[w % tdss.len()];
             scope.spawn(move || {
                 let mut rng = StdRng::seed_from_u64(seed ^ (w as u64).wrapping_mul(0x9e3779b9));
-                while let Ok(partition) = rx.recv() {
+                while let Some(partition) = queue.pop() {
                     match work(tds, &partition, &mut rng) {
-                        Ok(Out::Working(ts)) => working.lock().extend(ts),
-                        Ok(Out::Results(rs)) => results.lock().extend(rs),
+                        Ok(Out::Working(ts)) => lock(working).extend(ts),
+                        Ok(Out::Results(rs)) => lock(results).extend(rs),
                         Err(e) => {
-                            first_err.lock().get_or_insert(e);
+                            lock(first_err).get_or_insert(e);
                             return;
                         }
                     }
@@ -73,10 +94,12 @@ where
             });
         }
     });
-    if let Some(e) = first_err.into_inner() {
+    if let Some(e) = lock(&first_err).take() {
         return Err(e);
     }
-    Ok((working.into_inner(), results.into_inner()))
+    let working = std::mem::take(&mut *lock(&working));
+    let results = std::mem::take(&mut *lock(&results));
+    Ok((working, results))
 }
 
 /// Run a query through any protocol with `n_workers` concurrent TDS workers.
@@ -128,9 +151,9 @@ pub fn run_threaded(
                         tds.collect(&ctx, &mut rng)
                     })();
                     match step {
-                        Ok(tuples) => collected.lock().extend(tuples),
+                        Ok(tuples) => lock(collected).extend(tuples),
                         Err(e) => {
-                            first_err.lock().get_or_insert(e);
+                            lock(first_err).get_or_insert(e);
                             return;
                         }
                     }
@@ -138,10 +161,10 @@ pub fn run_threaded(
             });
         }
     });
-    if let Some(e) = first_err.into_inner() {
+    if let Some(e) = lock(&first_err).take() {
         return Err(e);
     }
-    let mut working = collected.into_inner();
+    let mut working = std::mem::take(&mut *lock(&collected));
 
     let open = |tds: &Tds| -> Result<crate::tds::QueryContext> {
         tds.open_query(&envelope, params.clone(), 0)

@@ -10,11 +10,37 @@
 
 use std::collections::BTreeMap;
 
-use bytes::Bytes;
+use crate::bytes::Bytes;
 
 use crate::error::{ProtocolError, Result};
+use crate::leakage::{ExposureDeclaration, TagForm};
 use crate::message::{Observation, QueryEnvelope, StoredTuple};
 use crate::stats::Phase;
+
+/// Debug-mode leak tripwire: every tag form the SSI observes must appear in
+/// the posting protocol's [`ExposureDeclaration`]. A failure here means a
+/// protocol driver showed the SSI partitioning information the static
+/// analyzer never declared — a leak, caught at the exact receive call.
+/// Compiled out of release builds (the SSI is untrusted; the check protects
+/// the TDS-side drivers during development, not the server).
+fn debug_check_declared(envelope: &QueryEnvelope, phase: Phase, tuples: &[StoredTuple]) {
+    if cfg!(debug_assertions) {
+        let decl = ExposureDeclaration::for_protocol(envelope.protocol);
+        for t in tuples {
+            let form = TagForm::of(&t.tag);
+            debug_assert!(
+                decl.allows(phase, form),
+                "undeclared exposure: protocol {} showed the SSI a {:?} tag \
+                 during {:?} (declared: {:?}) — query {}",
+                envelope.protocol.name(),
+                form,
+                phase,
+                decl.allowed(phase),
+                envelope.query_id,
+            );
+        }
+    }
+}
 
 /// Per-query server-side state.
 #[derive(Debug, Clone)]
@@ -115,6 +141,7 @@ impl Ssi {
             .collect();
         self.retain(query_id, Phase::Collection, &tuples);
         let st = self.state_mut(query_id)?;
+        debug_check_declared(&st.envelope, Phase::Collection, &tuples);
         if st.collection_closed {
             // Late arrivals after SIZE closed the window are dropped; the
             // paper's stream semantics end the window at SIZE.
@@ -173,6 +200,7 @@ impl Ssi {
             .collect();
         self.retain(query_id, phase, &tuples);
         let st = self.state_mut(query_id)?;
+        debug_check_declared(&st.envelope, phase, &tuples);
         st.working.extend(tuples);
         self.observations.extend(obs);
         Ok(())
@@ -200,6 +228,14 @@ impl Ssi {
             })
             .collect();
         let st = self.state_mut(query_id)?;
+        if cfg!(debug_assertions) {
+            let decl = ExposureDeclaration::for_protocol(st.envelope.protocol);
+            debug_assert!(
+                decl.allows(Phase::Filtering, TagForm::None),
+                "protocol {} declares no filtering-phase output",
+                st.envelope.protocol.name(),
+            );
+        }
         st.results.extend(rows);
         self.observations.extend(obs);
         Ok(())

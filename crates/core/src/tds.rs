@@ -6,11 +6,11 @@
 //! boundary is the type — everything a [`Tds`] ever returns is encrypted or
 //! deliberately public, and the SSI/runtime only handle those outputs.
 
-use bytes::Bytes;
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::Rng;
+use crate::bytes::Bytes;
 use std::collections::BTreeMap;
+use tdsql_crypto::rng::seq::SliceRandom;
+use tdsql_crypto::rng::Rng;
+use tdsql_crypto::rng::StdRng;
 
 use tdsql_crypto::{BucketHasher, DetCipher, KeyRing, NDetCipher};
 use tdsql_sql::aggregate::AggState;
@@ -511,8 +511,8 @@ impl std::fmt::Debug for Tds {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
     use tdsql_crypto::credential::{CredentialSigner, Role};
+    use tdsql_crypto::rng::SeedableRng;
     use tdsql_sql::ast::SizeClause;
     use tdsql_sql::schema::{Column, TableSchema};
     use tdsql_sql::value::DataType;

@@ -7,8 +7,8 @@
 //! * [`health_survey`] — the PCEHR scenario: every TDS is a personal health
 //!   record, queried for epidemiological aggregates.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use tdsql_crypto::rng::StdRng;
+use tdsql_crypto::rng::{Rng, SeedableRng};
 
 use tdsql_sql::engine::Database;
 use tdsql_sql::schema::{Catalog, Column, TableSchema};
@@ -208,7 +208,7 @@ pub fn health_survey(cfg: &HealthConfig) -> (Vec<Database>, Database) {
         let mut db = empty_db(&catalog);
         let row = vec![
             Value::Int(pid as i64),
-            Value::Int(rng.gen_range(0..100)),
+            Value::Int(rng.gen_range(0..100i64)),
             Value::Str(cfg.cities[rng.gen_range(0..cfg.cities.len())].clone()),
             Value::Bool(rng.gen_bool(cfg.flu_rate.clamp(0.0, 1.0))),
         ];

@@ -8,10 +8,8 @@
 //! decryption, then encryption (only the partition's aggregate is
 //! re-encrypted).
 
-use serde::{Deserialize, Serialize};
-
 /// A secure-device hardware profile.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DeviceProfile {
     /// CPU clock, Hz.
     pub cpu_hz: f64,
@@ -41,7 +39,7 @@ impl Default for DeviceProfile {
 }
 
 /// Per-partition time breakdown (Fig. 9b), seconds.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PartitionBreakdown {
     /// Download time for the partition.
     pub transfer: f64,

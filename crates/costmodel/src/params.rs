@@ -1,9 +1,7 @@
 //! Model parameters and the protocol-model interface.
 
-use serde::{Deserialize, Serialize};
-
 /// Parameters of the analytical model (Section 6.1 notation).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ModelParams {
     /// `Nt` — total number of encrypted tuples sent to the SSI (one per
     /// participating TDS in the model).
@@ -48,7 +46,7 @@ impl ModelParams {
 }
 
 /// The four metrics of Section 6.1 for one protocol at one parameter point.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Metrics {
     /// P_TDS — participating TDSs.
     pub ptds: f64,

@@ -2,15 +2,13 @@
 //! worst to best, derived from the model (and, for confidentiality, from the
 //! exposure analysis of Section 5).
 
-use serde::{Deserialize, Serialize};
-
 use crate::ed_hist::EdHistModel;
 use crate::noise::NoiseModel;
 use crate::params::{ModelParams, ProtocolModel};
 use crate::s_agg::SAggModel;
 
 /// One comparison axis.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Axis {
     /// Feasibility / local resource consumption (T_local).
     LocalResource,
@@ -51,7 +49,7 @@ impl Axis {
 }
 
 /// A worst→best ordering on one axis.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct AxisRanking {
     /// The axis.
     pub axis: Axis,

@@ -5,15 +5,13 @@
 //! G ∈ {1, 10, …, 10⁶} at Nt = 10⁶, or Nt ∈ {5M, …, 65M} at G = 10³,
 //! under 1% / 10% / 100% availability.
 
-use serde::{Deserialize, Serialize};
-
 use crate::ed_hist::EdHistModel;
 use crate::noise::NoiseModel;
 use crate::params::{Metrics, ModelParams, ProtocolModel};
 use crate::s_agg::SAggModel;
 
 /// Which metric a figure plots.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Metric {
     /// P_TDS (Fig. 10a/b).
     Ptds,
@@ -50,7 +48,7 @@ pub fn roster() -> Vec<Box<dyn ProtocolModel>> {
 
 /// One x-point of a figure: the x value plus one y per protocol (ordered as
 /// [`roster`]).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct SweepPoint {
     /// X-axis value (G or Nt).
     pub x: f64,
@@ -59,7 +57,7 @@ pub struct SweepPoint {
 }
 
 /// A whole figure.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Figure {
     /// Identifier ("10a" … "10j").
     pub id: String,

@@ -36,6 +36,7 @@ pub mod hmac;
 pub mod kdf;
 pub mod keys;
 pub mod ndet;
+pub mod rng;
 pub mod sha256;
 
 pub use bucket_hash::BucketHasher;

@@ -8,7 +8,7 @@
 //! `nonce (16B, random) || AES-CTR(enc_key, nonce, pt) || HMAC(mac_key,
 //! nonce || ct)[..16]`.
 
-use rand::RngCore;
+use crate::rng::RngCore;
 
 use crate::aes::{Aes128, BLOCK_SIZE};
 use crate::ctr;
@@ -86,8 +86,8 @@ impl NDetCipher {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use crate::rng::SeedableRng;
+    use crate::rng::StdRng;
 
     fn cipher() -> NDetCipher {
         NDetCipher::new(&SymKey::derive(b"test", "ndet"))

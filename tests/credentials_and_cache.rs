@@ -61,7 +61,7 @@ fn histogram_round_trips_through_the_ssi_cache() {
     let hist = Histogram::build(&dist, 2);
 
     // TDS 0 seals and uploads; the SSI stores an opaque blob.
-    let mut rng = rand::SeedableRng::seed_from_u64(1);
+    let mut rng = tdsql_crypto::rng::SeedableRng::seed_from_u64(1);
     let sealed = world.tdss[0].seal_histogram(&hist, &mut rng);
     assert!(
         !sealed.windows(4).any(|w| w == b"city" || w == b"Memp"),

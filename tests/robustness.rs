@@ -7,9 +7,9 @@
 
 mod common;
 
-use bytes::Bytes;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use tdsql_core::bytes::Bytes;
+use tdsql_crypto::rng::SeedableRng;
+use tdsql_crypto::rng::StdRng;
 
 use tdsql_core::access::AccessPolicy;
 use tdsql_core::message::{GroupTag, StoredTuple};
@@ -94,7 +94,7 @@ fn random_garbage_never_panics() {
     let (world, ctx, _) = setup();
     let tds = &world.tdss[0];
     let mut rng = StdRng::seed_from_u64(3);
-    use rand::RngCore;
+    use tdsql_crypto::rng::RngCore;
     for len in [1usize, 16, 48, 100, 500] {
         let mut junk = vec![0u8; len];
         rng.fill_bytes(&mut junk);

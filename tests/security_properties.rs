@@ -292,12 +292,12 @@ fn querier_and_ssi_collusion_gains_nothing_beyond_result() {
     let env = querier2.make_envelope(
         &query,
         ProtocolKind::SAgg,
-        &mut rand::SeedableRng::seed_from_u64(1),
+        &mut tdsql_crypto::rng::SeedableRng::seed_from_u64(1),
     );
     let ctx = world2.tdss[0]
         .open_query(&env, ProtocolParams::new(ProtocolKind::SAgg), 0)
         .unwrap();
-    let mut rng = rand::SeedableRng::seed_from_u64(2);
+    let mut rng = tdsql_crypto::rng::SeedableRng::seed_from_u64(2);
     let tuples = world2.tdss[0].collect(&ctx, &mut rng).unwrap();
     for t in tuples {
         assert!(k1.decrypt(&t.blob).is_err(), "k1 must not open k2 material");
