@@ -11,6 +11,7 @@
 use std::collections::BTreeSet;
 
 use tdsql_core::leakage::TagForm;
+use tdsql_core::plan::PhasePlan;
 use tdsql_core::protocol::{ProtocolKind, ProtocolParams};
 use tdsql_core::stats::Phase;
 use tdsql_sql::ast::{Expr, Query, SelectItem};
@@ -186,24 +187,30 @@ fn collect_columns(expr: &Expr, out: &mut BTreeSet<String>) {
     }
 }
 
-/// The label a grouping attribute crosses to the SSI under, as chosen by the
-/// protocol's tag form (the payload copy is always nDet in addition).
-fn grouping_tag(kind: ProtocolKind, stage: StageKind) -> (Option<TagForm>, Option<Leakage>) {
-    match (kind, stage) {
-        (ProtocolKind::Basic, _) | (ProtocolKind::SAgg, _) => (Some(TagForm::None), None),
-        (ProtocolKind::RnfNoise { .. } | ProtocolKind::CNoise, _) => {
-            (Some(TagForm::Det), Some(Leakage::DetEnc))
-        }
-        (ProtocolKind::EdHist { .. }, StageKind::Collection | StageKind::Partitioning) => {
-            (Some(TagForm::Bucket), Some(Leakage::KeyedHash))
-        }
-        (ProtocolKind::EdHist { .. }, _) => (Some(TagForm::Det), Some(Leakage::DetEnc)),
+/// The [`Leakage`] label a grouping attribute crosses to the SSI under when
+/// its tuples carry a tag of the given form (the payload copy is always nDet
+/// in addition). `TagForm::None` exposes nothing beyond the payload.
+fn tag_label(form: TagForm) -> Option<Leakage> {
+    match form {
+        TagForm::None => None,
+        TagForm::Det => Some(Leakage::DetEnc),
+        TagForm::Bucket => Some(Leakage::KeyedHash),
     }
 }
 
 /// Lower a query + protocol choice into the dataflow plan.
+///
+/// The stage sequence and tag forms are read off the *compiled*
+/// [`PhasePlan`] — the same object the runtimes interpret — so the analyzer
+/// can never drift from what actually executes.
 pub fn lower(query: &Query, params: &ProtocolParams) -> Plan {
-    let aggregate = query.is_aggregate();
+    lower_plan(&PhasePlan::compile(query, params), query)
+}
+
+/// Lower an already-compiled [`PhasePlan`] (plus the query it was compiled
+/// from, for attribute names) into the checker's dataflow IR.
+pub fn lower_plan(phase_plan: &PhasePlan, query: &Query) -> Plan {
+    let aggregate = phase_plan.aggregate;
     let mut grouping: BTreeSet<String> = BTreeSet::new();
     for g in &query.group_by {
         collect_columns(g, &mut grouping);
@@ -223,13 +230,15 @@ pub fn lower(query: &Query, params: &ProtocolParams) -> Plan {
     let sensitive: Vec<String> = touched.difference(&grouping).cloned().collect();
     let grouping: Vec<String> = grouping.into_iter().collect();
 
-    let kind = params.kind;
+    let kind = phase_plan.kind;
     let mut stages = Vec::new();
 
     // Collection: the envelope's authorized cleartexts, the sealed query,
     // and one sealed tuple per local row (all attributes nDet; grouping
-    // attributes additionally exposed through the tag, per protocol).
-    let (tag, tag_label) = grouping_tag(kind, StageKind::Collection);
+    // attributes additionally exposed through the tag the plan's collect
+    // step attaches).
+    let collect_form = phase_plan.collect.tag_policy.form();
+    let (tag, label) = (Some(collect_form), tag_label(collect_form));
     let mut flows = vec![
         Flow {
             field: FieldKind::QueryText,
@@ -270,7 +279,7 @@ pub fn lower(query: &Query, params: &ProtocolParams) -> Plan {
             label: Leakage::NDetEnc,
             sink: Sink::SsiVisible,
         });
-        if let Some(label) = tag_label {
+        if let Some(label) = label {
             flows.push(Flow {
                 field: FieldKind::Grouping(col.clone()),
                 label,
@@ -284,10 +293,9 @@ pub fn lower(query: &Query, params: &ProtocolParams) -> Plan {
         flows,
     });
 
-    // Partitioning: server-side; re-reads the stored tags only.
-    let (tag, tag_label) = grouping_tag(kind, StageKind::Partitioning);
+    // Partitioning: server-side; re-reads the tags stored at collection.
     let mut flows = Vec::new();
-    if let Some(label) = tag_label {
+    if let Some(label) = label {
         for col in &grouping {
             flows.push(Flow {
                 field: FieldKind::Grouping(col.clone()),
@@ -302,15 +310,20 @@ pub fn lower(query: &Query, params: &ProtocolParams) -> Plan {
         flows,
     });
 
-    // Aggregation: only the Group By framework runs it.
-    if aggregate && kind != ProtocolKind::Basic {
-        let (tag, tag_label) = grouping_tag(kind, StageKind::Aggregation);
+    // Aggregation: only plans with a reduce step run it (the Group By
+    // framework); its tag form is whatever the reducers re-tag with.
+    if aggregate && phase_plan.reduce.is_some() {
+        let reduce_form = phase_plan
+            .reduce
+            .as_ref()
+            .expect("checked above")
+            .retag_form();
         let mut flows = vec![Flow {
             field: FieldKind::AggState,
             label: Leakage::NDetEnc,
             sink: Sink::SsiVisible,
         }];
-        if let Some(label) = tag_label {
+        if let Some(label) = tag_label(reduce_form) {
             for col in &grouping {
                 flows.push(Flow {
                     field: FieldKind::Grouping(col.clone()),
@@ -321,7 +334,7 @@ pub fn lower(query: &Query, params: &ProtocolParams) -> Plan {
         }
         stages.push(Stage {
             kind: StageKind::Aggregation,
-            tag,
+            tag: Some(reduce_form),
             flows,
         });
     }

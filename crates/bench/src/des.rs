@@ -1,24 +1,24 @@
 //! Discrete-event scheduling of the real protocols in **virtual time**.
 //!
 //! The round-based runtime answers *what* is computed; this module answers
-//! *when*: it executes the genuine protocol dataflow (real ciphertexts, real
-//! reductions) but assigns every partition to the earliest-free of `workers`
-//! simulated TDSs, charging transfer + crypto + CPU time from the Fig. 9
-//! device profile. The resulting makespan is a *functional* T_Q — including
-//! the queueing effects the analytical model approximates with wave factors —
-//! so the elasticity story of Fig. 10i/j can be checked against actual
-//! protocol executions, not just formulas.
+//! *when*: it interprets the same compiled [`PhasePlan`] as the runtimes
+//! (real ciphertexts, real reductions) but assigns every partition to the
+//! earliest-free of `workers` simulated TDSs, charging transfer + crypto +
+//! CPU time from the Fig. 9 device profile. The resulting makespan is a
+//! *functional* T_Q — including the queueing effects the analytical model
+//! approximates with wave factors — so the elasticity story of Fig. 10i/j
+//! can be checked against actual protocol executions, not just formulas.
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use tdsql_crypto::rng::{SeedableRng, StdRng};
 
 use tdsql_core::error::{ProtocolError, Result};
 use tdsql_core::message::{GroupTag, StoredTuple};
 use tdsql_core::partition::{random_partitions, tag_partitions};
-use tdsql_core::protocol::{ProtocolKind, ProtocolParams};
+use tdsql_core::plan::{FinalizePartitioning, Partitioning, PhasePlan, Until};
+use tdsql_core::protocol::ProtocolParams;
 use tdsql_core::querier::Querier;
 use tdsql_core::tds::{QueryContext, ResultDest, RetagMode, Tds};
 use tdsql_costmodel::DeviceProfile;
@@ -67,9 +67,25 @@ fn schedule_stage(
     (stage_end, busy)
 }
 
+/// Partition the working set as a plan step prescribes.
+fn plan_partitions(
+    working: Vec<StoredTuple>,
+    how: Partitioning,
+    rng: &mut StdRng,
+) -> Vec<Vec<StoredTuple>> {
+    match how {
+        Partitioning::Random { chunk } => random_partitions(working, chunk, rng),
+        Partitioning::ByTag { chunk } => tag_partitions(working, chunk)
+            .into_iter()
+            .map(|(_, t)| t)
+            .collect(),
+    }
+}
+
 /// Execute a query's aggregation + filtering dataflow with `workers`
-/// available TDSs in virtual time. Collection is excluded (as in the paper's
-/// T_Q). Discovery-dependent protocols need pre-filled `params`.
+/// available TDSs in virtual time, driven by the query's compiled
+/// [`PhasePlan`]. Collection is excluded (as in the paper's T_Q).
+/// Discovery-dependent protocols need pre-filled `params`.
 pub fn simulate_tq(
     tdss: &[Tds],
     querier: &Querier,
@@ -81,6 +97,14 @@ pub fn simulate_tq(
     if tdss.is_empty() || workers == 0 {
         return Err(ProtocolError::Protocol("need TDSs and workers".into()));
     }
+    let plan = PhasePlan::compile(query, params);
+    // T_Q is the aggregation phase; a plan without a reduce step (Basic)
+    // has no aggregation to time.
+    let Some(reduce) = plan.reduce.clone() else {
+        return Err(ProtocolError::Unsupported(
+            "DES models aggregate queries (T_Q is the aggregation phase)".into(),
+        ));
+    };
     let mut rng = StdRng::seed_from_u64(0xde5);
     let envelope = querier.make_envelope(query, params.kind, &mut rng);
     let open = |tds: &Tds| -> Result<QueryContext> { tds.open_query(&envelope, params.clone(), 0) };
@@ -141,21 +165,23 @@ pub fn simulate_tq(
         Ok(outputs)
     };
 
-    match params.kind {
-        ProtocolKind::Basic => {
-            return Err(ProtocolError::Unsupported(
-                "DES models aggregate queries (T_Q is the aggregation phase)".into(),
-            ))
-        }
-        ProtocolKind::SAgg => {
-            let mut first = true;
-            while first || working.len() > 1 {
-                let chunk = if first {
-                    params.chunk.max(1)
-                } else {
-                    params.alpha.max(2)
-                };
-                let parts = random_partitions(working, chunk, &mut rng);
+    // --- Reduction: interpret the plan's reduce spec. ---------------------
+    let retag = reduce.retag;
+    let parts = plan_partitions(working, reduce.first, &mut rng);
+    working = run_stage(
+        parts,
+        &mut clock,
+        &mut busy_total,
+        &mut stages,
+        &mut partitions_total,
+        &mut rng,
+        Some(retag),
+        true,
+    )?;
+    match reduce.until {
+        Until::SingleBatch => {
+            while working.len() > 1 {
+                let parts = plan_partitions(working, reduce.again, &mut rng);
                 working = run_stage(
                     parts,
                     &mut clock,
@@ -163,64 +189,47 @@ pub fn simulate_tq(
                     &mut stages,
                     &mut partitions_total,
                     &mut rng,
-                    Some(RetagMode::None),
-                    first,
+                    Some(retag),
+                    false,
                 )?;
-                first = false;
             }
         }
-        ProtocolKind::RnfNoise { .. } | ProtocolKind::CNoise | ProtocolKind::EdHist { .. } => {
-            let parts: Vec<Vec<StoredTuple>> = tag_partitions(working, params.chunk.max(1))
-                .into_iter()
-                .map(|(_, t)| t)
-                .collect();
-            working = run_stage(
+        Until::TagSingletons => loop {
+            let mut per_tag: std::collections::BTreeMap<GroupTag, usize> =
+                std::collections::BTreeMap::new();
+            for t in &working {
+                *per_tag.entry(t.tag.clone()).or_default() += 1;
+            }
+            if per_tag.values().all(|&n| n <= 1) {
+                break;
+            }
+            let (pass, reduce_set): (Vec<_>, Vec<_>) =
+                working.into_iter().partition(|t| per_tag[&t.tag] <= 1);
+            let parts = plan_partitions(reduce_set, reduce.again, &mut rng);
+            let mut reduced = run_stage(
                 parts,
                 &mut clock,
                 &mut busy_total,
                 &mut stages,
                 &mut partitions_total,
                 &mut rng,
-                Some(RetagMode::DetPerGroup),
-                true,
+                Some(retag),
+                false,
             )?;
-            loop {
-                let mut per_tag: std::collections::BTreeMap<GroupTag, usize> =
-                    std::collections::BTreeMap::new();
-                for t in &working {
-                    *per_tag.entry(t.tag.clone()).or_default() += 1;
-                }
-                if per_tag.values().all(|&n| n <= 1) {
-                    break;
-                }
-                let (pass, reduce): (Vec<_>, Vec<_>) =
-                    working.into_iter().partition(|t| per_tag[&t.tag] <= 1);
-                let parts: Vec<Vec<StoredTuple>> = tag_partitions(reduce, params.alpha.max(2))
-                    .into_iter()
-                    .map(|(_, t)| t)
-                    .collect();
-                let mut reduced = run_stage(
-                    parts,
-                    &mut clock,
-                    &mut busy_total,
-                    &mut stages,
-                    &mut partitions_total,
-                    &mut rng,
-                    Some(RetagMode::DetPerGroup),
-                    false,
-                )?;
-                reduced.extend(pass);
-                working = reduced;
-            }
-        }
+            reduced.extend(pass);
+            working = reduced;
+        },
     }
 
-    // Filtering stage.
+    // --- Filtering stage, partitioned as the plan's finalize prescribes. --
     if !working.is_empty() {
-        let parts: Vec<Vec<StoredTuple>> = working
-            .chunks(params.chunk.max(1))
-            .map(|c| c.to_vec())
-            .collect();
+        let parts = match plan.finalize.partitioning {
+            FinalizePartitioning::Whole => vec![working],
+            FinalizePartitioning::Chunked { chunk } => {
+                working.chunks(chunk).map(|c| c.to_vec()).collect()
+            }
+            FinalizePartitioning::Random { chunk } => random_partitions(working, chunk, &mut rng),
+        };
         run_stage(
             parts,
             &mut clock,
@@ -250,6 +259,7 @@ pub fn simulate_tq(
 mod tests {
     use super::*;
     use tdsql_core::access::AccessPolicy;
+    use tdsql_core::protocol::ProtocolKind;
     use tdsql_core::runtime::SimBuilder;
     use tdsql_core::workload::{smart_meters, SmartMeterConfig};
     use tdsql_crypto::credential::Role;

@@ -27,6 +27,14 @@ pub enum ProtocolError {
     /// The requested protocol cannot run this query (e.g. S_Agg on a
     /// non-aggregate query).
     Unsupported(String),
+    /// An encoded payload exceeds the query's pad length. Sending it
+    /// unpadded would make it distinguishable by size, so encoding refuses.
+    PadTooSmall {
+        /// Bytes the payload actually needs.
+        needed: usize,
+        /// The configured pad length it must fit in.
+        pad: usize,
+    },
 }
 
 impl std::fmt::Display for ProtocolError {
@@ -41,6 +49,10 @@ impl std::fmt::Display for ProtocolError {
             }
             ProtocolError::AccessDenied => write!(f, "access denied by all contacted TDSs"),
             ProtocolError::Unsupported(m) => write!(f, "unsupported: {m}"),
+            ProtocolError::PadTooSmall { needed, pad } => write!(
+                f,
+                "payload needs {needed} bytes but pad is {pad}: raise `pad` to keep sizes uniform"
+            ),
         }
     }
 }

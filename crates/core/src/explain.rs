@@ -8,6 +8,7 @@
 
 use tdsql_sql::ast::Query;
 
+use crate::plan::PhasePlan;
 use crate::protocol::{ProtocolKind, ProtocolParams};
 
 /// Render the execution plan and leakage profile of `query` under `params`.
@@ -28,6 +29,12 @@ pub fn explain(query: &Query, params: &ProtocolParams) -> String {
             "Select-From-Where"
         }
     ));
+
+    // The compiled plan — the exact step sequence every runtime interprets.
+    line("plan:".into());
+    for step in PhasePlan::compile(query, params).render() {
+        line(format!("  {step}"));
+    }
 
     line("phases:".into());
     line("  1. collection — each connected TDS evaluates WHERE locally and".into());

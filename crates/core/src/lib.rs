@@ -11,14 +11,15 @@
 //! only the final result; the SSI stores only ciphertexts and the few
 //! cleartext crumbs each protocol deliberately reveals.
 //!
-//! Four protocols execute the dialect's queries:
+//! Four protocols execute the dialect's queries. Each is compiled to a
+//! [`plan::PhasePlan`] that the runtimes interpret:
 //!
 //! | Protocol | Queries | SSI sees | Defense |
 //! |---|---|---|---|
-//! | [`protocol::basic`] | Select-From-Where | nDet ciphertexts | dummy tuples |
-//! | [`protocol::s_agg`] | Group By | nDet ciphertexts | nothing to attack |
-//! | [`protocol::noise`] | Group By | Det tags | fake tuples |
-//! | [`protocol::ed_hist`] | Group By | hashed buckets | equi-depth flattening |
+//! | `Basic` | Select-From-Where | nDet ciphertexts | dummy tuples |
+//! | `S_Agg` | Group By | nDet ciphertexts | nothing to attack |
+//! | `Rnf_Noise` / `C_Noise` | Group By | Det tags | fake tuples |
+//! | `ED_Hist` | Group By | hashed buckets | equi-depth flattening |
 //!
 //! # Quickstart
 //!
@@ -54,6 +55,7 @@ pub mod histogram;
 pub mod leakage;
 pub mod message;
 pub mod partition;
+pub mod plan;
 pub mod protocol;
 pub mod querier;
 pub mod runtime;

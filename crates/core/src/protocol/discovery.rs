@@ -6,13 +6,18 @@
 //! the most confidential one — with results sealed under `k2`, so the
 //! discovered distribution never leaves the TDS trust domain. Discovery runs
 //! once per domain and is refreshed from time to time, not per query.
+//!
+//! Whether a protocol needs discovery at all is read off its compiled
+//! [`PhasePlan`]; the sub-protocol itself is an S_Agg plan with the finalize
+//! destination redirected to the TDSs.
 
 use tdsql_sql::ast::{AggCall, AggFunc, Expr, Query, SelectItem};
 use tdsql_sql::value::{GroupKey, Value};
 
 use crate::error::{ProtocolError, Result};
 use crate::histogram::Histogram;
-use crate::protocol::{s_agg, ProtocolKind, ProtocolParams};
+use crate::plan::{DiscoveryNeed, PhasePlan};
+use crate::protocol::{ProtocolKind, ProtocolParams};
 use crate::runtime::round::SimWorld;
 use crate::tds::ResultDest;
 
@@ -47,29 +52,12 @@ pub fn discovery_query(target: &Query) -> Query {
     }
 }
 
-/// Run discovery and return the grouping distribution (key → true count).
-pub fn discover_distribution(world: &mut SimWorld, target: &Query) -> Result<Vec<(GroupKey, u64)>> {
-    let query = discovery_query(target);
-    let params = ProtocolParams::new(ProtocolKind::SAgg);
-    let querier = world.system_querier();
-
-    // Run collection + S_Agg with k2-sealed results.
-    let envelope = querier.make_envelope(&query, params.kind, &mut world.rng);
-    let qid = world.ssi.post_query(envelope);
-    let env = world.ssi.envelope(qid)?.clone();
-    world.run_collection(qid, &env, &params)?;
-    s_agg::run_with_dest(world, qid, &env, &params, ResultDest::Tds)?;
-    let blobs = world.ssi.results(qid)?.to_vec();
-
-    // Any TDS can open the k2-sealed distribution; the runtime uses the
-    // first one (in a deployment each TDS downloads and opens it itself).
-    let opener = world
-        .tdss
-        .first()
-        .ok_or_else(|| ProtocolError::Protocol("empty TDS population".into()))?;
-    let rows = opener.open_k2_rows(&blobs)?;
-
-    let n_group = target.group_by.len();
+/// Parse the opened discovery result rows into a sorted (key → count)
+/// distribution. Shared by the round and threaded discovery paths.
+pub(crate) fn distribution_from_rows(
+    rows: Vec<Vec<Value>>,
+    n_group: usize,
+) -> Result<Vec<(GroupKey, u64)>> {
     let mut distribution = Vec::with_capacity(rows.len());
     for row in rows {
         if row.len() != n_group + 1 {
@@ -90,26 +78,69 @@ pub fn discover_distribution(world: &mut SimWorld, target: &Query) -> Result<Vec
     Ok(distribution)
 }
 
+/// Is the discovery need already met by the given parameters?
+pub(crate) fn satisfied(need: DiscoveryNeed, params: &ProtocolParams) -> bool {
+    match need {
+        DiscoveryNeed::Domain => !params.noise_domain.is_empty(),
+        DiscoveryNeed::Histogram { .. } => params.histogram.is_some(),
+    }
+}
+
+/// Fill `params` from a discovered distribution, as the need prescribes.
+pub(crate) fn apply_distribution(
+    need: DiscoveryNeed,
+    distribution: Vec<(GroupKey, u64)>,
+    params: &mut ProtocolParams,
+) {
+    match need {
+        DiscoveryNeed::Domain => {
+            params.noise_domain = distribution.into_iter().map(|(k, _)| k).collect();
+        }
+        DiscoveryNeed::Histogram { buckets } => {
+            params.histogram = Some(Histogram::build(&distribution, buckets));
+        }
+    }
+}
+
+/// Run discovery and return the grouping distribution (key → true count).
+pub fn discover_distribution(world: &mut SimWorld, target: &Query) -> Result<Vec<(GroupKey, u64)>> {
+    let query = discovery_query(target);
+    let params = ProtocolParams::new(ProtocolKind::SAgg);
+    // The sub-protocol is an ordinary S_Agg plan whose results stay inside
+    // the TDS trust domain.
+    let plan = PhasePlan::compile(&query, &params).with_dest(ResultDest::Tds);
+    let querier = world.system_querier();
+
+    let envelope = querier.make_envelope(&query, params.kind, &mut world.rng);
+    let qid = world.ssi.post_query(envelope);
+    let env = world.ssi.envelope(qid)?.clone();
+    world.run_collection(qid, &env, &params)?;
+    world.execute_plan(qid, &env, &params, &plan)?;
+    let blobs = world.ssi.results(qid)?.to_vec();
+
+    // Any TDS can open the k2-sealed distribution; the runtime uses the
+    // first one (in a deployment each TDS downloads and opens it itself).
+    let opener = world
+        .tdss
+        .first()
+        .ok_or_else(|| ProtocolError::Protocol("empty TDS population".into()))?;
+    let rows = opener.open_k2_rows(&blobs)?;
+    distribution_from_rows(rows, target.group_by.len())
+}
+
 /// Fill in the discovery-derived parameters a protocol needs, if missing.
 pub fn ensure_discovery(
     world: &mut SimWorld,
     target: &Query,
     params: &mut ProtocolParams,
 ) -> Result<()> {
-    match params.kind {
-        ProtocolKind::RnfNoise { .. } | ProtocolKind::CNoise => {
-            if params.noise_domain.is_empty() {
-                let dist = discover_distribution(world, target)?;
-                params.noise_domain = dist.into_iter().map(|(k, _)| k).collect();
-            }
-        }
-        ProtocolKind::EdHist { buckets } => {
-            if params.histogram.is_none() {
-                let dist = discover_distribution(world, target)?;
-                params.histogram = Some(Histogram::build(&dist, buckets));
-            }
-        }
-        ProtocolKind::Basic | ProtocolKind::SAgg => {}
+    let Some(need) = PhasePlan::compile(target, params).discovery else {
+        return Ok(());
+    };
+    if satisfied(need, params) {
+        return Ok(());
     }
+    let distribution = discover_distribution(world, target)?;
+    apply_distribution(need, distribution, params);
     Ok(())
 }

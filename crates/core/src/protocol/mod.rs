@@ -1,19 +1,22 @@
 //! The distributed querying protocols.
 //!
-//! * [`basic`] — Select-From-Where queries (Section 3.2);
-//! * [`s_agg`] — secure aggregation with iterative random partitioning
-//!   (Section 4.2);
-//! * [`noise`] — `Rnf_Noise` and `C_Noise`, deterministic grouping tags
-//!   hidden under fake tuples (Section 4.3);
-//! * [`ed_hist`] — equi-depth histogram buckets (Section 4.4);
+//! A protocol is named by a [`ProtocolKind`] and tuned by [`ProtocolParams`];
+//! its dataflow is described by a compiled [`crate::plan::PhasePlan`], which
+//! the runtimes ([`crate::runtime::round`], [`crate::runtime::threaded`]) and
+//! the DES cost model interpret. The paper's protocols map onto plans as:
+//!
+//! * **Basic** — Select-From-Where (Section 3.2): collect untagged, no
+//!   reduction, filter rows in random partitions;
+//! * **S_Agg** — secure aggregation (Section 4.2): iterative random
+//!   partitioning down to a single batch;
+//! * **Rnf_Noise / C_Noise** — deterministic grouping tags hidden under fake
+//!   tuples (Section 4.3): per-tag reduction to singletons;
+//! * **ED_Hist** — equi-depth histogram buckets (Section 4.4): keyed-hash
+//!   bucket tags at collection, per-tag reduction;
 //! * [`discovery`] — the domain/distribution discovery sub-protocol that
 //!   `C_Noise` and `ED_Hist` bootstrap from.
 
-pub mod basic;
 pub mod discovery;
-pub mod ed_hist;
-pub mod noise;
-pub mod s_agg;
 
 use tdsql_sql::value::GroupKey;
 

@@ -22,11 +22,15 @@ use tdsql_sql::ast::Query;
 use tdsql_sql::engine::Database;
 use tdsql_sql::value::Value;
 
+use std::collections::BTreeMap;
+
 use crate::access::AccessPolicy;
 use crate::connectivity::Connectivity;
 use crate::error::{ProtocolError, Result};
-use crate::message::{QueryEnvelope, QueryTarget, StoredTuple};
-use crate::protocol::{self, ProtocolKind, ProtocolParams};
+use crate::message::{GroupTag, QueryEnvelope, QueryTarget, StoredTuple};
+use crate::partition::{random_partitions, tag_partitions};
+use crate::plan::{FinalizeOp, FinalizePartitioning, Partitioning, PhasePlan, Until};
+use crate::protocol::{discovery, ProtocolKind, ProtocolParams};
 use crate::querier::Querier;
 use crate::ssi::Ssi;
 use crate::stats::{Phase, RunStats, TdsWork};
@@ -215,8 +219,25 @@ impl SimWorld {
     /// "done only once and refreshed from time to time".
     pub fn prepare_params(&mut self, query: &Query, kind: ProtocolKind) -> Result<ProtocolParams> {
         let mut params = ProtocolParams::new(kind);
-        protocol::discovery::ensure_discovery(self, query, &mut params)?;
+        discovery::ensure_discovery(self, query, &mut params)?;
         Ok(params)
+    }
+
+    /// Like [`SimWorld::prepare_params`], but discovery itself runs on the
+    /// threaded runtime with `n_workers` concurrent workers — no round-based
+    /// machinery is involved, so the returned params feed
+    /// [`crate::runtime::threaded::run_threaded`] from a fully threaded
+    /// pipeline.
+    pub fn prepare_params_threaded(
+        &self,
+        query: &Query,
+        kind: ProtocolKind,
+        n_workers: usize,
+    ) -> Result<ProtocolParams> {
+        let querier = self.system_querier();
+        crate::runtime::threaded::prepare_params_threaded(
+            &self.tdss, &querier, query, kind, n_workers,
+        )
     }
 
     /// Run a query end to end with the given protocol and return the decrypted
@@ -242,7 +263,7 @@ impl SimWorld {
         target: QueryTarget,
     ) -> Result<Vec<Vec<Value>>> {
         self.stats = RunStats::new();
-        protocol::discovery::ensure_discovery(self, query, &mut params)?;
+        discovery::ensure_discovery(self, query, &mut params)?;
         let blobs = self.run_to_blobs(querier, query, &params, target)?;
         let mut rows = querier.decrypt_results(&blobs)?;
         // ORDER BY / LIMIT are final-result operations: intermediates are
@@ -260,21 +281,173 @@ impl SimWorld {
         params: &ProtocolParams,
         target: QueryTarget,
     ) -> Result<Vec<Bytes>> {
+        let plan = PhasePlan::compile(query, params);
         let envelope = querier.make_envelope_targeted(query, params.kind, target, &mut self.rng);
         let qid = self.ssi.post_query(envelope);
         let env = self.ssi.envelope(qid)?.clone();
 
         self.run_collection(qid, &env, params)?;
-
-        match params.kind {
-            ProtocolKind::Basic => protocol::basic::run(self, qid, &env, params)?,
-            ProtocolKind::SAgg => protocol::s_agg::run(self, qid, &env, params)?,
-            ProtocolKind::RnfNoise { .. } | ProtocolKind::CNoise => {
-                protocol::noise::run(self, qid, &env, params)?
-            }
-            ProtocolKind::EdHist { .. } => protocol::ed_hist::run(self, qid, &env, params)?,
-        }
+        self.execute_plan(qid, &env, params, &plan)?;
         Ok(self.ssi.results(qid)?.to_vec())
+    }
+
+    /// Partition a working set as the plan prescribes. Random partitioning
+    /// consumes the run's RNG (the shuffle is the SSI's only freedom);
+    /// by-tag partitioning is deterministic in the stored tags.
+    fn partition_working(
+        &mut self,
+        working: Vec<StoredTuple>,
+        how: Partitioning,
+    ) -> Vec<Vec<StoredTuple>> {
+        match how {
+            Partitioning::Random { chunk } => random_partitions(working, chunk, &mut self.rng),
+            Partitioning::ByTag { chunk } => tag_partitions(working, chunk)
+                .into_iter()
+                .map(|(_, tuples)| tuples)
+                .collect(),
+        }
+    }
+
+    /// Interpret the post-collection steps of a compiled [`PhasePlan`]:
+    /// reduce (iterative or per-tag) then finalize. This is the round
+    /// runtime's whole protocol dispatch — there is no per-protocol driver.
+    pub(crate) fn execute_plan(
+        &mut self,
+        qid: u64,
+        env: &QueryEnvelope,
+        params: &ProtocolParams,
+        plan: &PhasePlan,
+    ) -> Result<()> {
+        if let Some(reduce) = plan.reduce {
+            // First wave: reduce raw collection tuples.
+            let working = self.ssi.take_working(qid)?;
+            if working.is_empty() {
+                return Ok(());
+            }
+            let partitions = self.partition_working(working, reduce.first);
+            self.process_partitions(
+                qid,
+                Phase::Aggregation,
+                env,
+                params,
+                partitions,
+                |tds, ctx, partition, rng| {
+                    Ok(StepOutput::Working(tds.reduce_inputs(
+                        ctx,
+                        partition,
+                        reduce.retag,
+                        rng,
+                    )?))
+                },
+            )?;
+
+            // Iterate waves of partial batches until the plan's condition.
+            match reduce.until {
+                Until::SingleBatch => loop {
+                    let working = self.ssi.take_working(qid)?;
+                    if working.len() <= 1 {
+                        // Put the final batch back for the filtering phase.
+                        self.ssi.receive_working(qid, Phase::Aggregation, working)?;
+                        break;
+                    }
+                    let partitions = self.partition_working(working, reduce.again);
+                    self.process_partitions(
+                        qid,
+                        Phase::Aggregation,
+                        env,
+                        params,
+                        partitions,
+                        |tds, ctx, partition, rng| {
+                            Ok(StepOutput::Working(tds.reduce_partials(
+                                ctx,
+                                partition,
+                                reduce.retag,
+                                rng,
+                            )?))
+                        },
+                    )?;
+                },
+                Until::TagSingletons => loop {
+                    let working = self.ssi.take_working(qid)?;
+                    let mut per_tag: BTreeMap<GroupTag, usize> = BTreeMap::new();
+                    for t in &working {
+                        *per_tag.entry(t.tag.clone()).or_default() += 1;
+                    }
+                    if per_tag.values().all(|&n| n <= 1) {
+                        self.ssi.receive_working(qid, Phase::Aggregation, working)?;
+                        break;
+                    }
+                    // Multi-batch tags get reduced; singletons pass through.
+                    let mut pass_through: Vec<StoredTuple> = Vec::new();
+                    let mut to_reduce: Vec<StoredTuple> = Vec::new();
+                    for t in working {
+                        if per_tag[&t.tag] <= 1 {
+                            pass_through.push(t);
+                        } else {
+                            to_reduce.push(t);
+                        }
+                    }
+                    self.ssi
+                        .receive_working(qid, Phase::Aggregation, pass_through)?;
+                    let partitions = self.partition_working(to_reduce, reduce.again);
+                    self.process_partitions(
+                        qid,
+                        Phase::Aggregation,
+                        env,
+                        params,
+                        partitions,
+                        |tds, ctx, partition, rng| {
+                            Ok(StepOutput::Working(tds.reduce_partials(
+                                ctx,
+                                partition,
+                                reduce.retag,
+                                rng,
+                            )?))
+                        },
+                    )?;
+                },
+            }
+        }
+
+        // Finalize the surviving working set.
+        let working = self.ssi.take_working(qid)?;
+        if working.is_empty() {
+            return Ok(());
+        }
+        let partitions = match plan.finalize.partitioning {
+            FinalizePartitioning::Whole => vec![working],
+            FinalizePartitioning::Chunked { chunk } => {
+                working.chunks(chunk).map(|c| c.to_vec()).collect()
+            }
+            FinalizePartitioning::Random { chunk } => {
+                random_partitions(working, chunk, &mut self.rng)
+            }
+        };
+        let dest = plan.finalize.dest;
+        match plan.finalize.op {
+            FinalizeOp::FilterRows => self.process_partitions(
+                qid,
+                Phase::Filtering,
+                env,
+                params,
+                partitions,
+                |tds, ctx, partition, rng| {
+                    Ok(StepOutput::Results(tds.filter_plain(ctx, partition, rng)?))
+                },
+            ),
+            FinalizeOp::FinalizeGroups => self.process_partitions(
+                qid,
+                Phase::Filtering,
+                env,
+                params,
+                partitions,
+                |tds, ctx, partition, rng| {
+                    Ok(StepOutput::Results(
+                        tds.finalize_groups(ctx, partition, dest, rng)?,
+                    ))
+                },
+            ),
+        }
     }
 
     /// Run several queries **concurrently**: their collection phases share
@@ -294,7 +467,7 @@ impl SimWorld {
         let mut prepared: Vec<ProtocolParams> = Vec::with_capacity(jobs.len());
         for (_, query, params) in jobs {
             let mut p = params.clone();
-            protocol::discovery::ensure_discovery(self, query, &mut p)?;
+            discovery::ensure_discovery(self, query, &mut p)?;
             prepared.push(p);
         }
         // Post every envelope.
@@ -375,14 +548,8 @@ impl SimWorld {
             qids.iter().zip(prepared.iter()).zip(jobs.iter())
         {
             let env = self.ssi.envelope(qid)?.clone();
-            match params.kind {
-                ProtocolKind::Basic => protocol::basic::run(self, qid, &env, params)?,
-                ProtocolKind::SAgg => protocol::s_agg::run(self, qid, &env, params)?,
-                ProtocolKind::RnfNoise { .. } | ProtocolKind::CNoise => {
-                    protocol::noise::run(self, qid, &env, params)?
-                }
-                ProtocolKind::EdHist { .. } => protocol::ed_hist::run(self, qid, &env, params)?,
-            }
+            let plan = PhasePlan::compile(query, params);
+            self.execute_plan(qid, &env, params, &plan)?;
             let blobs = self.ssi.results(qid)?.to_vec();
             let mut rows = querier.decrypt_results(&blobs)?;
             tdsql_sql::order::apply_order_limit(query, &mut rows)?;

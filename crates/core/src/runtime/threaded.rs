@@ -1,11 +1,11 @@
 //! Concurrent runtime: every TDS works on its own thread.
 //!
 //! The round-based runtime is deterministic but sequential. This runtime
-//! executes the same protocol dataflows with real parallelism: TDS workers
-//! pull partitions from a shared work queue and the shared state sits behind
-//! mutexes — the "parallel feed" of Fig. 4 made literal. All
-//! four protocols are supported; results are bit-identical to the round
-//! runtime's up to float merge order (tested in `tests/threaded_runtime.rs`).
+//! interprets the same compiled [`PhasePlan`]s with real parallelism: TDS
+//! workers pull partitions from a shared work queue and the shared state sits
+//! behind mutexes — the "parallel feed" of Fig. 4 made literal. All four
+//! protocols are supported; results are bit-identical to the round runtime's
+//! up to float merge order (tested in `tests/threaded_runtime.rs`).
 
 use std::sync::Mutex;
 
@@ -19,13 +19,19 @@ use tdsql_sql::value::Value;
 use crate::error::{ProtocolError, Result};
 use crate::message::{GroupTag, StoredTuple};
 use crate::partition::{random_partitions, tag_partitions};
-use crate::protocol::{ProtocolKind, ProtocolParams};
+use crate::plan::{
+    DiscoveryNeed, FinalizeOp, FinalizePartitioning, Partitioning, PhasePlan, Until,
+};
+use crate::protocol::{discovery, ProtocolKind, ProtocolParams};
 use crate::querier::Querier;
-use crate::tds::{ResultDest, RetagMode, Tds};
+use crate::tds::{ResultDest, Tds};
 
-/// One worker step's output.
-enum Out {
+/// One worker step's output: either more working-set tuples (reduction
+/// phases) or sealed result blobs (finalization).
+pub enum WorkerOutput {
+    /// Tuples that go back into the working set for the next plan step.
     Working(Vec<StoredTuple>),
+    /// Sealed result blobs headed for the plan's result destination.
     Results(Vec<Bytes>),
 }
 
@@ -56,7 +62,13 @@ impl WorkQueue {
 
 /// Fan a set of partitions out to `n_workers` threads; each partition is
 /// processed by some TDS via `work`. Returns the concatenated outputs.
-fn parallel_partitions<F>(
+///
+/// A worker that returns an error or panics stops pulling; the remaining
+/// workers keep draining the queue, and the first failure is reported after
+/// all of them finish (a panic is converted to [`ProtocolError::Protocol`]
+/// rather than propagated, so one crashing TDS cannot take the whole
+/// runtime down with it).
+pub fn parallel_partitions<F>(
     tdss: &[Tds],
     n_workers: usize,
     seed: u64,
@@ -64,7 +76,7 @@ fn parallel_partitions<F>(
     work: F,
 ) -> Result<(Vec<StoredTuple>, Vec<Bytes>)>
 where
-    F: Fn(&Tds, &[StoredTuple], &mut StdRng) -> Result<Out> + Sync,
+    F: Fn(&Tds, &[StoredTuple], &mut StdRng) -> Result<WorkerOutput> + Sync,
 {
     let queue = WorkQueue::new(partitions);
 
@@ -82,9 +94,20 @@ where
             scope.spawn(move || {
                 let mut rng = StdRng::seed_from_u64(seed ^ (w as u64).wrapping_mul(0x9e3779b9));
                 while let Some(partition) = queue.pop() {
-                    match work(tds, &partition, &mut rng) {
-                        Ok(Out::Working(ts)) => lock(working).extend(ts),
-                        Ok(Out::Results(rs)) => lock(results).extend(rs),
+                    let step = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        work(tds, &partition, &mut rng)
+                    }))
+                    .unwrap_or_else(|payload| {
+                        let what = payload
+                            .downcast_ref::<&str>()
+                            .map(|s| (*s).to_string())
+                            .or_else(|| payload.downcast_ref::<String>().cloned())
+                            .unwrap_or_else(|| "non-string panic payload".into());
+                        Err(ProtocolError::Protocol(format!("worker panicked: {what}")))
+                    });
+                    match step {
+                        Ok(WorkerOutput::Working(ts)) => lock(working).extend(ts),
+                        Ok(WorkerOutput::Results(rs)) => lock(results).extend(rs),
                         Err(e) => {
                             lock(first_err).get_or_insert(e);
                             return;
@@ -102,34 +125,39 @@ where
     Ok((working, results))
 }
 
-/// Run a query through any protocol with `n_workers` concurrent TDS workers.
+/// Partition the working set as a plan step prescribes (threaded flavour:
+/// randomness comes from the coordinator's `seed_rng`, matching the round
+/// runtime's use of the world RNG).
+fn partition_threaded(
+    working: Vec<StoredTuple>,
+    how: Partitioning,
+    seed_rng: &mut StdRng,
+) -> Vec<Vec<StoredTuple>> {
+    match how {
+        Partitioning::Random { chunk } => random_partitions(working, chunk, seed_rng),
+        Partitioning::ByTag { chunk } => tag_partitions(working, chunk)
+            .into_iter()
+            .map(|(_, t)| t)
+            .collect(),
+    }
+}
+
+/// Interpret a compiled [`PhasePlan`] with `n_workers` concurrent TDS
+/// workers and return the sealed result blobs (sealed for the plan's
+/// [`FinalizeSpec::dest`](crate::plan::FinalizeSpec)).
 ///
-/// Protocols that need discovery (`C_Noise`, `Rnf_Noise`, `ED_Hist`) must
-/// receive pre-filled `params` (from [`crate::runtime::SimWorld::prepare_params`]
-/// or a declared domain/histogram) — the threaded runtime does not bootstrap
-/// discovery itself.
-pub fn run_threaded(
+/// This is the threaded analogue of `SimWorld::execute_plan` plus the
+/// collection phase; [`run_threaded`] wraps it for querier-destined results.
+pub fn run_plan_threaded(
     tdss: &[Tds],
     querier: &Querier,
     query: &Query,
     params: &ProtocolParams,
+    plan: &PhasePlan,
     n_workers: usize,
-) -> Result<Vec<Vec<Value>>> {
+) -> Result<Vec<Bytes>> {
     if tdss.is_empty() {
         return Err(ProtocolError::Protocol("empty TDS population".into()));
-    }
-    match params.kind {
-        ProtocolKind::RnfNoise { .. } | ProtocolKind::CNoise if params.noise_domain.is_empty() => {
-            return Err(ProtocolError::Unsupported(
-                "threaded noise protocols need a pre-discovered domain".into(),
-            ))
-        }
-        ProtocolKind::EdHist { .. } if params.histogram.is_none() => {
-            return Err(ProtocolError::Unsupported(
-                "threaded ED_Hist needs a pre-discovered histogram".into(),
-            ))
-        }
-        _ => {}
     }
     let n_workers = n_workers.clamp(1, tdss.len());
     let mut seed_rng = StdRng::seed_from_u64(0xc0ffee);
@@ -170,132 +198,159 @@ pub fn run_threaded(
         tds.open_query(&envelope, params.clone(), 0)
     };
 
-    match params.kind {
-        // --- Basic: one filtering pass. -----------------------------------
-        ProtocolKind::Basic => {
-            let partitions = random_partitions(working, params.chunk.max(1), &mut seed_rng);
-            let (_, results) =
-                parallel_partitions(tdss, n_workers, 0xf117e4, partitions, |tds, p, rng| {
-                    let ctx = open(tds)?;
-                    Ok(Out::Results(tds.filter_plain(&ctx, p, rng)?))
-                })?;
-            let mut rows = querier.decrypt_results(&results)?;
-            tdsql_sql::order::apply_order_limit(query, &mut rows)?;
-            Ok(rows)
-        }
+    // --- Reduction: interpret the plan's reduce spec, if any. -------------
+    if let Some(reduce) = &plan.reduce {
+        let retag = reduce.retag;
+        let first_seed = match reduce.until {
+            Until::SingleBatch => 0xfeed,
+            Until::TagSingletons => 0x7a65,
+        };
+        let partitions = partition_threaded(working, reduce.first, &mut seed_rng);
+        let (next, _) =
+            parallel_partitions(tdss, n_workers, first_seed, partitions, |tds, p, rng| {
+                let ctx = open(tds)?;
+                Ok(WorkerOutput::Working(
+                    tds.reduce_inputs(&ctx, p, retag, rng)?,
+                ))
+            })?;
+        working = next;
 
-        // --- S_Agg: iterative random partitions. --------------------------
-        ProtocolKind::SAgg => {
-            let mut first_pass = true;
-            while first_pass || working.len() > 1 {
-                let chunk_size = if first_pass {
-                    params.chunk.max(1)
-                } else {
-                    params.alpha.max(2)
-                };
-                let partitions = random_partitions(working, chunk_size, &mut seed_rng);
-                let fp = first_pass;
-                let (next, _) =
-                    parallel_partitions(tdss, n_workers, 0xfeed, partitions, |tds, p, rng| {
-                        let ctx = open(tds)?;
-                        let out = if fp {
-                            tds.reduce_inputs(&ctx, p, RetagMode::None, rng)?
-                        } else {
-                            tds.reduce_partials(&ctx, p, RetagMode::None, rng)?
-                        };
-                        Ok(Out::Working(out))
-                    })?;
-                working = next;
-                first_pass = false;
+        match reduce.until {
+            // Iterative random partitioning down to one partial batch.
+            Until::SingleBatch => {
+                while working.len() > 1 {
+                    let partitions = partition_threaded(working, reduce.again, &mut seed_rng);
+                    let (next, _) =
+                        parallel_partitions(tdss, n_workers, 0xfeed, partitions, |tds, p, rng| {
+                            let ctx = open(tds)?;
+                            Ok(WorkerOutput::Working(
+                                tds.reduce_partials(&ctx, p, retag, rng)?,
+                            ))
+                        })?;
+                    working = next;
+                }
             }
-            let mut rows = finalize_threaded(tdss, n_workers, querier, &open, working, params)?;
-            tdsql_sql::order::apply_order_limit(query, &mut rows)?;
-            Ok(rows)
-        }
-
-        // --- Tag-based protocols: per-group parallelism. -------------------
-        ProtocolKind::RnfNoise { .. } | ProtocolKind::CNoise | ProtocolKind::EdHist { .. } => {
-            // Step 1: per-tag partitions of collection tuples.
-            let partitions: Vec<Vec<StoredTuple>> = tag_partitions(working, params.chunk.max(1))
-                .into_iter()
-                .map(|(_, t)| t)
-                .collect();
-            let (mut next, _) =
-                parallel_partitions(tdss, n_workers, 0x7a65, partitions, |tds, p, rng| {
-                    let ctx = open(tds)?;
-                    Ok(Out::Working(tds.reduce_inputs(
-                        &ctx,
-                        p,
-                        RetagMode::DetPerGroup,
-                        rng,
-                    )?))
-                })?;
-
-            // Step 2: merge per group until every tag is a singleton.
-            loop {
+            // Merge per tag until every tag holds a single partial.
+            Until::TagSingletons => loop {
                 let mut per_tag: std::collections::BTreeMap<GroupTag, usize> =
                     std::collections::BTreeMap::new();
-                for t in &next {
+                for t in &working {
                     *per_tag.entry(t.tag.clone()).or_default() += 1;
                 }
                 if per_tag.values().all(|&n| n <= 1) {
                     break;
                 }
-                let (pass, reduce): (Vec<StoredTuple>, Vec<StoredTuple>) =
-                    next.into_iter().partition(|t| per_tag[&t.tag] <= 1);
-                let partitions: Vec<Vec<StoredTuple>> = tag_partitions(reduce, params.alpha.max(2))
-                    .into_iter()
-                    .map(|(_, t)| t)
-                    .collect();
+                let (pass, reduce_set): (Vec<StoredTuple>, Vec<StoredTuple>) =
+                    working.into_iter().partition(|t| per_tag[&t.tag] <= 1);
+                let partitions = partition_threaded(reduce_set, reduce.again, &mut seed_rng);
                 let (mut reduced, _) =
                     parallel_partitions(tdss, n_workers, 0x5e9, partitions, |tds, p, rng| {
                         let ctx = open(tds)?;
-                        Ok(Out::Working(tds.reduce_partials(
-                            &ctx,
-                            p,
-                            RetagMode::DetPerGroup,
-                            rng,
-                        )?))
+                        Ok(WorkerOutput::Working(
+                            tds.reduce_partials(&ctx, p, retag, rng)?,
+                        ))
                     })?;
                 reduced.extend(pass);
-                next = reduced;
-            }
-            let mut rows = finalize_threaded(tdss, n_workers, querier, &open, next, params)?;
-            tdsql_sql::order::apply_order_limit(query, &mut rows)?;
-            Ok(rows)
+                working = reduced;
+            },
         }
     }
-}
 
-fn finalize_threaded<F>(
-    tdss: &[Tds],
-    n_workers: usize,
-    querier: &Querier,
-    open: &F,
-    working: Vec<StoredTuple>,
-    params: &ProtocolParams,
-) -> Result<Vec<Vec<Value>>>
-where
-    F: Fn(&Tds) -> Result<crate::tds::QueryContext> + Sync,
-{
+    // --- Finalization: produce sealed results for the plan's dest. --------
     if working.is_empty() {
         return Ok(Vec::new());
     }
-    let partitions: Vec<Vec<StoredTuple>> = working
-        .chunks(params.chunk.max(1))
-        .map(|c| c.to_vec())
-        .collect();
-    let (_, results) =
-        parallel_partitions(tdss, n_workers, 0xf17e, partitions, move |tds, p, rng| {
-            let ctx = open(tds)?;
-            Ok(Out::Results(tds.finalize_groups(
-                &ctx,
-                p,
-                ResultDest::Querier,
-                rng,
-            )?))
-        })?;
-    querier.decrypt_results(&results)
+    let partitions = match plan.finalize.partitioning {
+        FinalizePartitioning::Whole => vec![working],
+        FinalizePartitioning::Chunked { chunk } => {
+            working.chunks(chunk).map(|c| c.to_vec()).collect()
+        }
+        FinalizePartitioning::Random { chunk } => random_partitions(working, chunk, &mut seed_rng),
+    };
+    let op = plan.finalize.op;
+    let dest = plan.finalize.dest;
+    let seed = match op {
+        FinalizeOp::FilterRows => 0xf117e4,
+        FinalizeOp::FinalizeGroups => 0xf17e,
+    };
+    let (_, results) = parallel_partitions(tdss, n_workers, seed, partitions, |tds, p, rng| {
+        let ctx = open(tds)?;
+        let blobs = match op {
+            FinalizeOp::FilterRows => tds.filter_plain(&ctx, p, rng)?,
+            FinalizeOp::FinalizeGroups => tds.finalize_groups(&ctx, p, dest, rng)?,
+        };
+        Ok(WorkerOutput::Results(blobs))
+    })?;
+    Ok(results)
+}
+
+/// Run a query through any protocol with `n_workers` concurrent TDS workers.
+///
+/// Protocols that need discovery (`C_Noise`, `Rnf_Noise`, `ED_Hist`) must
+/// receive pre-filled `params` — from [`prepare_params_threaded`],
+/// [`crate::runtime::SimWorld::prepare_params`], or a declared
+/// domain/histogram; this entry point does not bootstrap discovery itself.
+pub fn run_threaded(
+    tdss: &[Tds],
+    querier: &Querier,
+    query: &Query,
+    params: &ProtocolParams,
+    n_workers: usize,
+) -> Result<Vec<Vec<Value>>> {
+    if tdss.is_empty() {
+        return Err(ProtocolError::Protocol("empty TDS population".into()));
+    }
+    let plan = PhasePlan::compile(query, params);
+    if let Some(need) = plan.discovery {
+        if !discovery::satisfied(need, params) {
+            return Err(ProtocolError::Unsupported(match need {
+                DiscoveryNeed::Domain => {
+                    "threaded noise protocols need a pre-discovered domain".into()
+                }
+                DiscoveryNeed::Histogram { .. } => {
+                    "threaded ED_Hist needs a pre-discovered histogram".into()
+                }
+            }));
+        }
+    }
+    let blobs = run_plan_threaded(tdss, querier, query, params, &plan, n_workers)?;
+    let mut rows = querier.decrypt_results(&blobs)?;
+    tdsql_sql::order::apply_order_limit(query, &mut rows)?;
+    Ok(rows)
+}
+
+/// Bootstrap discovery-derived parameters on the threaded runtime itself:
+/// the discovery sub-protocol (an S_Agg plan with results sealed for the
+/// TDSs) runs with `n_workers` concurrent workers, then the discovered
+/// distribution fills in whatever the target protocol needs.
+///
+/// `system_querier` must hold the system role so every TDS contributes its
+/// tuples to the discovery aggregation.
+pub fn prepare_params_threaded(
+    tdss: &[Tds],
+    system_querier: &Querier,
+    query: &Query,
+    kind: ProtocolKind,
+    n_workers: usize,
+) -> Result<ProtocolParams> {
+    let mut params = ProtocolParams::new(kind);
+    let Some(need) = PhasePlan::compile(query, &params).discovery else {
+        return Ok(params);
+    };
+    if discovery::satisfied(need, &params) {
+        return Ok(params);
+    }
+    let dquery = discovery::discovery_query(query);
+    let dparams = ProtocolParams::new(ProtocolKind::SAgg);
+    let dplan = PhasePlan::compile(&dquery, &dparams).with_dest(ResultDest::Tds);
+    let blobs = run_plan_threaded(tdss, system_querier, &dquery, &dparams, &dplan, n_workers)?;
+    let opener = tdss
+        .first()
+        .ok_or_else(|| ProtocolError::Protocol("empty TDS population".into()))?;
+    let rows = opener.open_k2_rows(&blobs)?;
+    let distribution = discovery::distribution_from_rows(rows, dquery.group_by.len())?;
+    discovery::apply_distribution(need, distribution, &mut params);
+    Ok(params)
 }
 
 /// Backwards-compatible alias for the S_Agg-only entry point.

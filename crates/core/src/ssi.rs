@@ -19,10 +19,10 @@ use crate::stats::Phase;
 
 /// Debug-mode leak tripwire: every tag form the SSI observes must appear in
 /// the posting protocol's [`ExposureDeclaration`]. A failure here means a
-/// protocol driver showed the SSI partitioning information the static
+/// plan interpreter showed the SSI partitioning information the static
 /// analyzer never declared — a leak, caught at the exact receive call.
 /// Compiled out of release builds (the SSI is untrusted; the check protects
-/// the TDS-side drivers during development, not the server).
+/// the TDS-side plan execution during development, not the server).
 fn debug_check_declared(envelope: &QueryEnvelope, phase: Phase, tuples: &[StoredTuple]) {
     if cfg!(debug_assertions) {
         let decl = ExposureDeclaration::for_protocol(envelope.protocol);
@@ -180,8 +180,8 @@ impl Ssi {
         Ok(self.state(query_id)?.collection_closed)
     }
 
-    /// Take the whole working set (the driver partitions it and hands the
-    /// partitions to connected TDSs).
+    /// Take the whole working set (the plan interpreter partitions it and
+    /// hands the partitions to connected TDSs).
     pub fn take_working(&mut self, query_id: u64) -> Result<Vec<StoredTuple>> {
         Ok(std::mem::take(&mut self.state_mut(query_id)?.working))
     }

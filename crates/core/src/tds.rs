@@ -174,7 +174,7 @@ impl Tds {
             for row in out.rows {
                 tuples.push(self.seal_k2(
                     GroupTag::None,
-                    PlainTuple::Row(row).encode(ctx.params.pad),
+                    PlainTuple::Row(row).encode(ctx.params.pad)?,
                     rng,
                 ));
             }
@@ -182,7 +182,7 @@ impl Tds {
         if tuples.is_empty() {
             tuples.push(self.seal_k2(
                 GroupTag::None,
-                PlainTuple::Dummy.encode(ctx.params.pad),
+                PlainTuple::Dummy.encode(ctx.params.pad)?,
                 rng,
             ));
         }
@@ -229,7 +229,7 @@ impl Tds {
                     inputs.push(self.dummy_input(ctx, rng));
                 }
                 for t in inputs {
-                    out.push(self.seal_k2(GroupTag::None, t.encode(ctx.params.pad), rng));
+                    out.push(self.seal_k2(GroupTag::None, t.encode(ctx.params.pad)?, rng));
                 }
             }
             ProtocolKind::RnfNoise { nf } => {
@@ -242,7 +242,7 @@ impl Tds {
                 inputs.extend(fakes);
                 for t in inputs {
                     let tag = GroupTag::Det(self.det2.encrypt(&t.key.0));
-                    out.push(self.seal_k2(tag, t.encode(ctx.params.pad), rng));
+                    out.push(self.seal_k2(tag, t.encode(ctx.params.pad)?, rng));
                 }
             }
             ProtocolKind::CNoise => {
@@ -267,7 +267,7 @@ impl Tds {
                 }
                 for t in all {
                     let tag = GroupTag::Det(self.det2.encrypt(&t.key.0));
-                    out.push(self.seal_k2(tag, t.encode(ctx.params.pad), rng));
+                    out.push(self.seal_k2(tag, t.encode(ctx.params.pad)?, rng));
                 }
             }
             ProtocolKind::EdHist { .. } => {
@@ -280,12 +280,12 @@ impl Tds {
                     d.fake = true;
                     let bucket = rng.gen_range(0..hist.n_buckets());
                     let tag = GroupTag::Bucket(self.bucket_hasher.hash(bucket));
-                    out.push(self.seal_k2(tag, d.encode(ctx.params.pad), rng));
+                    out.push(self.seal_k2(tag, d.encode(ctx.params.pad)?, rng));
                 } else {
                     for t in inputs {
                         let bucket = hist.bucket_of(&t.key);
                         let tag = GroupTag::Bucket(self.bucket_hasher.hash(bucket));
-                        out.push(self.seal_k2(tag, t.encode(ctx.params.pad), rng));
+                        out.push(self.seal_k2(tag, t.encode(ctx.params.pad)?, rng));
                     }
                 }
             }
@@ -751,7 +751,7 @@ mod tests {
         let mut tuples = tds.collect(&ctx, &mut rng).unwrap();
         assert_eq!(tuples.len(), 1);
         // Add a dummy, as an empty-result TDS of the same ring would send.
-        let dummy = PlainTuple::Dummy.encode(ctx.params.pad);
+        let dummy = PlainTuple::Dummy.encode(ctx.params.pad).unwrap();
         tuples.push(tds.seal_k2(GroupTag::None, dummy, &mut rng));
 
         let filtered = tds.filter_plain(&ctx, &tuples, &mut rng).unwrap();

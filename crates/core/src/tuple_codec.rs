@@ -80,8 +80,10 @@ pub enum PlainTuple {
 }
 
 impl PlainTuple {
-    /// Encode, padding to `pad` bytes.
-    pub fn encode(&self, pad: usize) -> Vec<u8> {
+    /// Encode, padding to exactly `pad` bytes. A payload longer than `pad`
+    /// would travel unpadded — distinguishable by size — so it is rejected
+    /// with [`ProtocolError::PadTooSmall`] instead.
+    pub fn encode(&self, pad: usize) -> Result<Vec<u8>> {
         let mut out = Vec::with_capacity(pad.max(16));
         match self {
             PlainTuple::Row(values) => {
@@ -93,8 +95,14 @@ impl PlainTuple {
             }
             PlainTuple::Dummy => out.push(1),
         }
+        if out.len() > pad {
+            return Err(ProtocolError::PadTooSmall {
+                needed: out.len(),
+                pad,
+            });
+        }
         pad_to(&mut out, pad);
-        out
+        Ok(out)
     }
 
     /// Decode (padding is ignored).
@@ -129,8 +137,10 @@ pub struct AggInput {
 }
 
 impl AggInput {
-    /// Encode, padding to `pad` bytes.
-    pub fn encode(&self, pad: usize) -> Vec<u8> {
+    /// Encode, padding to exactly `pad` bytes. Oversized payloads are
+    /// rejected with [`ProtocolError::PadTooSmall`] rather than sent
+    /// unpadded (see [`PlainTuple::encode`]).
+    pub fn encode(&self, pad: usize) -> Result<Vec<u8>> {
         let mut out = Vec::with_capacity(pad.max(32));
         out.push(self.fake as u8);
         out.extend_from_slice(&(self.key.0.len() as u32).to_be_bytes());
@@ -139,8 +149,14 @@ impl AggInput {
         for v in &self.inputs {
             v.canonical_bytes(&mut out);
         }
+        if out.len() > pad {
+            return Err(ProtocolError::PadTooSmall {
+                needed: out.len(),
+                pad,
+            });
+        }
         pad_to(&mut out, pad);
-        out
+        Ok(out)
     }
 
     /// Decode (padding is ignored).
@@ -265,11 +281,11 @@ mod tests {
     #[test]
     fn plain_tuple_roundtrip_and_padding() {
         let t = PlainTuple::Row(vec![Value::Int(1), Value::Str("Memphis".into())]);
-        let enc = t.encode(64);
+        let enc = t.encode(64).unwrap();
         assert_eq!(enc.len(), 64);
         assert_eq!(PlainTuple::decode(&enc).unwrap(), t);
         let d = PlainTuple::Dummy;
-        let enc_d = d.encode(64);
+        let enc_d = d.encode(64).unwrap();
         assert_eq!(enc_d.len(), 64, "dummy and true tuples share a size");
         assert_eq!(PlainTuple::decode(&enc_d).unwrap(), d);
     }
@@ -281,7 +297,7 @@ mod tests {
             inputs: vec![Value::Float(3.5), Value::Bool(true)],
             fake: false,
         };
-        let enc = t.encode(96);
+        let enc = t.encode(96).unwrap();
         assert_eq!(enc.len(), 96);
         assert_eq!(AggInput::decode(&enc).unwrap(), t);
 
@@ -290,15 +306,34 @@ mod tests {
             inputs: t.inputs.clone(),
             fake: true,
         };
-        assert!(AggInput::decode(&f.encode(96)).unwrap().fake);
+        assert!(AggInput::decode(&f.encode(96).unwrap()).unwrap().fake);
     }
 
     #[test]
-    fn oversized_payload_survives_padding() {
+    fn oversized_payload_rejected_not_leaked() {
+        // A payload longer than `pad` used to be sent unpadded — a silent
+        // size leak. Encoding now refuses, naming the needed size.
         let t = PlainTuple::Row(vec![Value::Str("x".repeat(200))]);
-        let enc = t.encode(64); // pad smaller than content
-        assert!(enc.len() > 64);
-        assert_eq!(PlainTuple::decode(&enc).unwrap(), t);
+        match t.encode(64) {
+            Err(ProtocolError::PadTooSmall { needed, pad }) => {
+                assert!(needed > 200, "needed {needed}");
+                assert_eq!(pad, 64);
+            }
+            other => panic!("expected PadTooSmall, got {other:?}"),
+        }
+        let a = AggInput {
+            key: GroupKey::from_values(&[Value::Str("y".repeat(100))]),
+            inputs: vec![],
+            fake: false,
+        };
+        assert!(matches!(
+            a.encode(32),
+            Err(ProtocolError::PadTooSmall { .. })
+        ));
+        // The boundary case still fits: exact-size payloads are fine.
+        let exact = t.encode(4096).unwrap();
+        assert_eq!(exact.len(), 4096);
+        assert_eq!(PlainTuple::decode(&exact).unwrap(), t);
     }
 
     #[test]
@@ -349,14 +384,16 @@ mod tests {
             inputs: vec![Value::Float(1.0)],
             fake: false,
         }
-        .encode(pad);
+        .encode(pad)
+        .unwrap();
         let b = AggInput {
             key: GroupKey::from_values(&[Value::Int(77)]),
             inputs: vec![Value::Float(2.0)],
             fake: true,
         }
-        .encode(pad);
-        let c = PlainTuple::Dummy.encode(pad);
+        .encode(pad)
+        .unwrap();
+        let c = PlainTuple::Dummy.encode(pad).unwrap();
         assert_eq!(a.len(), pad);
         assert_eq!(b.len(), pad);
         assert_eq!(c.len(), pad);

@@ -32,9 +32,11 @@ fn check_all(dbs: &[Database], oracle: &Database, sql: &str, role: &str, seed: u
             .seed(seed)
             .build(dbs.to_vec(), AccessPolicy::allow_all(Role::new(role)));
         let querier = world.make_querier("q", role);
-        let rows = world
-            .run_query(&querier, &query, ProtocolParams::new(kind))
-            .unwrap();
+        let mut params = ProtocolParams::new(kind);
+        // Wide aggregate lists encode past the 64-byte default pad, which
+        // encoding now rejects (instead of leaking sizes); give them room.
+        params.pad = 256;
+        let rows = world.run_query(&querier, &query, params).unwrap();
         assert_rows_eq(rows, expected.clone(), &format!("{} :: {sql}", kind.name()));
     }
 }

@@ -122,7 +122,9 @@ proptest! {
         }
     }
 
-    /// Wire codec round-trips under arbitrary values and paddings.
+    /// Wire codec round-trips under arbitrary values and paddings. Payloads
+    /// that outgrow the pad are *rejected* (`PadTooSmall`) rather than sent
+    /// unpadded — a roomy pad must round-trip, a tight one must error.
     #[test]
     fn codec_roundtrips(
         ints in prop::collection::vec(any::<i64>(), 0..6),
@@ -135,14 +137,28 @@ proptest! {
         values.push(Value::Null);
 
         let t = PlainTuple::Row(values.clone());
-        prop_assert_eq!(PlainTuple::decode(&t.encode(pad)).unwrap(), t);
+        match t.encode(pad) {
+            Ok(encoded) => prop_assert_eq!(PlainTuple::decode(&encoded).unwrap(), t),
+            Err(tdsql_core::ProtocolError::PadTooSmall { needed, pad: p }) => {
+                prop_assert_eq!(p, pad);
+                prop_assert!(needed > pad);
+            }
+            Err(e) => return Err(TestCaseError::fail(format!("unexpected error: {e}"))),
+        }
 
         let a = AggInput {
             key: GroupKey::from_values(&values),
             inputs: values.clone(),
             fake,
         };
-        prop_assert_eq!(AggInput::decode(&a.encode(pad)).unwrap(), a);
+        match a.encode(pad) {
+            Ok(encoded) => prop_assert_eq!(AggInput::decode(&encoded).unwrap(), a),
+            Err(tdsql_core::ProtocolError::PadTooSmall { needed, pad: p }) => {
+                prop_assert_eq!(p, pad);
+                prop_assert!(needed > pad);
+            }
+            Err(e) => return Err(TestCaseError::fail(format!("unexpected error: {e}"))),
+        }
 
         let r = ResultRow(values);
         prop_assert_eq!(ResultRow::decode(&r.encode()).unwrap(), r);

@@ -155,6 +155,98 @@ fn threaded_discovery_protocols_require_prepared_params() {
 }
 
 #[test]
+fn threaded_discovery_protocols_end_to_end() {
+    // Discovery itself runs on the threaded runtime here — no round-based
+    // machinery anywhere in the pipeline, including the discovery
+    // sub-protocol (an S_Agg plan with k2-sealed results).
+    use tdsql_core::runtime::threaded::run_threaded;
+    let (dbs, oracle) = smart_meters(&SmartMeterConfig {
+        n_tds: 60,
+        districts: 4,
+        readings_per_tds: 1,
+        ..Default::default()
+    });
+    let query = parse_query(
+        "SELECT c.district, COUNT(*), SUM(p.cons) FROM power p, consumer c \
+         WHERE c.cid = p.cid GROUP BY c.district",
+    )
+    .unwrap();
+    let expected = execute(&oracle, &query).unwrap().rows;
+    let world = SimBuilder::new()
+        .seed(613)
+        .build(dbs, AccessPolicy::allow_all(Role::new("supplier")));
+    let querier = world.make_querier("energy-co", "supplier");
+    for kind in [ProtocolKind::CNoise, ProtocolKind::EdHist { buckets: 3 }] {
+        let params = world.prepare_params_threaded(&query, kind, 4).unwrap();
+        match kind {
+            ProtocolKind::CNoise => assert!(!params.noise_domain.is_empty()),
+            ProtocolKind::EdHist { .. } => assert!(params.histogram.is_some()),
+            _ => unreachable!(),
+        }
+        let rows = run_threaded(&world.tdss, &querier, &query, &params, 6).unwrap();
+        assert_rows_eq(
+            rows,
+            expected.clone(),
+            &format!("fully threaded {}", kind.name()),
+        );
+    }
+}
+
+#[test]
+fn worker_panic_is_contained_and_reported() {
+    // A panicking worker must not poison the queue for the others: the
+    // remaining partitions are still drained and the panic surfaces as the
+    // first error, not as a crash of the coordinating thread.
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use tdsql_core::message::{GroupTag, StoredTuple};
+    use tdsql_core::runtime::threaded::{parallel_partitions, WorkerOutput};
+
+    let (dbs, _) = smart_meters(&SmartMeterConfig {
+        n_tds: 8,
+        districts: 2,
+        ..Default::default()
+    });
+    let world = SimBuilder::new()
+        .seed(614)
+        .build(dbs, AccessPolicy::allow_all(Role::new("supplier")));
+
+    const POISON: &[u8] = b"poison-pill";
+    let partitions: Vec<Vec<StoredTuple>> = (0..8)
+        .map(|i| {
+            let blob: Vec<u8> = if i == 3 { POISON.to_vec() } else { vec![i] };
+            vec![StoredTuple {
+                tag: GroupTag::None,
+                blob: blob.into(),
+            }]
+        })
+        .collect();
+
+    let processed = AtomicUsize::new(0);
+    let err = parallel_partitions(&world.tdss, 4, 0xdead, partitions, |_tds, p, _rng| {
+        if p[0].blob.as_ref() == POISON {
+            panic!("injected worker failure");
+        }
+        processed.fetch_add(1, Ordering::SeqCst);
+        Ok(WorkerOutput::Working(Vec::new()))
+    })
+    .unwrap_err();
+
+    assert!(
+        err.to_string().contains("panicked"),
+        "panic must be reported as an error: {err}"
+    );
+    assert!(
+        err.to_string().contains("injected worker failure"),
+        "panic payload must be preserved: {err}"
+    );
+    assert_eq!(
+        processed.load(Ordering::SeqCst),
+        7,
+        "all other partitions must still be drained"
+    );
+}
+
+#[test]
 fn empty_population_rejected() {
     let world = SimBuilder::new()
         .seed(602)
