@@ -3,6 +3,8 @@
 use tdsql_crypto::CryptoError;
 use tdsql_sql::SqlError;
 
+use crate::stats::Phase;
+
 /// Errors surfaced while running a distributed querying protocol.
 #[derive(Debug, Clone, PartialEq)]
 pub enum ProtocolError {
@@ -35,6 +37,30 @@ pub enum ProtocolError {
         /// The configured pad length it must fit in.
         pad: usize,
     },
+    /// A work item exhausted its retry budget: the query terminates loudly
+    /// instead of re-sending the partition forever. (SIZE-bounded queries
+    /// degrade to a partial result instead of raising this.)
+    QueryAborted {
+        /// Phase whose work item could not be completed.
+        phase: Phase,
+        /// Delivery attempts consumed before giving up.
+        retries: u32,
+    },
+    /// A delivery (or state query) addressed a query id with no live
+    /// server-side state — never posted, or already purged.
+    UnknownQuery {
+        /// The unknown query id.
+        query_id: u64,
+    },
+    /// A delivery that violates the query's lifecycle on the SSI (e.g.
+    /// aggregation output while the collection window is still open, or a
+    /// delivery under an assignment the SSI never issued).
+    InvalidTransition {
+        /// Query whose lifecycle was violated.
+        query_id: u64,
+        /// What went wrong.
+        what: &'static str,
+    },
 }
 
 impl std::fmt::Display for ProtocolError {
@@ -53,6 +79,23 @@ impl std::fmt::Display for ProtocolError {
                 f,
                 "payload needs {needed} bytes but pad is {pad}: raise `pad` to keep sizes uniform"
             ),
+            ProtocolError::QueryAborted { phase, retries } => write!(
+                f,
+                "query aborted: a {phase}-phase work item exhausted its retry budget \
+                 after {retries} delivery attempts"
+            ),
+            ProtocolError::UnknownQuery { query_id } => {
+                write!(
+                    f,
+                    "no live state for query {query_id} (never posted or purged)"
+                )
+            }
+            ProtocolError::InvalidTransition { query_id, what } => {
+                write!(
+                    f,
+                    "invalid lifecycle transition for query {query_id}: {what}"
+                )
+            }
         }
     }
 }

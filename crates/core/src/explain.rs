@@ -30,6 +30,33 @@ pub fn explain(query: &Query, params: &ProtocolParams) -> String {
         }
     ));
 
+    // The SIZE window decides what happens when deliveries keep failing:
+    // degrade to a flagged-partial result, or abort with a typed error.
+    match &query.size {
+        Some(size) => {
+            let mut bounds = Vec::new();
+            if let Some(n) = size.max_tuples {
+                bounds.push(format!("{n} tuples"));
+            }
+            if let Some(r) = size.max_rounds {
+                bounds.push(format!("{r} rounds"));
+            }
+            line(format!("size window: {}", bounds.join(", ")));
+            line(
+                "  on expiry the query finalizes over the tuples collected so far \
+                 and the result is flagged partial (never aborted)"
+                    .into(),
+            );
+        }
+        None => {
+            line(
+                "size window: unbounded — exhausting the delivery retry budget \
+                 aborts the query (QueryAborted)"
+                    .into(),
+            );
+        }
+    }
+
     // The compiled plan — the exact step sequence every runtime interprets.
     line("plan:".into());
     for step in PhasePlan::compile(query, params).render() {
@@ -153,6 +180,23 @@ mod tests {
         assert!(text.contains("discovery sub-query"));
         let text = explain(&q(), &ProtocolParams::new(ProtocolKind::RnfNoise { nf: 2 }));
         assert!(text.contains("blurred by 2 fakes"));
+    }
+
+    #[test]
+    fn size_window_explains_partial_result_semantics() {
+        // SIZE-bounded: the window and the degrade rule are spelled out.
+        let text = explain(&q(), &ProtocolParams::new(ProtocolKind::SAgg));
+        assert!(text.contains("size window: 1000 tuples"), "{text}");
+        assert!(text.contains("flagged partial"), "{text}");
+        // Unbounded: exhaustion aborts instead.
+        let unbounded = parse_query(
+            "SELECT c.district, AVG(p.cons) FROM power p, consumer c \
+             WHERE c.cid = p.cid GROUP BY c.district",
+        )
+        .unwrap();
+        let text = explain(&unbounded, &ProtocolParams::new(ProtocolKind::SAgg));
+        assert!(text.contains("size window: unbounded"), "{text}");
+        assert!(text.contains("QueryAborted"), "{text}");
     }
 
     #[test]

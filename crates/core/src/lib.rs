@@ -65,6 +65,9 @@ pub mod tds;
 pub mod tuple_codec;
 pub mod workload;
 
+pub use connectivity::{Connectivity, FaultPlan};
 pub use error::{ProtocolError, Result};
+pub use message::{AssignmentId, DeliveryOutcome};
 pub use protocol::{ProtocolKind, ProtocolParams};
 pub use runtime::{SimBuilder, SimWorld};
+pub use stats::FaultStats;

@@ -35,6 +35,39 @@ pub struct StoredTuple {
     pub blob: Bytes,
 }
 
+/// Unique identifier of one *assignment*: one attempt to have one TDS
+/// process one work item (a partition, or a TDS's collection contribution).
+///
+/// Transport is at-least-once: an upload may be lost (SSI timeout → the work
+/// item is re-sent under a **new** assignment id), duplicated, or delivered
+/// after the re-sent assignment already completed. Carrying the assignment id
+/// on every upload lets the SSI deduplicate exactly — the first completed
+/// delivery per work item wins, every other delivery for that item is
+/// dropped and counted, never merged into the working set twice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct AssignmentId(pub u64);
+
+impl std::fmt::Display for AssignmentId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "a{}", self.0)
+    }
+}
+
+/// What the SSI did with a delivery, after dedup and lifecycle checks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeliveryOutcome {
+    /// First completed delivery for its work item: merged into the state.
+    Accepted,
+    /// The same assignment already delivered; this copy was dropped.
+    Duplicate,
+    /// Another assignment already completed this work item (the delivery
+    /// arrived late, after the SSI's timeout re-sent the work); dropped.
+    LateAfterReassign,
+    /// A collection-phase delivery arriving after SIZE closed the window;
+    /// dropped under the paper's stream semantics.
+    WindowClosed,
+}
+
 /// Which querybox a query is posted to: the global box (crowd queries) or
 /// the personal boxes of specific TDSs ("get the monthly energy consumption
 /// of consumer C" — Section 3.1). Routing is necessarily visible to the SSI;

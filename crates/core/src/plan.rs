@@ -155,6 +155,23 @@ pub struct FinalizeSpec {
     pub partitioning: FinalizePartitioning,
 }
 
+/// The delivery contract one phase imposes on plan interpreters running
+/// over at-least-once transport (see
+/// [`PhasePlan::idempotence_requirements`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IdempotenceRequirement {
+    /// The phase the contract applies to.
+    pub phase: Phase,
+    /// Re-running the phase's computation on the same work item is
+    /// harmless: the SSI may re-send a timed-out partition freely.
+    pub replayable_compute: bool,
+    /// Merging the same *output* twice changes the result: the SSI must
+    /// settle each work item exactly once (assignment-id dedup).
+    pub dedup_required: bool,
+    /// One-line justification.
+    pub why: &'static str,
+}
+
 /// A compiled, protocol-agnostic execution plan. Every backend interprets
 /// this structure instead of dispatching on [`ProtocolKind`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -284,6 +301,41 @@ impl PhasePlan {
             .into_iter()
             .filter(|(phase, form)| !decl.allows(*phase, *form))
             .collect()
+    }
+
+    /// The delivery contract each phase of this plan imposes on an
+    /// interpreter running over at-least-once transport.
+    ///
+    /// Every interpreter (round, threaded, DES) must honour these: the
+    /// transport may re-send, duplicate, delay or corrupt any message, so
+    /// the contract splits into what may be repeated freely and what must
+    /// be deduplicated. Workers are pure functions of their input
+    /// partition (plus an RNG that only affects ciphertext freshness), so
+    /// *compute* is always replayable; *outputs* are additive contributions
+    /// (tuples, partial aggregates, result rows), so *settlement* must be
+    /// exactly-once — the SSI's assignment-id ledger enforces it.
+    pub fn idempotence_requirements(&self) -> Vec<IdempotenceRequirement> {
+        let mut out = vec![IdempotenceRequirement {
+            phase: Phase::Collection,
+            replayable_compute: true,
+            dedup_required: true,
+            why: "a TDS contribution merged twice double-counts its tuples",
+        }];
+        if self.reduce.is_some() {
+            out.push(IdempotenceRequirement {
+                phase: Phase::Aggregation,
+                replayable_compute: true,
+                dedup_required: true,
+                why: "partial aggregates are additive; a duplicated batch double-counts",
+            });
+        }
+        out.push(IdempotenceRequirement {
+            phase: Phase::Filtering,
+            replayable_compute: true,
+            dedup_required: true,
+            why: "a duplicated finalize batch emits duplicate result rows",
+        });
+        out
     }
 
     /// Render the plan as stable, line-oriented text (used by `explain` and
@@ -465,6 +517,44 @@ mod tests {
             .with_dest(ResultDest::Tds);
         assert_eq!(plan.finalize.dest, ResultDest::Tds);
         assert_eq!(plan.finalize.op, FinalizeOp::FinalizeGroups);
+    }
+
+    #[test]
+    fn every_phase_requires_exactly_once_settlement() {
+        for kind in ALL_KINDS {
+            let query = if kind == ProtocolKind::Basic {
+                sfw_query()
+            } else {
+                agg_query()
+            };
+            let plan = PhasePlan::compile(&query, &ProtocolParams::new(kind));
+            let reqs = plan.idempotence_requirements();
+            let phases: Vec<Phase> = reqs.iter().map(|r| r.phase).collect();
+            if plan.reduce.is_some() {
+                assert_eq!(
+                    phases,
+                    vec![Phase::Collection, Phase::Aggregation, Phase::Filtering],
+                    "{}",
+                    kind.name()
+                );
+            } else {
+                assert_eq!(phases, vec![Phase::Collection, Phase::Filtering]);
+            }
+            for r in reqs {
+                assert!(
+                    r.replayable_compute,
+                    "{}: {:?} compute replays",
+                    kind.name(),
+                    r.phase
+                );
+                assert!(
+                    r.dedup_required,
+                    "{}: {:?} outputs must dedup",
+                    kind.name(),
+                    r.phase
+                );
+            }
+        }
     }
 
     #[test]

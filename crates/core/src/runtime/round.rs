@@ -13,6 +13,7 @@
 use std::collections::VecDeque;
 
 use crate::bytes::Bytes;
+use tdsql_crypto::rng::seq::SliceRandom;
 use tdsql_crypto::rng::SeedableRng;
 use tdsql_crypto::rng::StdRng;
 
@@ -27,7 +28,9 @@ use std::collections::BTreeMap;
 use crate::access::AccessPolicy;
 use crate::connectivity::Connectivity;
 use crate::error::{ProtocolError, Result};
-use crate::message::{GroupTag, QueryEnvelope, QueryTarget, StoredTuple};
+use crate::message::{
+    AssignmentId, DeliveryOutcome, GroupTag, QueryEnvelope, QueryTarget, StoredTuple,
+};
 use crate::partition::{random_partitions, tag_partitions};
 use crate::plan::{FinalizeOp, FinalizePartitioning, Partitioning, PhasePlan, Until};
 use crate::protocol::{discovery, ProtocolKind, ProtocolParams};
@@ -49,6 +52,10 @@ pub struct SimBuilder {
     pub seed: u64,
     /// Cap on collection rounds when the query has no SIZE duration bound.
     pub default_max_rounds: u64,
+    /// Delivery attempts per work item before the runtime gives up: a
+    /// SIZE-bounded query abandons the item (partial result), an unbounded
+    /// query aborts with [`ProtocolError::QueryAborted`].
+    pub retry_budget: u32,
 }
 
 impl Default for SimBuilder {
@@ -59,6 +66,7 @@ impl Default for SimBuilder {
             connectivity: Connectivity::always_on(),
             seed: 0,
             default_max_rounds: 1_000,
+            retry_budget: 64,
         }
     }
 }
@@ -78,6 +86,12 @@ impl SimBuilder {
     /// Set the RNG seed.
     pub fn seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Set the per-work-item retry budget.
+    pub fn retry_budget(mut self, budget: u32) -> Self {
+        self.retry_budget = budget.max(1);
         self
     }
 
@@ -120,6 +134,7 @@ impl SimBuilder {
             stats: RunStats::new(),
             round: 0,
             default_max_rounds: self.default_max_rounds,
+            retry_budget: self.retry_budget,
             ring,
             signer,
             system_querier,
@@ -135,6 +150,52 @@ pub enum StepOutput {
     Working(Vec<StoredTuple>),
     /// Final `k1`/`k2`-sealed rows into the SSI result area.
     Results(Vec<Bytes>),
+}
+
+fn clone_output(output: &StepOutput) -> StepOutput {
+    match output {
+        StepOutput::Working(ts) => StepOutput::Working(ts.clone()),
+        StepOutput::Results(rs) => StepOutput::Results(rs.clone()),
+    }
+}
+
+/// Rounds a "late" delivery spends in flight before the SSI finally sees it.
+const LATE_DELAY: u64 = 3;
+
+/// Round-based backoff after a failed delivery attempt: 2, 4, 8, 16, then
+/// 16 rounds between retries of the same work item.
+fn backoff(attempt: u32) -> u64 {
+    1u64 << attempt.min(4)
+}
+
+/// One partition awaiting processing, with its at-least-once bookkeeping.
+struct WorkItem {
+    /// SSI-allocated work-item id (the dedup ledger's key).
+    item: u64,
+    partition: Vec<StoredTuple>,
+    /// Delivery attempts consumed so far.
+    attempts: u32,
+    /// Earliest round the item may be retried (round-based backoff).
+    not_before: u64,
+}
+
+/// An aggregation/filtering upload the fault plan delayed: from the SSI's
+/// clock it timed out (the item is re-queued), but the bytes are still in
+/// flight and land once the round clock reaches `deliver_at`.
+struct LateUpload {
+    assignment: AssignmentId,
+    output: StepOutput,
+    bytes_up: u64,
+    deliver_at: u64,
+}
+
+/// A collection upload the fault plan delayed.
+struct LateCollection {
+    tds_index: usize,
+    assignment: AssignmentId,
+    tuples: Vec<StoredTuple>,
+    bytes_up: u64,
+    deliver_at: u64,
 }
 
 /// The simulated deployment: the TDS population, the untrusted SSI, and the
@@ -154,6 +215,9 @@ pub struct SimWorld {
     pub round: u64,
     /// Collection-round cap when SIZE has no duration bound.
     pub default_max_rounds: u64,
+    /// Delivery attempts per work item before abandon (SIZE-bounded) or
+    /// abort (unbounded).
+    pub retry_budget: u32,
     ring: KeyRing,
     signer: CredentialSigner,
     system_querier: Querier,
@@ -347,7 +411,7 @@ impl SimWorld {
                     let working = self.ssi.take_working(qid)?;
                     if working.len() <= 1 {
                         // Put the final batch back for the filtering phase.
-                        self.ssi.receive_working(qid, Phase::Aggregation, working)?;
+                        self.ssi.restore_working(qid, Phase::Aggregation, working)?;
                         break;
                     }
                     let partitions = self.partition_working(working, reduce.again);
@@ -374,7 +438,7 @@ impl SimWorld {
                         *per_tag.entry(t.tag.clone()).or_default() += 1;
                     }
                     if per_tag.values().all(|&n| n <= 1) {
-                        self.ssi.receive_working(qid, Phase::Aggregation, working)?;
+                        self.ssi.restore_working(qid, Phase::Aggregation, working)?;
                         break;
                     }
                     // Multi-batch tags get reduced; singletons pass through.
@@ -388,7 +452,7 @@ impl SimWorld {
                         }
                     }
                     self.ssi
-                        .receive_working(qid, Phase::Aggregation, pass_through)?;
+                        .restore_working(qid, Phase::Aggregation, pass_through)?;
                     let partitions = self.partition_working(to_reduce, reduce.again);
                     self.process_partitions(
                         qid,
@@ -512,8 +576,16 @@ impl SimWorld {
                     let bytes_up: u64 = tuples.iter().map(|t| t.blob.len() as u64).sum();
                     let n = tuples.len() as u64;
                     let id = tds.id;
-                    self.ssi.receive_collection(qid, tuples)?;
-                    self.stats.record_ssi_store(Phase::Collection, n, bytes_up);
+                    // Batch collection delivers each contribution exactly
+                    // once, but still under an assignment so the SSI ledger
+                    // stays the single source of delivery truth.
+                    let item = self.ssi.new_item(qid)?;
+                    let assignment = self.ssi.begin_assignment(qid, item)?;
+                    if self.ssi.receive_collection(qid, assignment, tuples)?
+                        == DeliveryOutcome::Accepted
+                    {
+                        self.stats.record_ssi_store(Phase::Collection, n, bytes_up);
+                    }
                     self.stats.record(
                         Phase::Collection,
                         id,
@@ -537,6 +609,11 @@ impl SimWorld {
                         || contributed[j].iter().all(|&c| c)
                         || rounds >= max_rounds[j])
                 {
+                    if !self.ssi.size_tuples_reached(qid)? && !contributed[j].iter().all(|&c| c) {
+                        // Round bound hit with contributions missing: this
+                        // job finalizes over a partial tuple set.
+                        self.stats.partial = true;
+                    }
                     self.ssi.close_collection(qid)?;
                     open[j] = false;
                 }
@@ -560,12 +637,26 @@ impl SimWorld {
 
     /// Collection phase: rounds of connected TDSs answering, until SIZE is
     /// reached, every TDS has contributed, or the round budget is exhausted.
+    ///
+    /// Transport is at-least-once under the connectivity's
+    /// [`crate::connectivity::FaultPlan`]: an upload may be lost (retried at
+    /// the TDS's next connection), duplicated (deduplicated by the SSI's
+    /// assignment ledger), delivered rounds late, or the downloaded envelope
+    /// corrupted (authenticated decryption fails at the TDS and the SSI
+    /// re-sends). Each TDS's contribution is one work item with a retry
+    /// budget; exhausting it aborts an unbounded query and degrades a
+    /// SIZE-bounded one to a partial result. If the round bound expires
+    /// before every targeted TDS answered, the query finalizes over the
+    /// tuples collected so far and the run is flagged partial.
     pub(crate) fn run_collection(
         &mut self,
         qid: u64,
         env: &QueryEnvelope,
         params: &ProtocolParams,
     ) -> Result<()> {
+        let faults = self.connectivity.faults;
+        let budget = self.retry_budget;
+        let size_bounded = env.size.max_tuples.is_some() || env.size.max_rounds.is_some();
         let max_rounds = env
             .size
             .max_rounds
@@ -577,6 +668,9 @@ impl SimWorld {
             .iter()
             .map(|t| !env.target.includes(t.id))
             .collect();
+        let mut item_of: Vec<Option<u64>> = vec![None; self.tdss.len()];
+        let mut attempts: Vec<u32> = vec![0; self.tdss.len()];
+        let mut stash: Vec<LateCollection> = Vec::new();
         let mut rounds = 0u64;
         'outer: while rounds < max_rounds
             && !self.ssi.size_tuples_reached(qid)?
@@ -585,6 +679,7 @@ impl SimWorld {
             rounds += 1;
             self.round += 1;
             self.stats.record_step(Phase::Collection);
+            self.flush_collection_stash(qid, &mut stash, &mut contributed, false)?;
             let mut round_max_bytes = 0u64;
             let connected = self
                 .connectivity
@@ -596,14 +691,52 @@ impl SimWorld {
                 if self.ssi.size_tuples_reached(qid)? {
                     break 'outer;
                 }
+                if attempts[i] >= budget {
+                    if size_bounded {
+                        // Graceful degradation: give up on this TDS's
+                        // contribution and finalize over what arrived.
+                        self.stats.faults.items_abandoned += 1;
+                        self.stats.partial = true;
+                        contributed[i] = true;
+                        continue;
+                    }
+                    return Err(ProtocolError::QueryAborted {
+                        phase: Phase::Collection,
+                        retries: attempts[i],
+                    });
+                }
+                attempts[i] += 1;
+                let attempt = attempts[i];
+                let item = match item_of[i] {
+                    Some(it) => it,
+                    None => {
+                        let it = self.ssi.new_item(qid)?;
+                        item_of[i] = Some(it);
+                        it
+                    }
+                };
                 let tds = &self.tdss[i];
-                let ctx = tds.open_query(env, params.clone(), self.round)?;
+                // Download leg: a corrupted envelope fails authenticated
+                // decryption at the TDS; the SSI re-sends next connection.
+                let ctx = if faults.corrupt_download(Phase::Collection, item, attempt) {
+                    let mut bad = env.clone();
+                    bad.enc_query =
+                        faults.corrupt_blob(&env.enc_query, Phase::Collection, item, attempt);
+                    match tds.open_query(&bad, params.clone(), self.round) {
+                        Err(ProtocolError::Crypto(_)) | Err(ProtocolError::Codec(_)) => {
+                            self.stats.faults.corrupt_rejected += 1;
+                            self.stats.record_reassignment(Phase::Collection);
+                            continue;
+                        }
+                        other => other?,
+                    }
+                } else {
+                    tds.open_query(env, params.clone(), self.round)?
+                };
                 let tuples = tds.collect(&ctx, &mut self.rng)?;
                 let bytes_up: u64 = tuples.iter().map(|t| t.blob.len() as u64).sum();
                 let n = tuples.len() as u64;
                 let id = tds.id;
-                self.ssi.receive_collection(qid, tuples)?;
-                self.stats.record_ssi_store(Phase::Collection, n, bytes_up);
                 self.stats.record(
                     Phase::Collection,
                     id,
@@ -615,13 +748,91 @@ impl SimWorld {
                     },
                 );
                 round_max_bytes = round_max_bytes.max(env.enc_query.len() as u64 + bytes_up);
-                contributed[i] = true;
+                // Upload leg.
+                if faults.lose_upload(Phase::Collection, item, attempt) {
+                    self.stats.faults.lost_uploads += 1;
+                    continue;
+                }
+                let assignment = self.ssi.begin_assignment(qid, item)?;
+                if faults.deliver_late(Phase::Collection, item, attempt) {
+                    stash.push(LateCollection {
+                        tds_index: i,
+                        assignment,
+                        tuples,
+                        bytes_up,
+                        deliver_at: self.round + LATE_DELAY,
+                    });
+                    continue;
+                }
+                let duplicate = if faults.duplicate_upload(Phase::Collection, item, attempt) {
+                    Some(tuples.clone())
+                } else {
+                    None
+                };
+                match self.ssi.receive_collection(qid, assignment, tuples)? {
+                    DeliveryOutcome::Accepted => {
+                        self.stats.record_ssi_store(Phase::Collection, n, bytes_up);
+                        contributed[i] = true;
+                    }
+                    DeliveryOutcome::Duplicate => self.stats.faults.duplicates_dropped += 1,
+                    DeliveryOutcome::LateAfterReassign => {
+                        self.stats.faults.late_after_reassign += 1;
+                    }
+                    DeliveryOutcome::WindowClosed => {}
+                }
+                if let Some(copy) = duplicate {
+                    if self.ssi.receive_collection(qid, assignment, copy)?
+                        == DeliveryOutcome::Duplicate
+                    {
+                        self.stats.faults.duplicates_dropped += 1;
+                    }
+                }
             }
             self.stats
                 .record_step_critical(Phase::Collection, round_max_bytes);
         }
+        // Everything still in flight lands before the window closes.
+        self.flush_collection_stash(qid, &mut stash, &mut contributed, true)?;
         self.rounds_consumed(rounds);
+        if !self.ssi.size_tuples_reached(qid)? && contributed.iter().any(|c| !c) {
+            // The round bound expired before every targeted TDS answered.
+            self.stats.partial = true;
+        }
         self.ssi.close_collection(qid)
+    }
+
+    /// Deliver stashed late collection uploads whose flight time elapsed
+    /// (all of them when `force`), marking accepted contributors.
+    fn flush_collection_stash(
+        &mut self,
+        qid: u64,
+        stash: &mut Vec<LateCollection>,
+        contributed: &mut [bool],
+        force: bool,
+    ) -> Result<()> {
+        let mut rest = Vec::new();
+        for entry in stash.drain(..) {
+            if !force && entry.deliver_at > self.round {
+                rest.push(entry);
+                continue;
+            }
+            let n = entry.tuples.len() as u64;
+            match self
+                .ssi
+                .receive_collection(qid, entry.assignment, entry.tuples)?
+            {
+                DeliveryOutcome::Accepted => {
+                    self.stats
+                        .record_ssi_store(Phase::Collection, n, entry.bytes_up);
+                    contributed[entry.tds_index] = true;
+                }
+                DeliveryOutcome::Duplicate => self.stats.faults.duplicates_dropped += 1,
+                DeliveryOutcome::LateAfterReassign => self.stats.faults.late_after_reassign += 1,
+                DeliveryOutcome::WindowClosed => {}
+            }
+        }
+        *stash = rest;
+        Ok(())
     }
 
     fn rounds_consumed(&mut self, rounds: u64) {
@@ -629,7 +840,13 @@ impl SimWorld {
     }
 
     /// Process a batch of partitions with the connected TDS population.
-    /// Dropouts re-queue the partition (SSI timeout + resend).
+    /// Dropouts re-queue the partition (SSI timeout + resend), and the
+    /// connectivity's [`crate::connectivity::FaultPlan`] additionally injects
+    /// upload loss, duplication, late delivery after reassignment, dispatch
+    /// reordering and payload corruption. Every work item carries a retry
+    /// budget with round-based backoff: exhausting it raises
+    /// [`ProtocolError::QueryAborted`] on an unbounded query and abandons the
+    /// item (partial result) on a SIZE-bounded one.
     pub(crate) fn process_partitions<F>(
         &mut self,
         qid: u64,
@@ -642,7 +859,20 @@ impl SimWorld {
     where
         F: FnMut(&Tds, &QueryContext, &[StoredTuple], &mut StdRng) -> Result<StepOutput>,
     {
-        let mut queue: VecDeque<Vec<StoredTuple>> = partitions.into();
+        let faults = self.connectivity.faults;
+        let budget = self.retry_budget;
+        let size_bounded = env.size.max_tuples.is_some() || env.size.max_rounds.is_some();
+        let mut queue: VecDeque<WorkItem> = VecDeque::with_capacity(partitions.len());
+        for partition in partitions {
+            let item = self.ssi.new_item(qid)?;
+            queue.push_back(WorkItem {
+                item,
+                partition,
+                attempts: 0,
+                not_before: 0,
+            });
+        }
+        let mut stash: Vec<LateUpload> = Vec::new();
         let mut spins = 0u64;
         let spin_cap = 100_000;
         while !queue.is_empty() {
@@ -655,41 +885,95 @@ impl SimWorld {
             self.round += 1;
             self.stats.record_step(phase);
             self.rounds_consumed(1);
+            // Late uploads whose flight time elapsed land now; an accepted
+            // one completes its work item, so drop that item from the queue.
+            if self.flush_late_uploads(qid, phase, &mut stash, false)? {
+                let mut remaining = VecDeque::with_capacity(queue.len());
+                for w in queue.drain(..) {
+                    if !self.ssi.item_done(qid, w.item)? {
+                        remaining.push_back(w);
+                    }
+                }
+                queue = remaining;
+                if queue.is_empty() {
+                    break;
+                }
+            }
+            // Items whose backoff expired are dispatchable this round; a
+            // reordering fault shuffles the SSI's dispatch order.
+            let mut dispatchable: Vec<WorkItem> = Vec::new();
+            let mut waiting: VecDeque<WorkItem> = VecDeque::new();
+            for w in queue.drain(..) {
+                if w.not_before <= self.round {
+                    dispatchable.push(w);
+                } else {
+                    waiting.push_back(w);
+                }
+            }
+            queue = waiting;
+            if dispatchable.len() > 1 && faults.reorder_round(phase, self.round) {
+                dispatchable.shuffle(&mut self.rng);
+            }
+            let mut ready: VecDeque<WorkItem> = dispatchable.into();
             let mut round_max_bytes = 0u64;
             let connected = self
                 .connectivity
                 .sample_connected(self.tdss.len(), &mut self.rng);
             for i in connected {
-                let Some(partition) = queue.pop_front() else {
+                let Some(mut w) = ready.pop_front() else {
                     break;
                 };
+                if w.attempts >= budget {
+                    if size_bounded {
+                        // Graceful SIZE degradation: abandon the item and
+                        // finalize over what the SSI already holds.
+                        self.stats.faults.items_abandoned += 1;
+                        self.stats.partial = true;
+                        continue;
+                    }
+                    return Err(ProtocolError::QueryAborted {
+                        phase,
+                        retries: w.attempts,
+                    });
+                }
+                w.attempts += 1;
+                let attempt = w.attempts;
                 if self.connectivity.drops(&mut self.rng) {
                     self.stats.record_reassignment(phase);
-                    queue.push_back(partition);
+                    w.not_before = self.round + backoff(attempt);
+                    queue.push_back(w);
                     continue;
                 }
                 let tds = &self.tdss[i];
                 let ctx = tds.open_query(env, params.clone(), self.round)?;
-                let bytes_down: u64 = partition.iter().map(|t| t.blob.len() as u64).sum();
-                let tuples_in = partition.len() as u64;
+                let bytes_down: u64 = w.partition.iter().map(|t| t.blob.len() as u64).sum();
+                let tuples_in = w.partition.len() as u64;
                 let id = tds.id;
-                let output = work(tds, &ctx, &partition, &mut self.rng)?;
+                // Download leg: corruption flips one ciphertext bit, the
+                // TDS's authenticated decryption rejects the partition, and
+                // the SSI re-sends it from its pristine copy.
+                let output = if faults.corrupt_download(phase, w.item, attempt) {
+                    let mut delivered = w.partition.clone();
+                    if let Some(first) = delivered.first_mut() {
+                        first.blob = faults.corrupt_blob(&first.blob, phase, w.item, attempt);
+                    }
+                    match work(tds, &ctx, &delivered, &mut self.rng) {
+                        Err(ProtocolError::Crypto(_)) | Err(ProtocolError::Codec(_)) => {
+                            self.stats.faults.corrupt_rejected += 1;
+                            self.stats.record_reassignment(phase);
+                            w.not_before = self.round + backoff(attempt);
+                            queue.push_back(w);
+                            continue;
+                        }
+                        other => other?,
+                    }
+                } else {
+                    work(tds, &ctx, &w.partition, &mut self.rng)?
+                };
                 let bytes_up = match &output {
                     StepOutput::Working(ts) => ts.iter().map(|t| t.blob.len() as u64).sum(),
                     StepOutput::Results(rs) => rs.iter().map(|b| b.len() as u64).sum(),
                 };
-                match output {
-                    StepOutput::Working(ts) => {
-                        let n = ts.len() as u64;
-                        self.ssi.receive_working(qid, phase, ts)?;
-                        self.stats.record_ssi_store(phase, n, bytes_up);
-                    }
-                    StepOutput::Results(rs) => {
-                        let n = rs.len() as u64;
-                        self.ssi.receive_results(qid, rs)?;
-                        self.stats.record_ssi_store(phase, n, bytes_up);
-                    }
-                }
                 self.stats.record(
                     phase,
                     id,
@@ -701,10 +985,117 @@ impl SimWorld {
                     },
                 );
                 round_max_bytes = round_max_bytes.max(bytes_down + bytes_up);
+                // Upload leg.
+                if faults.lose_upload(phase, w.item, attempt) {
+                    self.stats.faults.lost_uploads += 1;
+                    w.not_before = self.round + backoff(attempt);
+                    queue.push_back(w);
+                    continue;
+                }
+                let assignment = self.ssi.begin_assignment(qid, w.item)?;
+                if faults.deliver_late(phase, w.item, attempt) {
+                    // From the SSI's clock the upload timed out: the item is
+                    // re-queued while the bytes are still in flight.
+                    stash.push(LateUpload {
+                        assignment,
+                        output,
+                        bytes_up,
+                        deliver_at: self.round + LATE_DELAY,
+                    });
+                    w.not_before = self.round + backoff(attempt);
+                    queue.push_back(w);
+                    continue;
+                }
+                let duplicate = if faults.duplicate_upload(phase, w.item, attempt) {
+                    Some(clone_output(&output))
+                } else {
+                    None
+                };
+                match self.deliver_upload(qid, phase, assignment, output, bytes_up)? {
+                    DeliveryOutcome::Accepted => {}
+                    DeliveryOutcome::Duplicate => self.stats.faults.duplicates_dropped += 1,
+                    DeliveryOutcome::LateAfterReassign => {
+                        self.stats.faults.late_after_reassign += 1;
+                    }
+                    DeliveryOutcome::WindowClosed => {}
+                }
+                if let Some(copy) = duplicate {
+                    if self.deliver_upload(qid, phase, assignment, copy, bytes_up)?
+                        == DeliveryOutcome::Duplicate
+                    {
+                        self.stats.faults.duplicates_dropped += 1;
+                    }
+                }
+            }
+            // Un-dispatched items go back to the queue's front, in order.
+            while let Some(w) = ready.pop_back() {
+                queue.push_front(w);
             }
             self.stats.record_step_critical(phase, round_max_bytes);
         }
+        // Whatever is still in flight lands now: completed items dedup it,
+        // abandoned items still gain their contribution (at-least-once holds
+        // even past the retry budget).
+        self.flush_late_uploads(qid, phase, &mut stash, true)?;
         Ok(())
+    }
+
+    /// Deliver one upload (working tuples or result rows) under its
+    /// assignment, recording SSI storage on acceptance.
+    fn deliver_upload(
+        &mut self,
+        qid: u64,
+        phase: Phase,
+        assignment: AssignmentId,
+        output: StepOutput,
+        bytes_up: u64,
+    ) -> Result<DeliveryOutcome> {
+        Ok(match output {
+            StepOutput::Working(ts) => {
+                let n = ts.len() as u64;
+                let outcome = self.ssi.receive_working(qid, assignment, phase, ts)?;
+                if outcome == DeliveryOutcome::Accepted {
+                    self.stats.record_ssi_store(phase, n, bytes_up);
+                }
+                outcome
+            }
+            StepOutput::Results(rs) => {
+                let n = rs.len() as u64;
+                let outcome = self.ssi.receive_results(qid, assignment, rs)?;
+                if outcome == DeliveryOutcome::Accepted {
+                    self.stats.record_ssi_store(phase, n, bytes_up);
+                }
+                outcome
+            }
+        })
+    }
+
+    /// Deliver stashed late uploads whose flight time elapsed (all of them
+    /// when `force`). Returns whether any delivery was accepted — i.e.
+    /// completed a work item the queue may still hold.
+    fn flush_late_uploads(
+        &mut self,
+        qid: u64,
+        phase: Phase,
+        stash: &mut Vec<LateUpload>,
+        force: bool,
+    ) -> Result<bool> {
+        let mut accepted = false;
+        let mut rest = Vec::new();
+        for entry in stash.drain(..) {
+            if !force && entry.deliver_at > self.round {
+                rest.push(entry);
+                continue;
+            }
+            match self.deliver_upload(qid, phase, entry.assignment, entry.output, entry.bytes_up)? {
+                DeliveryOutcome::Accepted => accepted = true,
+                DeliveryOutcome::Duplicate => self.stats.faults.duplicates_dropped += 1,
+                DeliveryOutcome::LateAfterReassign => self.stats.faults.late_after_reassign += 1,
+                DeliveryOutcome::WindowClosed => {}
+            }
+        }
+        *stash = rest;
+        Ok(accepted)
     }
 
     /// The system querier used by the discovery sub-protocol.

@@ -7,6 +7,7 @@
 //! protocols are supported; results are bit-identical to the round runtime's
 //! up to float merge order (tested in `tests/threaded_runtime.rs`).
 
+use std::collections::{BTreeSet, VecDeque};
 use std::sync::Mutex;
 
 use tdsql_crypto::rng::{SeedableRng, StdRng};
@@ -16,14 +17,16 @@ use crate::bytes::Bytes;
 use tdsql_sql::ast::Query;
 use tdsql_sql::value::Value;
 
+use crate::connectivity::FaultPlan;
 use crate::error::{ProtocolError, Result};
-use crate::message::{GroupTag, StoredTuple};
+use crate::message::{DeliveryOutcome, GroupTag, StoredTuple};
 use crate::partition::{random_partitions, tag_partitions};
 use crate::plan::{
     DiscoveryNeed, FinalizeOp, FinalizePartitioning, Partitioning, PhasePlan, Until,
 };
 use crate::protocol::{discovery, ProtocolKind, ProtocolParams};
 use crate::querier::Querier;
+use crate::stats::{FaultStats, Phase};
 use crate::tds::{ResultDest, Tds};
 
 /// One worker step's output: either more working-set tuples (reduction
@@ -57,6 +60,148 @@ impl WorkQueue {
 
     fn pop(&self) -> Option<Vec<StoredTuple>> {
         lock(&self.items).pop_front()
+    }
+}
+
+/// Fault-injection knobs for the threaded runtime.
+///
+/// `faults` supplies the deterministic per-(phase, item, attempt) decisions;
+/// `retry_budget` bounds how many times one work item may be attempted
+/// before the run gives up; `degrade` selects what "giving up" means:
+/// abandon the item and flag the run partial (SIZE-bounded semantics), or
+/// abort with [`ProtocolError::QueryAborted`].
+///
+/// Message *reorder* has no dedicated knob here: thread scheduling already
+/// delivers uploads in nondeterministic order, which is exactly the fault
+/// the round runtime has to synthesise.
+#[derive(Debug, Clone, Copy)]
+pub struct FaultConfig {
+    /// Deterministic fault plan (loss / duplication / late / corruption).
+    pub faults: FaultPlan,
+    /// Max attempts per work item before the budget is exhausted.
+    pub retry_budget: u32,
+    /// On budget exhaustion: abandon the item (partial result) instead of
+    /// aborting the query.
+    pub degrade: bool,
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        Self {
+            faults: FaultPlan::none(),
+            retry_budget: 64,
+            degrade: false,
+        }
+    }
+}
+
+/// What a faulty threaded run observed besides its outputs.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ThreadedRunReport {
+    /// Fault/dedup counters, absorbed across all phases.
+    pub faults: FaultStats,
+    /// True when at least one work item was abandoned after its retry
+    /// budget ran out (only possible with [`FaultConfig::degrade`]).
+    pub partial: bool,
+}
+
+impl ThreadedRunReport {
+    fn absorb(&mut self, ledger: DeliveryLedger) {
+        self.faults.absorb(&ledger.stats);
+        self.partial |= !ledger.abandoned.is_empty();
+    }
+}
+
+/// The SSI-side delivery ledger, mirrored in memory for the threaded
+/// runtime: which (item, attempt) assignments have settled, which items are
+/// complete, and which were abandoned. Mirrors `Ssi::settle` exactly so the
+/// two runtimes share one at-least-once contract.
+#[derive(Default)]
+struct DeliveryLedger {
+    /// Assignments that already settled — keyed (item, attempt) since an
+    /// attempt number is unique per item here.
+    settled: BTreeSet<(u64, u32)>,
+    /// Items with an accepted delivery.
+    done: BTreeSet<u64>,
+    /// Items whose retry budget ran out under `degrade`.
+    abandoned: BTreeSet<u64>,
+    /// Uploads held back by the network, delivered at the end of the phase.
+    stash: Vec<(u64, u32, WorkerOutput)>,
+    /// Fault counters for this phase.
+    stats: FaultStats,
+}
+
+impl DeliveryLedger {
+    fn settle(&mut self, item: u64, attempt: u32) -> DeliveryOutcome {
+        if !self.settled.insert((item, attempt)) {
+            return DeliveryOutcome::Duplicate;
+        }
+        if !self.done.insert(item) {
+            return DeliveryOutcome::LateAfterReassign;
+        }
+        DeliveryOutcome::Accepted
+    }
+
+    /// Deliver everything the network held back. An accepted late delivery
+    /// completes its item — even one that was already abandoned (the
+    /// at-least-once contract holds past the budget).
+    fn flush_stash(&mut self, working: &mut Vec<StoredTuple>, results: &mut Vec<Bytes>) {
+        for (item, attempt, output) in std::mem::take(&mut self.stash) {
+            match self.settle(item, attempt) {
+                DeliveryOutcome::Accepted => {
+                    if self.abandoned.remove(&item) {
+                        self.stats.items_abandoned -= 1;
+                    }
+                    match output {
+                        WorkerOutput::Working(ts) => working.extend(ts),
+                        WorkerOutput::Results(rs) => results.extend(rs),
+                    }
+                }
+                DeliveryOutcome::Duplicate => self.stats.duplicates_dropped += 1,
+                DeliveryOutcome::LateAfterReassign => self.stats.late_after_reassign += 1,
+                DeliveryOutcome::WindowClosed => {}
+            }
+        }
+    }
+}
+
+/// One unit of work in the faulty queue: a partition plus its stable item
+/// id (fault decisions key off it) and how many times it has been tried.
+struct FWorkItem {
+    item: u64,
+    partition: Vec<StoredTuple>,
+    attempts: u32,
+}
+
+/// Shared state of one faulty phase: the retry queue plus the ledger.
+///
+/// Unlike [`WorkQueue`], an empty `pending` does not mean the phase is
+/// over — a peer may be about to re-queue the item it holds. `in_flight`
+/// tracks items popped but not yet resolved; workers only quit when both
+/// are zero.
+struct FaultyQueue {
+    pending: VecDeque<FWorkItem>,
+    in_flight: usize,
+    ledger: DeliveryLedger,
+}
+
+impl FaultyQueue {
+    /// Pop the next work item, spinning (with yields) while peers might
+    /// still re-queue. Returns `None` only when the phase is drained.
+    fn pop(state: &Mutex<FaultyQueue>) -> Option<FWorkItem> {
+        loop {
+            {
+                let mut st = lock(state);
+                if let Some(w) = st.pending.pop_front() {
+                    st.in_flight += 1;
+                    return Some(w);
+                }
+                if st.in_flight == 0 {
+                    return None;
+                }
+            }
+            std::thread::yield_now();
+        }
     }
 }
 
@@ -125,6 +270,213 @@ where
     Ok((working, results))
 }
 
+/// [`parallel_partitions`] with at-least-once delivery faults injected on
+/// both legs of every worker step.
+///
+/// Per attempt, in transport order: the download may be corrupted (the TDS
+/// rejects the partition — MAC/decrypt failure — and the item is re-queued),
+/// the upload may be lost (re-queued), held back until the end of the phase
+/// (stashed *and* re-queued, modelling an SSI timeout plus eventual
+/// delivery), or duplicated (second settle must come back `Duplicate`).
+/// Re-queueing to the back of the queue is the threaded analogue of the
+/// round runtime's backoff. Item ids come from `next_item` so successive
+/// phases (and waves within one phase) never share fault coordinates.
+#[allow(clippy::too_many_arguments)]
+fn parallel_partitions_faulty<F>(
+    tdss: &[Tds],
+    n_workers: usize,
+    seed: u64,
+    phase: Phase,
+    cfg: &FaultConfig,
+    next_item: &mut u64,
+    report: &mut ThreadedRunReport,
+    partitions: Vec<Vec<StoredTuple>>,
+    work: F,
+) -> Result<(Vec<StoredTuple>, Vec<Bytes>)>
+where
+    F: Fn(&Tds, &[StoredTuple], &mut StdRng) -> Result<WorkerOutput> + Sync,
+{
+    if !cfg.faults.is_active() {
+        // Healthy path: identical behaviour (and cost) to the plain fan-out.
+        *next_item += partitions.len() as u64;
+        return parallel_partitions(tdss, n_workers, seed, partitions, work);
+    }
+
+    let pending: VecDeque<FWorkItem> = partitions
+        .into_iter()
+        .map(|partition| {
+            let item = *next_item;
+            *next_item += 1;
+            FWorkItem {
+                item,
+                partition,
+                attempts: 0,
+            }
+        })
+        .collect();
+    let state = Mutex::new(FaultyQueue {
+        pending,
+        in_flight: 0,
+        ledger: DeliveryLedger::default(),
+    });
+
+    let working: Mutex<Vec<StoredTuple>> = Mutex::new(Vec::new());
+    let results: Mutex<Vec<Bytes>> = Mutex::new(Vec::new());
+    let first_err: Mutex<Option<ProtocolError>> = Mutex::new(None);
+    std::thread::scope(|scope| {
+        for w in 0..n_workers {
+            let state = &state;
+            let working = &working;
+            let results = &results;
+            let first_err = &first_err;
+            let work = &work;
+            let tds = &tdss[w % tdss.len()];
+            scope.spawn(move || {
+                let mut rng = StdRng::seed_from_u64(seed ^ (w as u64).wrapping_mul(0x9e3779b9));
+                while let Some(mut fw) = FaultyQueue::pop(state) {
+                    if lock(first_err).is_some() {
+                        // A peer already failed; resolve and drain quietly.
+                        let mut st = lock(state);
+                        st.in_flight -= 1;
+                        continue;
+                    }
+                    if fw.attempts >= cfg.retry_budget {
+                        let mut st = lock(state);
+                        st.in_flight -= 1;
+                        if cfg.degrade {
+                            st.ledger.stats.items_abandoned += 1;
+                            st.ledger.abandoned.insert(fw.item);
+                            continue;
+                        }
+                        drop(st);
+                        lock(first_err).get_or_insert(ProtocolError::QueryAborted {
+                            phase,
+                            retries: fw.attempts,
+                        });
+                        continue;
+                    }
+                    fw.attempts += 1;
+                    let attempt = fw.attempts;
+
+                    // Download leg: the partition the TDS sees may be corrupt.
+                    let corrupted = cfg.faults.corrupt_download(phase, fw.item, attempt);
+                    let corrupted_copy = corrupted.then(|| {
+                        let mut copy = fw.partition.clone();
+                        if let Some(first) = copy.first_mut() {
+                            first.blob =
+                                cfg.faults
+                                    .corrupt_blob(&first.blob, phase, fw.item, attempt);
+                        }
+                        copy
+                    });
+                    let input: &[StoredTuple] = corrupted_copy.as_deref().unwrap_or(&fw.partition);
+
+                    let step = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        work(tds, input, &mut rng)
+                    }))
+                    .unwrap_or_else(|payload| {
+                        let what = payload
+                            .downcast_ref::<&str>()
+                            .map(|s| (*s).to_string())
+                            .or_else(|| payload.downcast_ref::<String>().cloned())
+                            .unwrap_or_else(|| "non-string panic payload".into());
+                        Err(ProtocolError::Protocol(format!("worker panicked: {what}")))
+                    });
+
+                    let output = match step {
+                        Err(e)
+                            if corrupted
+                                && matches!(
+                                    e,
+                                    ProtocolError::Crypto(_) | ProtocolError::Codec(_)
+                                ) =>
+                        {
+                            // Tamper detected exactly as designed: reject the
+                            // delivery and have the SSI re-send the partition.
+                            let mut st = lock(state);
+                            st.ledger.stats.corrupt_rejected += 1;
+                            st.pending.push_back(fw);
+                            st.in_flight -= 1;
+                            continue;
+                        }
+                        Err(e) => {
+                            let mut st = lock(state);
+                            st.in_flight -= 1;
+                            drop(st);
+                            lock(first_err).get_or_insert(e);
+                            continue;
+                        }
+                        Ok(output) => output,
+                    };
+
+                    // Upload leg.
+                    if cfg.faults.lose_upload(phase, fw.item, attempt) {
+                        let mut st = lock(state);
+                        st.ledger.stats.lost_uploads += 1;
+                        st.pending.push_back(fw);
+                        st.in_flight -= 1;
+                        continue;
+                    }
+                    if cfg.faults.deliver_late(phase, fw.item, attempt) {
+                        // The SSI times out and re-sends; the upload arrives
+                        // eventually (flushed at the end of the phase).
+                        let mut st = lock(state);
+                        st.ledger.stash.push((fw.item, attempt, output));
+                        st.pending.push_back(fw);
+                        st.in_flight -= 1;
+                        continue;
+                    }
+                    let duplicated = cfg.faults.duplicate_upload(phase, fw.item, attempt);
+                    let mut st = lock(state);
+                    match st.ledger.settle(fw.item, attempt) {
+                        DeliveryOutcome::Accepted => {
+                            if st.ledger.abandoned.remove(&fw.item) {
+                                st.ledger.stats.items_abandoned -= 1;
+                            }
+                            if duplicated {
+                                // The network replays the same assignment;
+                                // the ledger must drop the second copy.
+                                if st.ledger.settle(fw.item, attempt) == DeliveryOutcome::Duplicate
+                                {
+                                    st.ledger.stats.duplicates_dropped += 1;
+                                }
+                            }
+                            st.in_flight -= 1;
+                            drop(st);
+                            match output {
+                                WorkerOutput::Working(ts) => lock(working).extend(ts),
+                                WorkerOutput::Results(rs) => lock(results).extend(rs),
+                            }
+                        }
+                        DeliveryOutcome::Duplicate => {
+                            st.ledger.stats.duplicates_dropped += 1;
+                            st.in_flight -= 1;
+                        }
+                        DeliveryOutcome::LateAfterReassign => {
+                            st.ledger.stats.late_after_reassign += 1;
+                            st.in_flight -= 1;
+                        }
+                        DeliveryOutcome::WindowClosed => {
+                            st.in_flight -= 1;
+                        }
+                    }
+                }
+            });
+        }
+    });
+    if let Some(e) = lock(&first_err).take() {
+        return Err(e);
+    }
+    let mut working = std::mem::take(&mut *lock(&working));
+    let mut results = std::mem::take(&mut *lock(&results));
+    let mut st = state
+        .into_inner()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    st.ledger.flush_stash(&mut working, &mut results);
+    report.absorb(st.ledger);
+    Ok((working, results))
+}
+
 /// Partition the working set as a plan step prescribes (threaded flavour:
 /// randomness comes from the coordinator's `seed_rng`, matching the round
 /// runtime's use of the world RNG).
@@ -156,33 +508,154 @@ pub fn run_plan_threaded(
     plan: &PhasePlan,
     n_workers: usize,
 ) -> Result<Vec<Bytes>> {
+    let (blobs, _) = run_plan_threaded_with(
+        tdss,
+        querier,
+        query,
+        params,
+        plan,
+        n_workers,
+        &FaultConfig::default(),
+    )?;
+    Ok(blobs)
+}
+
+/// [`run_plan_threaded`] with fault injection: same interpreter, but every
+/// phase's deliveries go through the at-least-once/dedup machinery, and the
+/// run comes back with a [`ThreadedRunReport`].
+pub fn run_plan_threaded_with(
+    tdss: &[Tds],
+    querier: &Querier,
+    query: &Query,
+    params: &ProtocolParams,
+    plan: &PhasePlan,
+    n_workers: usize,
+    cfg: &FaultConfig,
+) -> Result<(Vec<Bytes>, ThreadedRunReport)> {
     if tdss.is_empty() {
         return Err(ProtocolError::Protocol("empty TDS population".into()));
     }
     let n_workers = n_workers.clamp(1, tdss.len());
     let mut seed_rng = StdRng::seed_from_u64(0xc0ffee);
     let envelope = querier.make_envelope(query, params.kind, &mut seed_rng);
+    let mut report = ThreadedRunReport::default();
+    // Work item ids are global across phases so no two fault decisions ever
+    // share a (phase, item, attempt) coordinate with different meanings.
+    let mut next_item: u64 = 0;
 
     // --- Collection phase: every TDS contributes concurrently. -----------
+    // A TDS's contribution can only come from that TDS, so retries stay
+    // pinned to the worker holding it rather than going through the shared
+    // queue: each worker loops locally until the delivery settles or the
+    // retry budget runs out.
     let collected: Mutex<Vec<StoredTuple>> = Mutex::new(Vec::new());
+    let col_ledger: Mutex<DeliveryLedger> = Mutex::new(DeliveryLedger::default());
     let first_err: Mutex<Option<ProtocolError>> = Mutex::new(None);
+    let chunk_size = tdss.len().div_ceil(n_workers);
+    let item_base = next_item;
+    next_item += tdss.len() as u64;
     std::thread::scope(|scope| {
-        for (w, chunk) in tdss.chunks(tdss.len().div_ceil(n_workers)).enumerate() {
+        for (w, chunk) in tdss.chunks(chunk_size).enumerate() {
             let collected = &collected;
+            let col_ledger = &col_ledger;
             let first_err = &first_err;
             let envelope = &envelope;
             scope.spawn(move || {
                 let mut rng = StdRng::seed_from_u64(0x5eed + w as u64);
-                for tds in chunk {
-                    let step = (|| -> Result<Vec<StoredTuple>> {
-                        let ctx = tds.open_query(envelope, params.clone(), 0)?;
-                        tds.collect(&ctx, &mut rng)
-                    })();
-                    match step {
-                        Ok(tuples) => lock(collected).extend(tuples),
-                        Err(e) => {
-                            lock(first_err).get_or_insert(e);
+                for (k, tds) in chunk.iter().enumerate() {
+                    let item = item_base + (w * chunk_size + k) as u64;
+                    let mut attempt: u32 = 0;
+                    loop {
+                        if lock(first_err).is_some() {
                             return;
+                        }
+                        if attempt >= cfg.retry_budget {
+                            let mut led = lock(col_ledger);
+                            if cfg.degrade {
+                                led.stats.items_abandoned += 1;
+                                led.abandoned.insert(item);
+                                break;
+                            }
+                            drop(led);
+                            lock(first_err).get_or_insert(ProtocolError::QueryAborted {
+                                phase: Phase::Collection,
+                                retries: attempt,
+                            });
+                            return;
+                        }
+                        attempt += 1;
+                        // Download leg: the query envelope itself may arrive
+                        // corrupted — `open_query` then fails to authenticate.
+                        let corrupted =
+                            cfg.faults
+                                .corrupt_download(Phase::Collection, item, attempt);
+                        let step = (|| -> Result<Vec<StoredTuple>> {
+                            let ctx = if corrupted {
+                                let mut bad = envelope.clone();
+                                bad.enc_query = cfg.faults.corrupt_blob(
+                                    &envelope.enc_query,
+                                    Phase::Collection,
+                                    item,
+                                    attempt,
+                                );
+                                tds.open_query(&bad, params.clone(), 0)?
+                            } else {
+                                tds.open_query(envelope, params.clone(), 0)?
+                            };
+                            tds.collect(&ctx, &mut rng)
+                        })();
+                        let tuples = match step {
+                            Err(e)
+                                if corrupted
+                                    && matches!(
+                                        e,
+                                        ProtocolError::Crypto(_) | ProtocolError::Codec(_)
+                                    ) =>
+                            {
+                                lock(col_ledger).stats.corrupt_rejected += 1;
+                                continue;
+                            }
+                            Err(e) => {
+                                lock(first_err).get_or_insert(e);
+                                return;
+                            }
+                            Ok(tuples) => tuples,
+                        };
+                        // Upload leg.
+                        if cfg.faults.lose_upload(Phase::Collection, item, attempt) {
+                            lock(col_ledger).stats.lost_uploads += 1;
+                            continue;
+                        }
+                        if cfg.faults.deliver_late(Phase::Collection, item, attempt) {
+                            let mut led = lock(col_ledger);
+                            led.stash
+                                .push((item, attempt, WorkerOutput::Working(tuples)));
+                            continue;
+                        }
+                        let duplicated =
+                            cfg.faults
+                                .duplicate_upload(Phase::Collection, item, attempt);
+                        let mut led = lock(col_ledger);
+                        match led.settle(item, attempt) {
+                            DeliveryOutcome::Accepted => {
+                                if duplicated
+                                    && led.settle(item, attempt) == DeliveryOutcome::Duplicate
+                                {
+                                    led.stats.duplicates_dropped += 1;
+                                }
+                                drop(led);
+                                lock(collected).extend(tuples);
+                                break;
+                            }
+                            DeliveryOutcome::Duplicate => {
+                                led.stats.duplicates_dropped += 1;
+                                break;
+                            }
+                            DeliveryOutcome::LateAfterReassign => {
+                                led.stats.late_after_reassign += 1;
+                                break;
+                            }
+                            DeliveryOutcome::WindowClosed => break,
                         }
                     }
                 }
@@ -193,6 +666,15 @@ pub fn run_plan_threaded(
         return Err(e);
     }
     let mut working = std::mem::take(&mut *lock(&collected));
+    {
+        // Deliver stashed (late) collection uploads before the window closes.
+        let mut led = col_ledger
+            .into_inner()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let mut no_results: Vec<Bytes> = Vec::new();
+        led.flush_stash(&mut working, &mut no_results);
+        report.absorb(led);
+    }
 
     let open = |tds: &Tds| -> Result<crate::tds::QueryContext> {
         tds.open_query(&envelope, params.clone(), 0)
@@ -206,13 +688,22 @@ pub fn run_plan_threaded(
             Until::TagSingletons => 0x7a65,
         };
         let partitions = partition_threaded(working, reduce.first, &mut seed_rng);
-        let (next, _) =
-            parallel_partitions(tdss, n_workers, first_seed, partitions, |tds, p, rng| {
+        let (next, _) = parallel_partitions_faulty(
+            tdss,
+            n_workers,
+            first_seed,
+            Phase::Aggregation,
+            cfg,
+            &mut next_item,
+            &mut report,
+            partitions,
+            |tds, p, rng| {
                 let ctx = open(tds)?;
                 Ok(WorkerOutput::Working(
                     tds.reduce_inputs(&ctx, p, retag, rng)?,
                 ))
-            })?;
+            },
+        )?;
         working = next;
 
         match reduce.until {
@@ -220,13 +711,22 @@ pub fn run_plan_threaded(
             Until::SingleBatch => {
                 while working.len() > 1 {
                     let partitions = partition_threaded(working, reduce.again, &mut seed_rng);
-                    let (next, _) =
-                        parallel_partitions(tdss, n_workers, 0xfeed, partitions, |tds, p, rng| {
+                    let (next, _) = parallel_partitions_faulty(
+                        tdss,
+                        n_workers,
+                        0xfeed,
+                        Phase::Aggregation,
+                        cfg,
+                        &mut next_item,
+                        &mut report,
+                        partitions,
+                        |tds, p, rng| {
                             let ctx = open(tds)?;
                             Ok(WorkerOutput::Working(
                                 tds.reduce_partials(&ctx, p, retag, rng)?,
                             ))
-                        })?;
+                        },
+                    )?;
                     working = next;
                 }
             }
@@ -243,13 +743,22 @@ pub fn run_plan_threaded(
                 let (pass, reduce_set): (Vec<StoredTuple>, Vec<StoredTuple>) =
                     working.into_iter().partition(|t| per_tag[&t.tag] <= 1);
                 let partitions = partition_threaded(reduce_set, reduce.again, &mut seed_rng);
-                let (mut reduced, _) =
-                    parallel_partitions(tdss, n_workers, 0x5e9, partitions, |tds, p, rng| {
+                let (mut reduced, _) = parallel_partitions_faulty(
+                    tdss,
+                    n_workers,
+                    0x5e9,
+                    Phase::Aggregation,
+                    cfg,
+                    &mut next_item,
+                    &mut report,
+                    partitions,
+                    |tds, p, rng| {
                         let ctx = open(tds)?;
                         Ok(WorkerOutput::Working(
                             tds.reduce_partials(&ctx, p, retag, rng)?,
                         ))
-                    })?;
+                    },
+                )?;
                 reduced.extend(pass);
                 working = reduced;
             },
@@ -258,7 +767,7 @@ pub fn run_plan_threaded(
 
     // --- Finalization: produce sealed results for the plan's dest. --------
     if working.is_empty() {
-        return Ok(Vec::new());
+        return Ok((Vec::new(), report));
     }
     let partitions = match plan.finalize.partitioning {
         FinalizePartitioning::Whole => vec![working],
@@ -273,15 +782,25 @@ pub fn run_plan_threaded(
         FinalizeOp::FilterRows => 0xf117e4,
         FinalizeOp::FinalizeGroups => 0xf17e,
     };
-    let (_, results) = parallel_partitions(tdss, n_workers, seed, partitions, |tds, p, rng| {
-        let ctx = open(tds)?;
-        let blobs = match op {
-            FinalizeOp::FilterRows => tds.filter_plain(&ctx, p, rng)?,
-            FinalizeOp::FinalizeGroups => tds.finalize_groups(&ctx, p, dest, rng)?,
-        };
-        Ok(WorkerOutput::Results(blobs))
-    })?;
-    Ok(results)
+    let (_, results) = parallel_partitions_faulty(
+        tdss,
+        n_workers,
+        seed,
+        Phase::Filtering,
+        cfg,
+        &mut next_item,
+        &mut report,
+        partitions,
+        |tds, p, rng| {
+            let ctx = open(tds)?;
+            let blobs = match op {
+                FinalizeOp::FilterRows => tds.filter_plain(&ctx, p, rng)?,
+                FinalizeOp::FinalizeGroups => tds.finalize_groups(&ctx, p, dest, rng)?,
+            };
+            Ok(WorkerOutput::Results(blobs))
+        },
+    )?;
+    Ok((results, report))
 }
 
 /// Run a query through any protocol with `n_workers` concurrent TDS workers.
@@ -297,6 +816,28 @@ pub fn run_threaded(
     params: &ProtocolParams,
     n_workers: usize,
 ) -> Result<Vec<Vec<Value>>> {
+    let (rows, _) = run_threaded_faulty(
+        tdss,
+        querier,
+        query,
+        params,
+        n_workers,
+        &FaultConfig::default(),
+    )?;
+    Ok(rows)
+}
+
+/// [`run_threaded`] under a fault plan: injects loss / duplication / late
+/// delivery / corruption per `cfg` and reports what the dedup machinery
+/// absorbed alongside the rows.
+pub fn run_threaded_faulty(
+    tdss: &[Tds],
+    querier: &Querier,
+    query: &Query,
+    params: &ProtocolParams,
+    n_workers: usize,
+    cfg: &FaultConfig,
+) -> Result<(Vec<Vec<Value>>, ThreadedRunReport)> {
     if tdss.is_empty() {
         return Err(ProtocolError::Protocol("empty TDS population".into()));
     }
@@ -313,10 +854,11 @@ pub fn run_threaded(
             }));
         }
     }
-    let blobs = run_plan_threaded(tdss, querier, query, params, &plan, n_workers)?;
+    let (blobs, report) =
+        run_plan_threaded_with(tdss, querier, query, params, &plan, n_workers, cfg)?;
     let mut rows = querier.decrypt_results(&blobs)?;
     tdsql_sql::order::apply_order_limit(query, &mut rows)?;
-    Ok(rows)
+    Ok((rows, report))
 }
 
 /// Bootstrap discovery-derived parameters on the threaded runtime itself:

@@ -8,13 +8,13 @@
 //! for leaks. By construction this type holds only ciphertexts ([`bytes::Bytes`]
 //! blobs) and tags — there is no code path by which it could decrypt.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 use crate::bytes::Bytes;
 
 use crate::error::{ProtocolError, Result};
 use crate::leakage::{ExposureDeclaration, TagForm};
-use crate::message::{Observation, QueryEnvelope, StoredTuple};
+use crate::message::{AssignmentId, DeliveryOutcome, Observation, QueryEnvelope, StoredTuple};
 use crate::stats::Phase;
 
 /// Debug-mode leak tripwire: every tag form the SSI observes must appear in
@@ -42,6 +42,14 @@ fn debug_check_declared(envelope: &QueryEnvelope, phase: Phase, tuples: &[Stored
     }
 }
 
+/// One issued assignment: which work item it covers, and whether a delivery
+/// under it already settled (accepted or rejected).
+#[derive(Debug, Clone, Copy)]
+struct AssignmentSlot {
+    item: u64,
+    settled: bool,
+}
+
 /// Per-query server-side state.
 #[derive(Debug, Clone)]
 struct QueryState {
@@ -53,12 +61,19 @@ struct QueryState {
     /// Final `k1`-encrypted rows awaiting the querier.
     results: Vec<Bytes>,
     collection_closed: bool,
+    /// Issued assignments, keyed by [`AssignmentId`].
+    assignments: BTreeMap<u64, AssignmentSlot>,
+    /// Work items already completed by some assignment's delivery.
+    items_done: BTreeSet<u64>,
+    /// Next work-item id to hand out.
+    next_item: u64,
 }
 
 /// The untrusted supporting server.
 #[derive(Debug, Default)]
 pub struct Ssi {
     next_query_id: u64,
+    next_assignment_id: u64,
     queries: BTreeMap<u64, QueryState>,
     /// Everything the SSI has observed, in arrival order.
     pub observations: Vec<Observation>,
@@ -110,6 +125,9 @@ impl Ssi {
                 working: Vec::new(),
                 results: Vec::new(),
                 collection_closed: false,
+                assignments: BTreeMap::new(),
+                items_done: BTreeSet::new(),
+                next_item: 0,
             },
         );
         id
@@ -118,13 +136,83 @@ impl Ssi {
     fn state(&self, query_id: u64) -> Result<&QueryState> {
         self.queries
             .get(&query_id)
-            .ok_or_else(|| ProtocolError::Protocol(format!("unknown query {query_id}")))
+            .ok_or(ProtocolError::UnknownQuery { query_id })
     }
 
     fn state_mut(&mut self, query_id: u64) -> Result<&mut QueryState> {
         self.queries
             .get_mut(&query_id)
-            .ok_or_else(|| ProtocolError::Protocol(format!("unknown query {query_id}")))
+            .ok_or(ProtocolError::UnknownQuery { query_id })
+    }
+
+    // -- at-least-once delivery bookkeeping ---------------------------------
+
+    /// Allocate a fresh work-item id for a query (a partition to process, or
+    /// one TDS's collection contribution). Item ids never repeat within a
+    /// query, so a wave-2 partition can never collide with a completed
+    /// wave-1 item in the dedup ledger.
+    pub fn new_item(&mut self, query_id: u64) -> Result<u64> {
+        let st = self.state_mut(query_id)?;
+        let item = st.next_item;
+        st.next_item += 1;
+        Ok(item)
+    }
+
+    /// Register one delivery attempt for a work item and return its unique
+    /// [`AssignmentId`]. Every upload must quote the assignment it answers;
+    /// re-sent work gets a fresh assignment for the same item.
+    pub fn begin_assignment(&mut self, query_id: u64, item: u64) -> Result<AssignmentId> {
+        let id = self.next_assignment_id;
+        {
+            let st = self.state_mut(query_id)?;
+            if item >= st.next_item {
+                return Err(ProtocolError::InvalidTransition {
+                    query_id,
+                    what: "assignment for a work item the SSI never allocated",
+                });
+            }
+            st.assignments.insert(
+                id,
+                AssignmentSlot {
+                    item,
+                    settled: false,
+                },
+            );
+        }
+        self.next_assignment_id += 1;
+        Ok(AssignmentId(id))
+    }
+
+    /// Dedup core: settle a delivery under `assignment`. First completed
+    /// delivery per work item is accepted; a repeat of the same assignment is
+    /// a duplicate; a different assignment of an already-done item is a late
+    /// arrival after reassignment. Rejects assignments the SSI never issued.
+    fn settle(
+        st: &mut QueryState,
+        query_id: u64,
+        assignment: AssignmentId,
+    ) -> Result<DeliveryOutcome> {
+        let slot =
+            st.assignments
+                .get_mut(&assignment.0)
+                .ok_or(ProtocolError::InvalidTransition {
+                    query_id,
+                    what: "delivery under an assignment the SSI never issued",
+                })?;
+        if slot.settled {
+            return Ok(DeliveryOutcome::Duplicate);
+        }
+        slot.settled = true;
+        let item = slot.item;
+        if !st.items_done.insert(item) {
+            return Ok(DeliveryOutcome::LateAfterReassign);
+        }
+        Ok(DeliveryOutcome::Accepted)
+    }
+
+    /// Has this work item already been completed by some delivery?
+    pub fn item_done(&self, query_id: u64, item: u64) -> Result<bool> {
+        Ok(self.state(query_id)?.items_done.contains(&item))
     }
 
     /// The posted envelope — what connecting TDSs download (step 2).
@@ -132,8 +220,15 @@ impl Ssi {
         Ok(&self.state(query_id)?.envelope)
     }
 
-    /// Receive collection-phase tuples from a TDS (step 4 / 4').
-    pub fn receive_collection(&mut self, query_id: u64, tuples: Vec<StoredTuple>) -> Result<()> {
+    /// Receive collection-phase tuples from a TDS (step 4 / 4'), delivered
+    /// under an assignment. Duplicated and late deliveries are deduplicated —
+    /// at-least-once transport must never double-count a contribution.
+    pub fn receive_collection(
+        &mut self,
+        query_id: u64,
+        assignment: AssignmentId,
+        tuples: Vec<StoredTuple>,
+    ) -> Result<DeliveryOutcome> {
         // Record observations first (split borrows via a local buffer).
         let obs: Vec<Observation> = tuples
             .iter()
@@ -145,11 +240,14 @@ impl Ssi {
         if st.collection_closed {
             // Late arrivals after SIZE closed the window are dropped; the
             // paper's stream semantics end the window at SIZE.
-            return Ok(());
+            return Ok(DeliveryOutcome::WindowClosed);
         }
-        st.collection.extend(tuples);
-        self.observations.extend(obs);
-        Ok(())
+        let outcome = Self::settle(st, query_id, assignment)?;
+        if outcome == DeliveryOutcome::Accepted {
+            st.collection.extend(tuples);
+            self.observations.extend(obs);
+        }
+        Ok(outcome)
     }
 
     /// Number of tuples collected so far (what the SIZE clause sees).
@@ -187,8 +285,43 @@ impl Ssi {
     }
 
     /// Store tuples back into the working set (step 8: partial aggregations
-    /// coming back from TDSs).
+    /// coming back from TDSs), delivered under an assignment. Deduplicates
+    /// duplicate and late-after-reassignment deliveries: a partial aggregate
+    /// entering the working set twice would double-count, so only the first
+    /// completed delivery per work item is merged.
     pub fn receive_working(
+        &mut self,
+        query_id: u64,
+        assignment: AssignmentId,
+        phase: Phase,
+        tuples: Vec<StoredTuple>,
+    ) -> Result<DeliveryOutcome> {
+        let obs: Vec<Observation> = tuples
+            .iter()
+            .map(|t| Observation::of(query_id, phase, t))
+            .collect();
+        self.retain(query_id, phase, &tuples);
+        let st = self.state_mut(query_id)?;
+        if !st.collection_closed {
+            return Err(ProtocolError::InvalidTransition {
+                query_id,
+                what: "aggregation delivery while the collection window is open",
+            });
+        }
+        debug_check_declared(&st.envelope, phase, &tuples);
+        let outcome = Self::settle(st, query_id, assignment)?;
+        if outcome == DeliveryOutcome::Accepted {
+            st.working.extend(tuples);
+            self.observations.extend(obs);
+        }
+        Ok(outcome)
+    }
+
+    /// Re-park tuples into the working set **without** delivery semantics —
+    /// the runtime moving pass-through singletons or the final batch back
+    /// between plan steps. This is SSI-internal data movement, not an upload
+    /// crossing the faulty transport, so no assignment and no dedup apply.
+    pub fn restore_working(
         &mut self,
         query_id: u64,
         phase: Phase,
@@ -212,8 +345,15 @@ impl Ssi {
     }
 
     /// Receive final `k1`-encrypted rows (step 12) and concatenate them into
-    /// the result area.
-    pub fn receive_results(&mut self, query_id: u64, rows: Vec<Bytes>) -> Result<()> {
+    /// the result area, delivered under an assignment. Deduplicated like any
+    /// other upload: a duplicated filtering delivery would repeat result rows
+    /// to the querier.
+    pub fn receive_results(
+        &mut self,
+        query_id: u64,
+        assignment: AssignmentId,
+        rows: Vec<Bytes>,
+    ) -> Result<DeliveryOutcome> {
         let obs: Vec<Observation> = rows
             .iter()
             .map(|blob| {
@@ -228,6 +368,12 @@ impl Ssi {
             })
             .collect();
         let st = self.state_mut(query_id)?;
+        if !st.collection_closed {
+            return Err(ProtocolError::InvalidTransition {
+                query_id,
+                what: "filtering delivery while the collection window is open",
+            });
+        }
         if cfg!(debug_assertions) {
             let decl = ExposureDeclaration::for_protocol(st.envelope.protocol);
             debug_assert!(
@@ -236,9 +382,12 @@ impl Ssi {
                 st.envelope.protocol.name(),
             );
         }
-        st.results.extend(rows);
-        self.observations.extend(obs);
-        Ok(())
+        let outcome = Self::settle(st, query_id, assignment)?;
+        if outcome == DeliveryOutcome::Accepted {
+            st.results.extend(rows);
+            self.observations.extend(obs);
+        }
+        Ok(outcome)
     }
 
     /// Deliver the concatenated result to the querier (step 13).
@@ -272,7 +421,7 @@ impl Ssi {
         self.queries
             .remove(&query_id)
             .map(|_| ())
-            .ok_or_else(|| ProtocolError::Protocol(format!("unknown query {query_id}")))
+            .ok_or(ProtocolError::UnknownQuery { query_id })
     }
 
     /// Number of queries with live server-side state.
@@ -325,6 +474,13 @@ mod tests {
         }
     }
 
+    /// Collect one tuple batch over a fresh item + assignment.
+    fn collect(ssi: &mut Ssi, qid: u64, tuples: Vec<StoredTuple>) -> DeliveryOutcome {
+        let item = ssi.new_item(qid).unwrap();
+        let a = ssi.begin_assignment(qid, item).unwrap();
+        ssi.receive_collection(qid, a, tuples).unwrap()
+    }
+
     #[test]
     fn lifecycle() {
         let mut ssi = Ssi::new();
@@ -332,15 +488,24 @@ mod tests {
         assert_eq!(ssi.envelope(qid).unwrap().query_id, qid);
         assert!(!ssi.size_tuples_reached(qid).unwrap());
 
-        ssi.receive_collection(qid, vec![tuple(1)]).unwrap();
+        assert_eq!(
+            collect(&mut ssi, qid, vec![tuple(1)]),
+            DeliveryOutcome::Accepted
+        );
         assert!(!ssi.size_tuples_reached(qid).unwrap());
-        ssi.receive_collection(qid, vec![tuple(2)]).unwrap();
+        assert_eq!(
+            collect(&mut ssi, qid, vec![tuple(2)]),
+            DeliveryOutcome::Accepted
+        );
         assert!(ssi.size_tuples_reached(qid).unwrap());
 
         ssi.close_collection(qid).unwrap();
         assert!(ssi.collection_closed(qid).unwrap());
         // Late tuples dropped.
-        ssi.receive_collection(qid, vec![tuple(3)]).unwrap();
+        assert_eq!(
+            collect(&mut ssi, qid, vec![tuple(3)]),
+            DeliveryOutcome::WindowClosed
+        );
         assert_eq!(ssi.collection_count(qid).unwrap(), 0);
         assert_eq!(ssi.working_len(qid).unwrap(), 2);
 
@@ -348,8 +513,13 @@ mod tests {
         assert_eq!(working.len(), 2);
         assert_eq!(ssi.working_len(qid).unwrap(), 0);
 
-        ssi.receive_results(qid, vec![Bytes::from_static(b"row")])
-            .unwrap();
+        let item = ssi.new_item(qid).unwrap();
+        let a = ssi.begin_assignment(qid, item).unwrap();
+        assert_eq!(
+            ssi.receive_results(qid, a, vec![Bytes::from_static(b"row")])
+                .unwrap(),
+            DeliveryOutcome::Accepted
+        );
         assert_eq!(ssi.results(qid).unwrap().len(), 1);
         // Observations: two collection tuples (the late one was dropped
         // before being observed) plus one result row.
@@ -357,18 +527,93 @@ mod tests {
     }
 
     #[test]
+    fn duplicate_and_late_deliveries_are_deduplicated() {
+        let mut ssi = Ssi::new();
+        let qid = ssi.post_query(envelope());
+        let item = ssi.new_item(qid).unwrap();
+        let a1 = ssi.begin_assignment(qid, item).unwrap();
+        // Assume a1's upload was lost: the SSI re-sends under a2.
+        let a2 = ssi.begin_assignment(qid, item).unwrap();
+        assert_ne!(a1, a2);
+        assert_eq!(
+            ssi.receive_collection(qid, a2, vec![tuple(1)]).unwrap(),
+            DeliveryOutcome::Accepted
+        );
+        // The duplicated copy of a2's upload is dropped.
+        assert_eq!(
+            ssi.receive_collection(qid, a2, vec![tuple(1)]).unwrap(),
+            DeliveryOutcome::Duplicate
+        );
+        // a1's upload finally limps in — the item is already done.
+        assert_eq!(
+            ssi.receive_collection(qid, a1, vec![tuple(1)]).unwrap(),
+            DeliveryOutcome::LateAfterReassign
+        );
+        // Exactly one contribution was merged and observed.
+        assert_eq!(ssi.collection_count(qid).unwrap(), 1);
+        assert_eq!(ssi.observations.len(), 1);
+        assert!(ssi.item_done(qid, item).unwrap());
+    }
+
+    #[test]
+    fn deliveries_respect_the_query_lifecycle() {
+        let mut ssi = Ssi::new();
+        let qid = ssi.post_query(envelope());
+        let item = ssi.new_item(qid).unwrap();
+        let a = ssi.begin_assignment(qid, item).unwrap();
+        // Aggregation/filtering uploads before the collection window closes
+        // violate the lifecycle.
+        assert!(matches!(
+            ssi.receive_working(qid, a, Phase::Aggregation, vec![tuple(1)]),
+            Err(ProtocolError::InvalidTransition { .. })
+        ));
+        assert!(matches!(
+            ssi.receive_results(qid, a, vec![Bytes::from_static(b"r")]),
+            Err(ProtocolError::InvalidTransition { .. })
+        ));
+        // An assignment for an item the SSI never allocated is rejected.
+        assert!(matches!(
+            ssi.begin_assignment(qid, 99),
+            Err(ProtocolError::InvalidTransition { .. })
+        ));
+        // A delivery under an assignment the SSI never issued is rejected.
+        assert!(matches!(
+            ssi.receive_collection(qid, AssignmentId(u64::MAX), vec![tuple(1)]),
+            Err(ProtocolError::InvalidTransition { .. })
+        ));
+        // The well-formed delivery still goes through.
+        assert_eq!(
+            ssi.receive_collection(qid, a, vec![tuple(1)]).unwrap(),
+            DeliveryOutcome::Accepted
+        );
+    }
+
+    #[test]
     fn unknown_query_rejected() {
-        let ssi = Ssi::new();
-        assert!(ssi.envelope(42).is_err());
-        assert!(ssi.results(42).is_err());
+        let mut ssi = Ssi::new();
+        assert!(matches!(
+            ssi.envelope(42),
+            Err(ProtocolError::UnknownQuery { query_id: 42 })
+        ));
+        assert!(matches!(
+            ssi.results(42),
+            Err(ProtocolError::UnknownQuery { query_id: 42 })
+        ));
+        assert!(matches!(
+            ssi.new_item(42),
+            Err(ProtocolError::UnknownQuery { query_id: 42 })
+        ));
+        assert!(matches!(
+            ssi.receive_collection(42, AssignmentId(0), vec![tuple(1)]),
+            Err(ProtocolError::UnknownQuery { query_id: 42 })
+        ));
     }
 
     #[test]
     fn stored_bytes_accounting() {
         let mut ssi = Ssi::new();
         let qid = ssi.post_query(envelope());
-        ssi.receive_collection(qid, vec![tuple(1), tuple(2)])
-            .unwrap();
+        collect(&mut ssi, qid, vec![tuple(1), tuple(2)]);
         assert_eq!(ssi.stored_bytes(qid).unwrap(), 8);
     }
 
@@ -376,14 +621,22 @@ mod tests {
     fn purge_reclaims_state_but_keeps_observations() {
         let mut ssi = Ssi::new();
         let qid = ssi.post_query(envelope());
-        ssi.receive_collection(qid, vec![tuple(1)]).unwrap();
+        collect(&mut ssi, qid, vec![tuple(1)]);
         let observed = ssi.observations.len();
         assert_eq!(ssi.live_queries(), 1);
         ssi.purge_query(qid).unwrap();
         assert_eq!(ssi.live_queries(), 0);
         assert!(ssi.envelope(qid).is_err());
         assert_eq!(ssi.observations.len(), observed, "the SSI does not forget");
-        assert!(ssi.purge_query(qid).is_err());
+        // A purged query's id is typed-unknown from then on.
+        assert!(matches!(
+            ssi.purge_query(qid),
+            Err(ProtocolError::UnknownQuery { .. })
+        ));
+        assert!(matches!(
+            ssi.receive_collection(qid, AssignmentId(0), vec![tuple(2)]),
+            Err(ProtocolError::UnknownQuery { .. })
+        ));
     }
 
     #[test]

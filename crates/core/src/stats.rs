@@ -97,12 +97,58 @@ impl PhaseStats {
     }
 }
 
+/// Counters for the at-least-once delivery machinery: what the dedup layer
+/// and the integrity checks absorbed during a run. A correct run under faults
+/// shows non-zero counters here and an unchanged result.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Deliveries dropped because the same assignment already delivered.
+    pub duplicates_dropped: u64,
+    /// Deliveries rejected after authenticated decryption failed (payload
+    /// corrupted in transit); the work was re-sent from the pristine copy.
+    pub corrupt_rejected: u64,
+    /// Deliveries that arrived after the SSI's timeout had already handed
+    /// the work item to another TDS which completed it.
+    pub late_after_reassign: u64,
+    /// Uploads that vanished in transit (SSI timeout → resend).
+    pub lost_uploads: u64,
+    /// Work items abandoned under SIZE-bounded graceful degradation after
+    /// exhausting their retry budget (each one flags the result partial).
+    pub items_abandoned: u64,
+}
+
+impl FaultStats {
+    /// Merge another counter set into this one.
+    pub fn absorb(&mut self, other: &FaultStats) {
+        self.duplicates_dropped += other.duplicates_dropped;
+        self.corrupt_rejected += other.corrupt_rejected;
+        self.late_after_reassign += other.late_after_reassign;
+        self.lost_uploads += other.lost_uploads;
+        self.items_abandoned += other.items_abandoned;
+    }
+
+    /// Total faults absorbed.
+    pub fn total(&self) -> u64 {
+        self.duplicates_dropped
+            + self.corrupt_rejected
+            + self.late_after_reassign
+            + self.lost_uploads
+            + self.items_abandoned
+    }
+}
+
 /// Statistics for one full protocol run.
 #[derive(Debug, Clone, Default)]
 pub struct RunStats {
     per_phase: BTreeMap<Phase, PhaseStats>,
     /// Total protocol rounds consumed.
     pub rounds: u64,
+    /// Delivery faults absorbed by the dedup/integrity layer.
+    pub faults: FaultStats,
+    /// Did the query finalize over an incomplete tuple set? True when the
+    /// SIZE window closed before every targeted TDS contributed, or when a
+    /// SIZE-bounded query abandoned work items after their retry budget.
+    pub partial: bool,
 }
 
 impl RunStats {
@@ -241,6 +287,27 @@ mod tests {
         s.record_ssi_store(Phase::Collection, 100, 1600);
         assert_eq!(s.load_bytes(), 1600);
         assert_eq!(s.phase(Phase::Collection).ssi_tuples_stored, 100);
+    }
+
+    #[test]
+    fn fault_stats_absorb_and_total() {
+        let mut a = FaultStats {
+            duplicates_dropped: 1,
+            corrupt_rejected: 2,
+            late_after_reassign: 3,
+            lost_uploads: 4,
+            items_abandoned: 5,
+        };
+        let b = FaultStats {
+            duplicates_dropped: 10,
+            ..FaultStats::default()
+        };
+        a.absorb(&b);
+        assert_eq!(a.duplicates_dropped, 11);
+        assert_eq!(a.total(), 25);
+        let s = RunStats::new();
+        assert!(!s.partial);
+        assert_eq!(s.faults.total(), 0);
     }
 
     #[test]

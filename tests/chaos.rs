@@ -1,0 +1,181 @@
+//! Chaos sweep: randomized (but fully seeded) fault plans thrown at every
+//! protocol on both runtimes. The contract under chaos is binary — either
+//! the run completes and the result is *exactly* the oracle's, or it fails
+//! with a clean typed error ([`ProtocolError::QueryAborted`]). Silent
+//! corruption, hangs and panics are the bugs this sweep exists to catch.
+//!
+//! The sweep is a plain seeded loop (no property-testing framework: the
+//! build is hermetic). `TDSQL_CHAOS_SEED` offsets the seed space so CI can
+//! run disjoint slices of it.
+
+mod common;
+
+use common::assert_rows_eq;
+use tdsql_core::access::AccessPolicy;
+use tdsql_core::connectivity::{Connectivity, FaultPlan};
+use tdsql_core::protocol::{ProtocolKind, ProtocolParams};
+use tdsql_core::runtime::threaded::{run_threaded_faulty, FaultConfig};
+use tdsql_core::runtime::SimBuilder;
+use tdsql_core::workload::{smart_meters, SmartMeterConfig};
+use tdsql_core::ProtocolError;
+use tdsql_crypto::credential::Role;
+use tdsql_sql::engine::execute;
+use tdsql_sql::parser::parse_query;
+
+const SQL: &str = "SELECT c.district, COUNT(*), SUM(p.cons) FROM power p, consumer c \
+                   WHERE c.cid = p.cid GROUP BY c.district";
+const SFW_SQL: &str = "SELECT p.cid, p.cons FROM power p WHERE p.cons >= 0";
+
+fn protocols() -> Vec<(ProtocolKind, &'static str)> {
+    vec![
+        (ProtocolKind::Basic, SFW_SQL),
+        (ProtocolKind::SAgg, SQL),
+        (ProtocolKind::RnfNoise { nf: 2 }, SQL),
+        (ProtocolKind::CNoise, SQL),
+        (ProtocolKind::EdHist { buckets: 2 }, SQL),
+    ]
+}
+
+/// Seed offset from the environment so a CI matrix can cover disjoint
+/// slices of the seed space (`TDSQL_CHAOS_SEED=0,1,2,...`).
+fn chaos_base() -> u64 {
+    std::env::var("TDSQL_CHAOS_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0)
+}
+
+/// Deterministic rate in `[0, max)` derived from (seed, salt) — the sweep's
+/// own dice, independent of the fault plan's.
+fn rate(seed: u64, salt: u64, max: f64) -> f64 {
+    let mut x = seed
+        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        .wrapping_add(salt.wrapping_mul(0xbf58_476d_1ce4_e5b9));
+    x ^= x >> 33;
+    x = x.wrapping_mul(0xff51_afd7_ed55_8ccd);
+    x ^= x >> 29;
+    (x >> 11) as f64 / (1u64 << 53) as f64 * max
+}
+
+/// A fault plan with every knob drawn from the case seed. Rates are kept
+/// moderate so most runs complete; the ones that don't must abort cleanly.
+fn random_plan(case: u64) -> FaultPlan {
+    FaultPlan::seeded(case)
+        .with_loss(rate(case, 1, 0.35))
+        .with_duplication(rate(case, 2, 0.4))
+        .with_late(rate(case, 3, 0.3))
+        .with_reorder(rate(case, 4, 0.6))
+        .with_corruption(rate(case, 5, 0.25))
+}
+
+/// The only acceptable failure under chaos: a typed abort.
+fn assert_clean_error(err: &ProtocolError, label: &str) {
+    assert!(
+        matches!(err, ProtocolError::QueryAborted { .. }),
+        "{label}: chaos may abort but never fail dirty: {err}"
+    );
+}
+
+#[test]
+fn chaos_round_runtime_result_or_clean_error() {
+    let (dbs, oracle) = smart_meters(&SmartMeterConfig {
+        n_tds: 20,
+        districts: 3,
+        readings_per_tds: 2,
+        ..Default::default()
+    });
+    let base = chaos_base();
+    for i in 0..10u64 {
+        let case = base.wrapping_mul(1000) + i;
+        let (kind, sql) = protocols()[(i as usize) % protocols().len()];
+        let query = parse_query(sql).unwrap();
+        let expected = execute(&oracle, &query).unwrap().rows;
+        let mut world = SimBuilder::new()
+            .seed(0xc4a05 ^ case)
+            .retry_budget(24)
+            .connectivity(Connectivity::always_on().with_faults(random_plan(case)))
+            .build(dbs.clone(), AccessPolicy::allow_all(Role::new("supplier")));
+        let querier = world.make_querier("energy-co", "supplier");
+        let mut params = ProtocolParams::new(kind);
+        params.chunk = 4;
+        params.alpha = 2;
+        let label = format!("round chaos case {case} ({})", kind.name());
+        match world.run_query(&querier, &query, params) {
+            Ok(rows) => {
+                assert!(!world.stats.partial, "{label}: unbounded run is complete");
+                assert_rows_eq(rows, expected, &label);
+            }
+            Err(err) => assert_clean_error(&err, &label),
+        }
+    }
+}
+
+#[test]
+fn chaos_threaded_runtime_result_or_clean_error() {
+    let (dbs, oracle) = smart_meters(&SmartMeterConfig {
+        n_tds: 20,
+        districts: 3,
+        readings_per_tds: 1,
+        ..Default::default()
+    });
+    let base = chaos_base();
+    for i in 0..10u64 {
+        let case = base.wrapping_mul(1000) + 500 + i;
+        let (kind, sql) = protocols()[(i as usize) % protocols().len()];
+        let query = parse_query(sql).unwrap();
+        let expected = execute(&oracle, &query).unwrap().rows;
+        let mut world = SimBuilder::new()
+            .seed(0x7c4a05 ^ case)
+            .build(dbs.clone(), AccessPolicy::allow_all(Role::new("supplier")));
+        let querier = world.make_querier("energy-co", "supplier");
+        let params = world.prepare_params(&query, kind).unwrap();
+        let cfg = FaultConfig {
+            faults: random_plan(case),
+            retry_budget: 24,
+            degrade: false,
+        };
+        let n_workers = 1 + (case % 6) as usize;
+        let label = format!("threaded chaos case {case} ({})", kind.name());
+        match run_threaded_faulty(&world.tdss, &querier, &query, &params, n_workers, &cfg) {
+            Ok((rows, report)) => {
+                assert!(!report.partial, "{label}: unbounded run is complete");
+                assert_rows_eq(rows, expected, &label);
+            }
+            Err(err) => assert_clean_error(&err, &label),
+        }
+    }
+}
+
+#[test]
+fn chaos_size_bounded_runs_never_abort() {
+    // With a SIZE bound the degrade path replaces the abort path: every
+    // case must come back Ok — complete or partial, never QueryAborted.
+    let (dbs, _) = smart_meters(&SmartMeterConfig {
+        n_tds: 12,
+        districts: 2,
+        readings_per_tds: 1,
+        ..Default::default()
+    });
+    let sql = "SELECT c.district, COUNT(*) FROM power p, consumer c \
+               WHERE c.cid = p.cid GROUP BY c.district SIZE 8 ROUNDS";
+    let query = parse_query(sql).unwrap();
+    let base = chaos_base();
+    for i in 0..6u64 {
+        let case = base.wrapping_mul(1000) + 900 + i;
+        let faults = FaultPlan::seeded(case).with_loss(0.3 + rate(case, 7, 0.6));
+        let mut world = SimBuilder::new()
+            .seed(0x517e ^ case)
+            .retry_budget(4)
+            .connectivity(Connectivity::always_on().with_faults(faults))
+            .build(dbs.clone(), AccessPolicy::allow_all(Role::new("supplier")));
+        let querier = world.make_querier("energy-co", "supplier");
+        let rows = world
+            .run_query(&querier, &query, ProtocolParams::new(ProtocolKind::SAgg))
+            .unwrap_or_else(|e| panic!("SIZE-bounded chaos case {case} must not abort: {e}"));
+        for row in &rows {
+            if let tdsql_sql::value::Value::Int(n) = row[1] {
+                assert!((1..=12).contains(&n), "case {case}: count {n} out of range");
+            }
+        }
+    }
+}
