@@ -20,7 +20,9 @@ no-panic-path   no unwrap/expect/panic in protocol hot paths \
 ct-compare      MAC/digest/signature comparison must use ct_eq (crypto/src)
 no-debug-keys   no derived Debug on structs holding raw key bytes (crypto/src)
 no-nondet-rng   no RNG inside deterministic crypto primitives (det, \
-bucket_hash, kdf, sha256, hmac, aes, ctr)";
+bucket_hash, kdf, sha256, hmac, aes, ctr)
+no-raw-print    no println/eprintln/print/eprint/dbg in core/src or \
+bench/src — telemetry goes through tdsql-obs (bench bins allowlisted)";
 
 fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
     let Ok(entries) = std::fs::read_dir(dir) else {

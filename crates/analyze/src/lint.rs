@@ -19,7 +19,13 @@
 //! * `no-nondet-rng` — no RNG use inside the deterministic crypto
 //!   primitives (`det.rs`, `bucket_hash.rs`, `kdf.rs`, `sha256.rs`,
 //!   `hmac.rs`, `aes.rs`, `ctr.rs`): determinism there is a correctness
-//!   *and* a security contract (equal plaintexts must produce equal tags).
+//!   *and* a security contract (equal plaintexts must produce equal tags);
+//! * `no-raw-print` — no `println!`/`eprintln!`/`print!`/`eprint!`/`dbg!`
+//!   inside `core/src/` or `bench/src/`: a raw console sink bypasses the
+//!   redaction layer, so any formatted value — Public or Sensitive — can
+//!   leak. Telemetry must route through `tdsql-obs`, whose field types make
+//!   Sensitive plaintext unrepresentable. The bench *binaries* print their
+//!   reports to stdout by design and are suppressed via `srclint.allow`.
 //!
 //! Findings can be suppressed through a checked-in allowlist (`srclint.allow`
 //! at the workspace root): one finding per line, `rule path-fragment
@@ -115,6 +121,14 @@ fn is_deterministic_crypto(path: &str) -> bool {
             .iter()
             .any(|f| path.ends_with(&format!("crypto/src/{f}")))
 }
+
+/// Paths where raw console output is forbidden: everything a protocol value
+/// flows through. `tdsql-obs` is the only sanctioned sink there.
+fn is_print_scope(path: &str) -> bool {
+    path.contains("core/src/") || path.contains("bench/src/")
+}
+
+const PRINT_TOKENS: &[&str] = &["println!", "eprintln!", "print!", "eprint!", "dbg!"];
 
 const PANIC_TOKENS: &[&str] = &[
     ".unwrap()",
@@ -256,6 +270,15 @@ pub fn lint_file(rel_path: &str, source: &str) -> Vec<Finding> {
                 push("no-nondet-rng", idx, raw);
             }
         }
+
+        if is_print_scope(rel_path) {
+            for token in PRINT_TOKENS {
+                if trimmed.contains(token) {
+                    push("no-raw-print", idx, raw);
+                    break;
+                }
+            }
+        }
     }
     findings
 }
@@ -324,6 +347,29 @@ mod tests {
         assert_eq!(f[0].rule, "no-nondet-rng");
         // ndet is *supposed* to draw randomness.
         assert!(lint_file("crates/crypto/src/ndet.rs", src).is_empty());
+    }
+
+    #[test]
+    fn raw_prints_flagged_in_core_and_bench() {
+        let src = "fn f() {\n    println!(\"tuple: {blob:?}\");\n}\n";
+        let f = lint_file("crates/core/src/ssi.rs", src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "no-raw-print");
+        let f = lint_file("crates/bench/src/des.rs", src);
+        assert_eq!(f.len(), 1);
+        // Out of scope: the analyzer's own CLI output and the obs console
+        // sink (which only ever sees already-redacted fields).
+        assert!(lint_file("crates/analyze/src/bin/srclint.rs", src).is_empty());
+        assert!(lint_file("crates/obs/src/trace.rs", src).is_empty());
+    }
+
+    #[test]
+    fn debug_macro_flagged_but_comments_spared() {
+        let src = "fn f() {\n    dbg!(&working);\n}\n";
+        let f = lint_file("crates/core/src/runtime/threaded.rs", src);
+        assert!(f.iter().any(|x| x.rule == "no-raw-print"));
+        let doc = "/// Use println! for nothing here.\nfn f() {}\n";
+        assert!(lint_file("crates/core/src/plan.rs", doc).is_empty());
     }
 
     #[test]

@@ -1,0 +1,267 @@
+//! Wall-clock benchmark report for the five protocols on the threaded
+//! runtime.
+//!
+//! ```sh
+//! cargo run --release -p tdsql-bench --bin bench_report            # write BENCH_4.json
+//! cargo run --release -p tdsql-bench --bin bench_report -- --check BENCH_4.json
+//! ```
+//!
+//! Sweeps the TDS population for every protocol and writes `BENCH_4.json`
+//! at the repo root with one row per (protocol, n_tds):
+//!
+//! ```json
+//! {"schema":"tdsql-bench-report/v1","seed":4,"workers":8,"rows":[
+//!   {"protocol":"s_agg","n_tds":80,"wall_ms":12.3,"load_bytes":51234,
+//!    "tuples":160,"faults_absorbed":7}, ...]}
+//! ```
+//!
+//! Every run injects a light, seeded fault plan so `faults_absorbed`
+//! demonstrates the at-least-once machinery under load; the result rows are
+//! still checked against the cleartext oracle before a row is emitted.
+//! `--check <file>` validates an existing report against the schema (used
+//! by CI after regenerating the artifact).
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use tdsql_core::access::AccessPolicy;
+use tdsql_core::connectivity::FaultPlan;
+use tdsql_core::protocol::ProtocolKind;
+use tdsql_core::runtime::threaded::{
+    prepare_params_threaded_faulty, run_threaded_faulty, FaultConfig,
+};
+use tdsql_core::runtime::SimBuilder;
+use tdsql_core::tds::SYSTEM_ROLE;
+use tdsql_core::workload::{smart_meters, SmartMeterConfig};
+use tdsql_crypto::credential::Role;
+use tdsql_sql::engine::execute;
+use tdsql_sql::parser::parse_query;
+use tdsql_sql::value::Value;
+
+/// Schema identifier; bump on any change to the row layout.
+const SCHEMA: &str = "tdsql-bench-report/v1";
+/// Keys every row must carry, in emission order.
+const ROW_KEYS: [&str; 6] = [
+    "protocol",
+    "n_tds",
+    "wall_ms",
+    "load_bytes",
+    "tuples",
+    "faults_absorbed",
+];
+const SEED: u64 = 4;
+const WORKERS: usize = 8;
+const N_SWEEP: [usize; 3] = [40, 80, 120];
+
+struct Row {
+    protocol: &'static str,
+    n_tds: usize,
+    wall_ms: f64,
+    load_bytes: u64,
+    tuples: u64,
+    faults_absorbed: u64,
+}
+
+fn protocols() -> Vec<(&'static str, ProtocolKind)> {
+    vec![
+        ("basic", ProtocolKind::Basic),
+        ("s_agg", ProtocolKind::SAgg),
+        ("rnf_noise", ProtocolKind::RnfNoise { nf: 3 }),
+        ("c_noise", ProtocolKind::CNoise),
+        ("ed_hist", ProtocolKind::EdHist { buckets: 4 }),
+    ]
+}
+
+fn fault_config() -> FaultConfig {
+    FaultConfig {
+        faults: FaultPlan::seeded(SEED)
+            .with_loss(0.05)
+            .with_duplication(0.05)
+            .with_late(0.03)
+            .with_corruption(0.03),
+        retry_budget: 64,
+        degrade: false,
+    }
+}
+
+fn bench_one(name: &'static str, kind: ProtocolKind, n_tds: usize) -> Row {
+    let (dbs, oracle) = smart_meters(&SmartMeterConfig {
+        n_tds,
+        districts: 4,
+        readings_per_tds: 1,
+        ..Default::default()
+    });
+    let world = SimBuilder::new()
+        .seed(SEED)
+        .build(dbs, AccessPolicy::allow_all(Role::new("supplier")));
+    let querier = world.make_querier("energy-co", "supplier");
+    let system = world.make_querier("system", SYSTEM_ROLE);
+    let sql = match kind {
+        // Basic has no aggregation phase: it benches the select-and-filter
+        // dataflow the paper uses it for.
+        ProtocolKind::Basic => "SELECT c.cid FROM consumer c WHERE c.accomodation = 'flat'",
+        _ => {
+            "SELECT c.district, COUNT(*), AVG(p.cons) FROM power p, consumer c \
+             WHERE c.cid = p.cid GROUP BY c.district"
+        }
+    };
+    let query = parse_query(sql).expect("bench query parses");
+    let expected = execute(&oracle, &query).expect("oracle").rows;
+    let cfg = fault_config();
+
+    // Discovery (where the protocol needs it) runs under the same fault
+    // plan; its absorbed faults count toward the row.
+    let (params, dreport) =
+        prepare_params_threaded_faulty(&world.tdss, &system, &query, kind, WORKERS, &cfg)
+            .expect("discovery");
+
+    let start = Instant::now();
+    let (mut rows, report) =
+        run_threaded_faulty(&world.tdss, &querier, &query, &params, WORKERS, &cfg)
+            .expect("protocol run");
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+
+    // The report is only worth publishing if the faulty run still computed
+    // the right answer. Floats compare with tolerance: the parallel reduce
+    // merges partial aggregates in worker order, which perturbs the last
+    // ulp of AVG relative to the sequential oracle.
+    let mut want = expected.clone();
+    rows.sort_by(|a, b| format!("{a:?}").cmp(&format!("{b:?}")));
+    want.sort_by(|a, b| format!("{a:?}").cmp(&format!("{b:?}")));
+    assert_eq!(rows.len(), want.len(), "{name}/{n_tds}: row count");
+    for (got, exp) in rows.iter().zip(want.iter()) {
+        assert_eq!(got.len(), exp.len(), "{name}/{n_tds}: arity");
+        for (g, e) in got.iter().zip(exp.iter()) {
+            match (g, e) {
+                (Value::Float(x), Value::Float(y)) => {
+                    let scale = y.abs().max(1.0);
+                    assert!((x - y).abs() / scale < 1e-9, "{name}/{n_tds}: {x} vs {y}");
+                }
+                _ => assert_eq!(g, e, "{name}/{n_tds}: faulty run diverged from oracle"),
+            }
+        }
+    }
+
+    if std::env::var("TDSQL_METRICS").is_ok_and(|v| !v.is_empty()) {
+        eprintln!("--- {name}/{n_tds} metrics ---");
+        eprintln!("{}", report.metrics.render());
+    }
+
+    let load_bytes = report
+        .metrics
+        .counters()
+        .filter(|(k, _)| k.ends_with(".bytes"))
+        .map(|(_, v)| v)
+        .sum();
+    let tuples = report.metrics.counter("threaded.collection.tuples");
+    Row {
+        protocol: name,
+        n_tds,
+        wall_ms,
+        load_bytes,
+        tuples,
+        faults_absorbed: report.faults.total() + dreport.faults.total(),
+    }
+}
+
+fn render_report(rows: &[Row]) -> String {
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "{{\"schema\":\"{SCHEMA}\",\"seed\":{SEED},\"workers\":{WORKERS},\"rows\":["
+    );
+    for (i, r) in rows.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "\n  {{\"protocol\":\"{}\",\"n_tds\":{},\"wall_ms\":{:.3},\"load_bytes\":{},\"tuples\":{},\"faults_absorbed\":{}}}",
+            r.protocol, r.n_tds, r.wall_ms, r.load_bytes, r.tuples, r.faults_absorbed
+        );
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
+/// Structural schema validation without a JSON parser: the header must
+/// match, every row object must carry every key, and the row count must be
+/// exactly protocols × sweep points.
+fn check(content: &str) -> std::result::Result<(), String> {
+    let header = format!("{{\"schema\":\"{SCHEMA}\"");
+    if !content.starts_with(&header) {
+        return Err(format!("missing or wrong schema header (want {SCHEMA})"));
+    }
+    if !content.contains("\"rows\":[") {
+        return Err("missing rows array".into());
+    }
+    let row_count = content.matches("{\"protocol\":").count();
+    let want = protocols().len() * N_SWEEP.len();
+    if row_count != want {
+        return Err(format!("expected {want} rows, found {row_count}"));
+    }
+    for key in ROW_KEYS {
+        let occurrences = content.matches(&format!("\"{key}\":")).count();
+        if occurrences != row_count {
+            return Err(format!(
+                "key {key} appears {occurrences} times, expected {row_count}"
+            ));
+        }
+    }
+    for name in protocols().iter().map(|(n, _)| *n) {
+        if !content.contains(&format!("\"protocol\":\"{name}\"")) {
+            return Err(format!("protocol {name} missing from report"));
+        }
+    }
+    Ok(())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("--check") {
+        let path = args.get(1).map(String::as_str).unwrap_or("BENCH_4.json");
+        let content =
+            std::fs::read_to_string(path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
+        match check(&content) {
+            Ok(()) => {
+                println!("{path}: schema ok");
+                return;
+            }
+            Err(why) => {
+                eprintln!("{path}: schema violation: {why}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    let mut rows = Vec::new();
+    println!(
+        "{:<10} {:>6} {:>10} {:>11} {:>7} {:>16}",
+        "protocol", "n_tds", "wall_ms", "load_bytes", "tuples", "faults_absorbed"
+    );
+    for n_tds in N_SWEEP {
+        for (name, kind) in protocols() {
+            let row = bench_one(name, kind, n_tds);
+            println!(
+                "{:<10} {:>6} {:>10.3} {:>11} {:>7} {:>16}",
+                row.protocol,
+                row.n_tds,
+                row.wall_ms,
+                row.load_bytes,
+                row.tuples,
+                row.faults_absorbed
+            );
+            rows.push(row);
+        }
+    }
+
+    let report = render_report(&rows);
+    check(&report).expect("freshly rendered report must satisfy its own schema");
+    // The repo root, resolved from the crate's manifest directory so the
+    // artifact lands in the same place regardless of the invocation cwd.
+    let dest = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_4.json");
+    std::fs::write(&dest, &report).expect("write BENCH_4.json");
+    println!("\nwrote {}", dest.display());
+}

@@ -22,6 +22,7 @@ use tdsql_core::protocol::ProtocolParams;
 use tdsql_core::querier::Querier;
 use tdsql_core::tds::{QueryContext, ResultDest, RetagMode, Tds};
 use tdsql_costmodel::DeviceProfile;
+use tdsql_obs::MetricsSet;
 use tdsql_sql::ast::Query;
 
 /// Outcome of a virtual-time protocol execution.
@@ -36,6 +37,10 @@ pub struct DesReport {
     /// Busy time summed over workers / (makespan × workers): 1.0 = perfectly
     /// parallel, → 0 = serial tail.
     pub utilization: f64,
+    /// Virtual-time metrics: per-task durations (`des.task_us`), per-stage
+    /// partition counts and the final makespan, all in **simulated**
+    /// microseconds — the DES backend never reads a wall clock.
+    pub metrics: MetricsSet,
 }
 
 /// Time for one worker to process a partition of `bytes_in` and upload
@@ -117,6 +122,7 @@ pub fn simulate_tq(
     }
 
     let mut free_at: BinaryHeap<Reverse<u64>> = (0..workers).map(|_| Reverse(0u64)).collect();
+    let mut metrics = MetricsSet::new();
     let mut clock = 0.0f64;
     let mut busy_total = 0.0f64;
     let mut stages = 0usize;
@@ -159,6 +165,11 @@ pub fn simulate_tq(
         }
         *partitions_total += working.len();
         *stages += 1;
+        for &d in &durations {
+            metrics.observe("des.task_us", (d * 1e6).round() as u64);
+        }
+        metrics.inc("des.stages", 1);
+        metrics.observe("des.stage_partitions", working.len() as u64);
         let (end, b) = schedule_stage(&mut free_at, *clock, &durations);
         *clock = end;
         *busy += b;
@@ -247,11 +258,13 @@ pub fn simulate_tq(
     } else {
         0.0
     };
+    metrics.observe("des.makespan_us", (clock * 1e6).round() as u64);
     Ok(DesReport {
         tq_seconds: clock,
         stages,
         partitions: partitions_total,
         utilization,
+        metrics,
     })
 }
 

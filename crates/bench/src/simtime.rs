@@ -100,11 +100,14 @@ mod tests {
 
     #[test]
     fn noise_pays_more_than_s_agg() {
-        // Fake tuples inflate the critical path of the first aggregation
-        // step — the functional analogue of Fig. 10e's noise penalty.
+        // Fake tuples inflate the first aggregation wave — the functional
+        // analogue of Fig. 10e's noise penalty. nf is chosen so the noisy
+        // partition count exceeds the 150-TDS population: the penalty then
+        // costs extra sequential steps rather than riding on partition
+        // shuffle luck.
         let device = DeviceProfile::default();
         let s_agg = simulate(&run(ProtocolKind::SAgg, 150), &device);
-        let noisy = simulate(&run(ProtocolKind::RnfNoise { nf: 20 }, 150), &device);
+        let noisy = simulate(&run(ProtocolKind::RnfNoise { nf: 60 }, 150), &device);
         assert!(
             noisy.tq() > s_agg.tq(),
             "noise {} vs s_agg {}",

@@ -18,7 +18,6 @@
 //! identically even when the threaded runtime interleaves workers in a
 //! different order.
 
-use tdsql_crypto::rng::seq::SliceRandom;
 use tdsql_crypto::rng::Rng;
 
 use crate::bytes::Bytes;
@@ -138,6 +137,7 @@ impl FaultPlan {
             Phase::Collection => 0u64,
             Phase::Aggregation => 1,
             Phase::Filtering => 2,
+            Phase::Discovery => 3,
         };
         let mut h = splitmix64(self.seed ^ salt.wrapping_mul(0xa076_1d64_78bd_642f));
         h = splitmix64(h ^ phase_ix);
@@ -184,6 +184,7 @@ impl FaultPlan {
             Phase::Collection => 0u64,
             Phase::Aggregation => 1,
             Phase::Filtering => 2,
+            Phase::Discovery => 3,
         };
         let h = splitmix64(
             splitmix64(self.seed ^ SALT_CORRUPT)
@@ -192,9 +193,9 @@ impl FaultPlan {
                 ^ (attempt as u64).rotate_left(43),
         );
         let pos = (h as usize) % blob.len();
-        let mask = (1u8 << (h >> 32 & 7)) as u8;
+        let mask = 1u8 << (h >> 32 & 7);
         let mut v = blob.to_vec();
-        v[pos] ^= mask.max(1);
+        v[pos] ^= mask;
         Bytes::from(v)
     }
 }
@@ -247,16 +248,24 @@ impl Connectivity {
     /// Sample the TDS indices connected this round. At least one TDS is
     /// always returned for a non-empty population (otherwise no protocol
     /// could ever terminate under a tiny fraction).
+    ///
+    /// Uses Floyd's sampling: O(count) RNG draws and memory instead of
+    /// allocating and shuffling a `Vec` of the whole population every round.
+    /// The `BTreeSet` keeps the result sorted, matching the previous
+    /// contract of ascending, distinct indices.
     pub fn sample_connected<R: Rng>(&self, population: usize, rng: &mut R) -> Vec<usize> {
         if population == 0 {
             return Vec::new();
         }
         let count = ((population as f64 * self.fraction).round() as usize).clamp(1, population);
-        let mut indices: Vec<usize> = (0..population).collect();
-        indices.shuffle(rng);
-        indices.truncate(count);
-        indices.sort_unstable();
-        indices
+        let mut chosen = std::collections::BTreeSet::new();
+        for j in (population - count)..population {
+            let t = rng.gen_range(0..j + 1);
+            if !chosen.insert(t) {
+                chosen.insert(j);
+            }
+        }
+        chosen.into_iter().collect()
     }
 
     /// Does a TDS drop out while holding a partition?
@@ -311,6 +320,39 @@ mod tests {
         let half = Connectivity::always_on().with_dropout(0.5);
         let hits = (0..10_000).filter(|_| half.drops(&mut rng)).count();
         assert!((4_000..6_000).contains(&hits), "{hits}");
+    }
+
+    #[test]
+    fn sample_is_deterministic_per_seed() {
+        let c = Connectivity::fraction(0.13);
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for population in [1, 7, 100, 999] {
+            assert_eq!(
+                c.sample_connected(population, &mut a),
+                c.sample_connected(population, &mut b),
+                "same seed must yield the same sample (population {population})"
+            );
+        }
+        let mut other = StdRng::seed_from_u64(43);
+        assert_ne!(
+            c.sample_connected(999, &mut StdRng::seed_from_u64(42)),
+            c.sample_connected(999, &mut other),
+            "different seeds should (generically) differ"
+        );
+    }
+
+    #[test]
+    fn sample_is_sorted_distinct_in_range() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let c = Connectivity::fraction(0.5);
+        for population in [1, 2, 3, 10, 64, 257] {
+            let s = c.sample_connected(population, &mut rng);
+            assert!(s.windows(2).all(|w| w[0] < w[1]), "sorted and distinct");
+            assert!(s.iter().all(|&i| i < population));
+            let expected = ((population as f64 * 0.5).round() as usize).clamp(1, population);
+            assert_eq!(s.len(), expected);
+        }
     }
 
     #[test]
@@ -400,5 +442,42 @@ mod tests {
         // Empty blobs pass through untouched instead of panicking.
         let empty = Bytes::copy_from_slice(&[]);
         assert_eq!(plan.corrupt_blob(&empty, Phase::Collection, 0, 0), empty);
+    }
+
+    #[test]
+    fn corrupt_blob_never_identity_across_coordinates() {
+        // Sweep many message coordinates: corruption must always flip exactly
+        // one bit — never zero (an identical blob would slip past the
+        // authenticated-decryption check and defeat the injection).
+        let plan = FaultPlan::seeded(17).with_corruption(1.0);
+        let blob = Bytes::copy_from_slice(&[0xa5u8; 37]);
+        for phase in Phase::ALL {
+            for item in 0..64u64 {
+                for attempt in 0..4u32 {
+                    let c = plan.corrupt_blob(&blob, phase, item, attempt);
+                    assert_ne!(c, blob, "corruption must never be a no-op");
+                    let flipped: u32 = blob
+                        .iter()
+                        .zip(c.iter())
+                        .map(|(x, y)| (x ^ y).count_ones())
+                        .sum();
+                    assert_eq!(
+                        flipped, 1,
+                        "exactly one bit flips ({phase} {item} {attempt})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn discovery_phase_has_independent_fault_coordinates() {
+        // The discovery sub-protocol rolls its own dice: its schedule must
+        // not simply mirror the collection phase's.
+        let plan = FaultPlan::seeded(23).with_loss(0.5);
+        let differ = (0..200u64).any(|i| {
+            plan.lose_upload(Phase::Discovery, i, 0) != plan.lose_upload(Phase::Collection, i, 0)
+        });
+        assert!(differ, "discovery must have its own fault coordinates");
     }
 }

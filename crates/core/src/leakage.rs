@@ -49,7 +49,7 @@ impl TagForm {
 /// stored tuples at all (e.g. `Basic` has no aggregation phase).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ExposureDeclaration {
-    allowed: [&'static [TagForm]; 3],
+    allowed: [&'static [TagForm]; 4],
 }
 
 const NONE_ONLY: &[TagForm] = &[TagForm::None];
@@ -61,19 +61,27 @@ impl ExposureDeclaration {
     /// The declared profile of a protocol. This is the normative statement of
     /// the paper's per-protocol leakage:
     ///
-    /// | protocol  | collection | aggregation | filtering |
-    /// |-----------|------------|-------------|-----------|
-    /// | Basic     | none       | —           | none      |
-    /// | S_Agg     | none       | none        | none      |
-    /// | Rnf_Noise | det        | det         | none      |
-    /// | C_Noise   | det        | det         | none      |
-    /// | ED_Hist   | bucket     | det         | none      |
+    /// | protocol  | discovery | collection | aggregation | filtering |
+    /// |-----------|-----------|------------|-------------|-----------|
+    /// | Basic     | —         | none       | —           | none      |
+    /// | S_Agg     | none      | none       | none        | none      |
+    /// | Rnf_Noise | —         | det        | det         | none      |
+    /// | C_Noise   | —         | det        | det         | none      |
+    /// | ED_Hist   | —         | bucket     | det         | none      |
+    ///
+    /// The discovery column covers the distribution-discovery sub-protocol,
+    /// which always runs as an `S_Agg` query of its own: only `S_Agg`
+    /// envelopes may carry discovery-phase tuples, and they expose nothing
+    /// beyond untagged nDet ciphertexts there — exactly as in every other
+    /// phase.
     pub fn for_protocol(kind: ProtocolKind) -> Self {
         let allowed = match kind {
-            ProtocolKind::Basic => [NONE_ONLY, NOTHING, NONE_ONLY],
-            ProtocolKind::SAgg => [NONE_ONLY, NONE_ONLY, NONE_ONLY],
-            ProtocolKind::RnfNoise { .. } | ProtocolKind::CNoise => [DET_ONLY, DET_ONLY, NONE_ONLY],
-            ProtocolKind::EdHist { .. } => [BUCKET_ONLY, DET_ONLY, NONE_ONLY],
+            ProtocolKind::Basic => [NONE_ONLY, NOTHING, NONE_ONLY, NOTHING],
+            ProtocolKind::SAgg => [NONE_ONLY, NONE_ONLY, NONE_ONLY, NONE_ONLY],
+            ProtocolKind::RnfNoise { .. } | ProtocolKind::CNoise => {
+                [DET_ONLY, DET_ONLY, NONE_ONLY, NOTHING]
+            }
+            ProtocolKind::EdHist { .. } => [BUCKET_ONLY, DET_ONLY, NONE_ONLY, NOTHING],
         };
         Self { allowed }
     }
@@ -83,6 +91,7 @@ impl ExposureDeclaration {
             Phase::Collection => 0,
             Phase::Aggregation => 1,
             Phase::Filtering => 2,
+            Phase::Discovery => 3,
         }
     }
 

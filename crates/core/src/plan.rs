@@ -315,12 +315,22 @@ impl PhasePlan {
     /// (tuples, partial aggregates, result rows), so *settlement* must be
     /// exactly-once — the SSI's assignment-id ledger enforces it.
     pub fn idempotence_requirements(&self) -> Vec<IdempotenceRequirement> {
-        let mut out = vec![IdempotenceRequirement {
+        let mut out = Vec::new();
+        if self.discovery.is_some() {
+            out.push(IdempotenceRequirement {
+                phase: Phase::Discovery,
+                replayable_compute: true,
+                dedup_required: true,
+                why: "the discovery sub-query is an S_Agg run; duplicated \
+                      deliveries skew the discovered distribution",
+            });
+        }
+        out.push(IdempotenceRequirement {
             phase: Phase::Collection,
             replayable_compute: true,
             dedup_required: true,
             why: "a TDS contribution merged twice double-counts its tuples",
-        }];
+        });
         if self.reduce.is_some() {
             out.push(IdempotenceRequirement {
                 phase: Phase::Aggregation,
@@ -530,16 +540,16 @@ mod tests {
             let plan = PhasePlan::compile(&query, &ProtocolParams::new(kind));
             let reqs = plan.idempotence_requirements();
             let phases: Vec<Phase> = reqs.iter().map(|r| r.phase).collect();
-            if plan.reduce.is_some() {
-                assert_eq!(
-                    phases,
-                    vec![Phase::Collection, Phase::Aggregation, Phase::Filtering],
-                    "{}",
-                    kind.name()
-                );
-            } else {
-                assert_eq!(phases, vec![Phase::Collection, Phase::Filtering]);
+            let mut expected = Vec::new();
+            if plan.discovery.is_some() {
+                expected.push(Phase::Discovery);
             }
+            expected.push(Phase::Collection);
+            if plan.reduce.is_some() {
+                expected.push(Phase::Aggregation);
+            }
+            expected.push(Phase::Filtering);
+            assert_eq!(phases, expected, "{}", kind.name());
             for r in reqs {
                 assert!(
                     r.replayable_compute,

@@ -11,6 +11,9 @@
 //! reproducible.
 
 use std::collections::VecDeque;
+use std::sync::Arc;
+
+use tdsql_obs::{Field, Obs};
 
 use crate::bytes::Bytes;
 use tdsql_crypto::rng::seq::SliceRandom;
@@ -126,15 +129,23 @@ impl SimBuilder {
             &ring.k1,
             signer.issue("system", Role::new(SYSTEM_ROLE), u64::MAX),
         );
+        // The redaction key is derived from the master seed: digests are
+        // stable within one world (traces stay join-able) and unlinkable
+        // across worlds provisioned with different master secrets.
+        let obs = Arc::new(Obs::new(&self.master_seed));
+        let mut ssi = Ssi::new();
+        ssi.attach_obs(Arc::clone(&obs));
         SimWorld {
             tdss,
-            ssi: Ssi::new(),
+            ssi,
+            obs,
             connectivity: self.connectivity,
             rng: StdRng::seed_from_u64(self.seed),
             stats: RunStats::new(),
             round: 0,
             default_max_rounds: self.default_max_rounds,
             retry_budget: self.retry_budget,
+            in_discovery: false,
             ring,
             signer,
             system_querier,
@@ -205,6 +216,10 @@ pub struct SimWorld {
     pub tdss: Vec<Tds>,
     /// The untrusted supporting server.
     pub ssi: Ssi,
+    /// The run's trace collector (shared with the SSI). Events carry only
+    /// the virtual round clock, never wall time, so a fixed-seed run's trace
+    /// replays byte-identically.
+    pub obs: Arc<Obs>,
     /// Connectivity and fault model.
     pub connectivity: Connectivity,
     /// The run's RNG.
@@ -218,6 +233,12 @@ pub struct SimWorld {
     /// Delivery attempts per work item before abandon (SIZE-bounded) or
     /// abort (unbounded).
     pub retry_budget: u32,
+    /// True while the distribution-discovery sub-protocol is running: every
+    /// phase the runtime executes on its behalf is attributed to
+    /// [`Phase::Discovery`] — in [`RunStats`], in fault-plan coordinates and
+    /// in abort errors — so chaos schedules reach discovery traffic and the
+    /// cost model sees its load.
+    pub(crate) in_discovery: bool,
     ring: KeyRing,
     signer: CredentialSigner,
     system_querier: Querier,
@@ -349,10 +370,32 @@ impl SimWorld {
         let envelope = querier.make_envelope_targeted(query, params.kind, target, &mut self.rng);
         let qid = self.ssi.post_query(envelope);
         let env = self.ssi.envelope(qid)?.clone();
+        // The query text (grouping attributes, literals) is sensitive: it
+        // enters the trace only as a keyed digest.
+        self.obs.event(
+            "query.run",
+            Some(self.round),
+            vec![
+                Field::u64("query", qid),
+                Field::str("protocol", params.kind.name()),
+                Field::bool("discovery", self.in_discovery),
+                Field::sensitive("sql", self.obs.redactor(), format!("{query:?}").as_bytes()),
+            ],
+        );
 
         self.run_collection(qid, &env, params)?;
         self.execute_plan(qid, &env, params, &plan)?;
         Ok(self.ssi.results(qid)?.to_vec())
+    }
+
+    /// The phase a runtime step is attributed to: itself normally, or
+    /// [`Phase::Discovery`] while the discovery sub-protocol drives the run.
+    pub(crate) fn effective_phase(&self, phase: Phase) -> Phase {
+        if self.in_discovery {
+            Phase::Discovery
+        } else {
+            phase
+        }
     }
 
     /// Partition a working set as the plan prescribes. Random partitioning
@@ -382,6 +425,8 @@ impl SimWorld {
         params: &ProtocolParams,
         plan: &PhasePlan,
     ) -> Result<()> {
+        let agg = self.effective_phase(Phase::Aggregation);
+        let fil = self.effective_phase(Phase::Filtering);
         if let Some(reduce) = plan.reduce {
             // First wave: reduce raw collection tuples.
             let working = self.ssi.take_working(qid)?;
@@ -391,7 +436,7 @@ impl SimWorld {
             let partitions = self.partition_working(working, reduce.first);
             self.process_partitions(
                 qid,
-                Phase::Aggregation,
+                agg,
                 env,
                 params,
                 partitions,
@@ -411,13 +456,13 @@ impl SimWorld {
                     let working = self.ssi.take_working(qid)?;
                     if working.len() <= 1 {
                         // Put the final batch back for the filtering phase.
-                        self.ssi.restore_working(qid, Phase::Aggregation, working)?;
+                        self.ssi.restore_working(qid, agg, working)?;
                         break;
                     }
                     let partitions = self.partition_working(working, reduce.again);
                     self.process_partitions(
                         qid,
-                        Phase::Aggregation,
+                        agg,
                         env,
                         params,
                         partitions,
@@ -438,7 +483,7 @@ impl SimWorld {
                         *per_tag.entry(t.tag.clone()).or_default() += 1;
                     }
                     if per_tag.values().all(|&n| n <= 1) {
-                        self.ssi.restore_working(qid, Phase::Aggregation, working)?;
+                        self.ssi.restore_working(qid, agg, working)?;
                         break;
                     }
                     // Multi-batch tags get reduced; singletons pass through.
@@ -451,12 +496,11 @@ impl SimWorld {
                             to_reduce.push(t);
                         }
                     }
-                    self.ssi
-                        .restore_working(qid, Phase::Aggregation, pass_through)?;
+                    self.ssi.restore_working(qid, agg, pass_through)?;
                     let partitions = self.partition_working(to_reduce, reduce.again);
                     self.process_partitions(
                         qid,
-                        Phase::Aggregation,
+                        agg,
                         env,
                         params,
                         partitions,
@@ -491,7 +535,7 @@ impl SimWorld {
         match plan.finalize.op {
             FinalizeOp::FilterRows => self.process_partitions(
                 qid,
-                Phase::Filtering,
+                fil,
                 env,
                 params,
                 partitions,
@@ -501,7 +545,7 @@ impl SimWorld {
             ),
             FinalizeOp::FinalizeGroups => self.process_partitions(
                 qid,
-                Phase::Filtering,
+                fil,
                 env,
                 params,
                 partitions,
@@ -654,6 +698,7 @@ impl SimWorld {
         env: &QueryEnvelope,
         params: &ProtocolParams,
     ) -> Result<()> {
+        let phase = self.effective_phase(Phase::Collection);
         let faults = self.connectivity.faults;
         let budget = self.retry_budget;
         let size_bounded = env.size.max_tuples.is_some() || env.size.max_rounds.is_some();
@@ -678,7 +723,7 @@ impl SimWorld {
         {
             rounds += 1;
             self.round += 1;
-            self.stats.record_step(Phase::Collection);
+            self.stats.record_step(phase);
             self.flush_collection_stash(qid, &mut stash, &mut contributed, false)?;
             let mut round_max_bytes = 0u64;
             let connected = self
@@ -701,7 +746,7 @@ impl SimWorld {
                         continue;
                     }
                     return Err(ProtocolError::QueryAborted {
-                        phase: Phase::Collection,
+                        phase,
                         retries: attempts[i],
                     });
                 }
@@ -718,14 +763,13 @@ impl SimWorld {
                 let tds = &self.tdss[i];
                 // Download leg: a corrupted envelope fails authenticated
                 // decryption at the TDS; the SSI re-sends next connection.
-                let ctx = if faults.corrupt_download(Phase::Collection, item, attempt) {
+                let ctx = if faults.corrupt_download(phase, item, attempt) {
                     let mut bad = env.clone();
-                    bad.enc_query =
-                        faults.corrupt_blob(&env.enc_query, Phase::Collection, item, attempt);
+                    bad.enc_query = faults.corrupt_blob(&env.enc_query, phase, item, attempt);
                     match tds.open_query(&bad, params.clone(), self.round) {
                         Err(ProtocolError::Crypto(_)) | Err(ProtocolError::Codec(_)) => {
                             self.stats.faults.corrupt_rejected += 1;
-                            self.stats.record_reassignment(Phase::Collection);
+                            self.stats.record_reassignment(phase);
                             continue;
                         }
                         other => other?,
@@ -738,7 +782,7 @@ impl SimWorld {
                 let n = tuples.len() as u64;
                 let id = tds.id;
                 self.stats.record(
-                    Phase::Collection,
+                    phase,
                     id,
                     TdsWork {
                         bytes_down: env.enc_query.len() as u64,
@@ -749,12 +793,12 @@ impl SimWorld {
                 );
                 round_max_bytes = round_max_bytes.max(env.enc_query.len() as u64 + bytes_up);
                 // Upload leg.
-                if faults.lose_upload(Phase::Collection, item, attempt) {
+                if faults.lose_upload(phase, item, attempt) {
                     self.stats.faults.lost_uploads += 1;
                     continue;
                 }
                 let assignment = self.ssi.begin_assignment(qid, item)?;
-                if faults.deliver_late(Phase::Collection, item, attempt) {
+                if faults.deliver_late(phase, item, attempt) {
                     stash.push(LateCollection {
                         tds_index: i,
                         assignment,
@@ -764,14 +808,14 @@ impl SimWorld {
                     });
                     continue;
                 }
-                let duplicate = if faults.duplicate_upload(Phase::Collection, item, attempt) {
+                let duplicate = if faults.duplicate_upload(phase, item, attempt) {
                     Some(tuples.clone())
                 } else {
                     None
                 };
                 match self.ssi.receive_collection(qid, assignment, tuples)? {
                     DeliveryOutcome::Accepted => {
-                        self.stats.record_ssi_store(Phase::Collection, n, bytes_up);
+                        self.stats.record_ssi_store(phase, n, bytes_up);
                         contributed[i] = true;
                     }
                     DeliveryOutcome::Duplicate => self.stats.faults.duplicates_dropped += 1,
@@ -788,8 +832,7 @@ impl SimWorld {
                     }
                 }
             }
-            self.stats
-                .record_step_critical(Phase::Collection, round_max_bytes);
+            self.stats.record_step_critical(phase, round_max_bytes);
         }
         // Everything still in flight lands before the window closes.
         self.flush_collection_stash(qid, &mut stash, &mut contributed, true)?;
@@ -798,6 +841,17 @@ impl SimWorld {
             // The round bound expired before every targeted TDS answered.
             self.stats.partial = true;
         }
+        self.obs.event(
+            "phase.done",
+            Some(self.round),
+            vec![
+                Field::u64("query", qid),
+                Field::str("phase", phase.to_string()),
+                Field::u64("rounds", rounds),
+                Field::u64("faults_absorbed", self.stats.faults.total()),
+                Field::bool("partial", self.stats.partial),
+            ],
+        );
         self.ssi.close_collection(qid)
     }
 
@@ -810,6 +864,7 @@ impl SimWorld {
         contributed: &mut [bool],
         force: bool,
     ) -> Result<()> {
+        let phase = self.effective_phase(Phase::Collection);
         let mut rest = Vec::new();
         for entry in stash.drain(..) {
             if !force && entry.deliver_at > self.round {
@@ -822,8 +877,7 @@ impl SimWorld {
                 .receive_collection(qid, entry.assignment, entry.tuples)?
             {
                 DeliveryOutcome::Accepted => {
-                    self.stats
-                        .record_ssi_store(Phase::Collection, n, entry.bytes_up);
+                    self.stats.record_ssi_store(phase, n, entry.bytes_up);
                     contributed[entry.tds_index] = true;
                 }
                 DeliveryOutcome::Duplicate => self.stats.faults.duplicates_dropped += 1,
@@ -862,6 +916,7 @@ impl SimWorld {
         let faults = self.connectivity.faults;
         let budget = self.retry_budget;
         let size_bounded = env.size.max_tuples.is_some() || env.size.max_rounds.is_some();
+        let n_partitions = partitions.len() as u64;
         let mut queue: VecDeque<WorkItem> = VecDeque::with_capacity(partitions.len());
         for partition in partitions {
             let item = self.ssi.new_item(qid)?;
@@ -1037,6 +1092,16 @@ impl SimWorld {
         // abandoned items still gain their contribution (at-least-once holds
         // even past the retry budget).
         self.flush_late_uploads(qid, phase, &mut stash, true)?;
+        self.obs.event(
+            "phase.done",
+            Some(self.round),
+            vec![
+                Field::u64("query", qid),
+                Field::str("phase", phase.to_string()),
+                Field::u64("partitions", n_partitions),
+                Field::u64("faults_absorbed", self.stats.faults.total()),
+            ],
+        );
         Ok(())
     }
 

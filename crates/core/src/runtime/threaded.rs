@@ -11,6 +11,7 @@ use std::collections::{BTreeSet, VecDeque};
 use std::sync::Mutex;
 
 use tdsql_crypto::rng::{SeedableRng, StdRng};
+use tdsql_obs::MetricsSet;
 
 use crate::bytes::Bytes;
 
@@ -96,13 +97,17 @@ impl Default for FaultConfig {
 }
 
 /// What a faulty threaded run observed besides its outputs.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct ThreadedRunReport {
     /// Fault/dedup counters, absorbed across all phases.
     pub faults: FaultStats,
     /// True when at least one work item was abandoned after its retry
     /// budget ran out (only possible with [`FaultConfig::degrade`]).
     pub partial: bool,
+    /// Per-phase wall-clock histograms (`threaded.<phase>.wall_us`) and
+    /// work counters. Wall time lives here — in metrics — and never in trace
+    /// events, which must stay deterministic.
+    pub metrics: MetricsSet,
 }
 
 impl ThreadedRunReport {
@@ -532,6 +537,39 @@ pub fn run_plan_threaded_with(
     n_workers: usize,
     cfg: &FaultConfig,
 ) -> Result<(Vec<Bytes>, ThreadedRunReport)> {
+    run_plan_threaded_impl(tdss, querier, query, params, plan, n_workers, cfg, false)
+}
+
+/// The shared interpreter behind [`run_plan_threaded_with`]. With
+/// `as_discovery` every phase is attributed to [`Phase::Discovery`] — in
+/// fault coordinates, abort errors and the report — so a chaos schedule
+/// reaches the discovery sub-protocol's traffic with its own dice.
+#[allow(clippy::too_many_arguments)]
+fn run_plan_threaded_impl(
+    tdss: &[Tds],
+    querier: &Querier,
+    query: &Query,
+    params: &ProtocolParams,
+    plan: &PhasePlan,
+    n_workers: usize,
+    cfg: &FaultConfig,
+    as_discovery: bool,
+) -> Result<(Vec<Bytes>, ThreadedRunReport)> {
+    let col_phase = if as_discovery {
+        Phase::Discovery
+    } else {
+        Phase::Collection
+    };
+    let agg_phase = if as_discovery {
+        Phase::Discovery
+    } else {
+        Phase::Aggregation
+    };
+    let fin_phase = if as_discovery {
+        Phase::Discovery
+    } else {
+        Phase::Filtering
+    };
     if tdss.is_empty() {
         return Err(ProtocolError::Protocol("empty TDS population".into()));
     }
@@ -548,6 +586,7 @@ pub fn run_plan_threaded_with(
     // pinned to the worker holding it rather than going through the shared
     // queue: each worker loops locally until the delivery settles or the
     // retry budget runs out.
+    let phase_clock = std::time::Instant::now();
     let collected: Mutex<Vec<StoredTuple>> = Mutex::new(Vec::new());
     let col_ledger: Mutex<DeliveryLedger> = Mutex::new(DeliveryLedger::default());
     let first_err: Mutex<Option<ProtocolError>> = Mutex::new(None);
@@ -578,7 +617,7 @@ pub fn run_plan_threaded_with(
                             }
                             drop(led);
                             lock(first_err).get_or_insert(ProtocolError::QueryAborted {
-                                phase: Phase::Collection,
+                                phase: col_phase,
                                 retries: attempt,
                             });
                             return;
@@ -586,15 +625,13 @@ pub fn run_plan_threaded_with(
                         attempt += 1;
                         // Download leg: the query envelope itself may arrive
                         // corrupted — `open_query` then fails to authenticate.
-                        let corrupted =
-                            cfg.faults
-                                .corrupt_download(Phase::Collection, item, attempt);
+                        let corrupted = cfg.faults.corrupt_download(col_phase, item, attempt);
                         let step = (|| -> Result<Vec<StoredTuple>> {
                             let ctx = if corrupted {
                                 let mut bad = envelope.clone();
                                 bad.enc_query = cfg.faults.corrupt_blob(
                                     &envelope.enc_query,
-                                    Phase::Collection,
+                                    col_phase,
                                     item,
                                     attempt,
                                 );
@@ -622,19 +659,17 @@ pub fn run_plan_threaded_with(
                             Ok(tuples) => tuples,
                         };
                         // Upload leg.
-                        if cfg.faults.lose_upload(Phase::Collection, item, attempt) {
+                        if cfg.faults.lose_upload(col_phase, item, attempt) {
                             lock(col_ledger).stats.lost_uploads += 1;
                             continue;
                         }
-                        if cfg.faults.deliver_late(Phase::Collection, item, attempt) {
+                        if cfg.faults.deliver_late(col_phase, item, attempt) {
                             let mut led = lock(col_ledger);
                             led.stash
                                 .push((item, attempt, WorkerOutput::Working(tuples)));
                             continue;
                         }
-                        let duplicated =
-                            cfg.faults
-                                .duplicate_upload(Phase::Collection, item, attempt);
+                        let duplicated = cfg.faults.duplicate_upload(col_phase, item, attempt);
                         let mut led = lock(col_ledger);
                         match led.settle(item, attempt) {
                             DeliveryOutcome::Accepted => {
@@ -675,12 +710,25 @@ pub fn run_plan_threaded_with(
         led.flush_stash(&mut working, &mut no_results);
         report.absorb(led);
     }
+    report.metrics.observe(
+        &format!("threaded.{col_phase}.wall_us"),
+        phase_clock.elapsed().as_micros() as u64,
+    );
+    report.metrics.inc(
+        &format!("threaded.{col_phase}.tuples"),
+        working.len() as u64,
+    );
+    report.metrics.inc(
+        &format!("threaded.{col_phase}.bytes"),
+        working.iter().map(|t| t.blob.len() as u64).sum(),
+    );
 
     let open = |tds: &Tds| -> Result<crate::tds::QueryContext> {
         tds.open_query(&envelope, params.clone(), 0)
     };
 
     // --- Reduction: interpret the plan's reduce spec, if any. -------------
+    let phase_clock = std::time::Instant::now();
     if let Some(reduce) = &plan.reduce {
         let retag = reduce.retag;
         let first_seed = match reduce.until {
@@ -692,7 +740,7 @@ pub fn run_plan_threaded_with(
             tdss,
             n_workers,
             first_seed,
-            Phase::Aggregation,
+            agg_phase,
             cfg,
             &mut next_item,
             &mut report,
@@ -715,7 +763,7 @@ pub fn run_plan_threaded_with(
                         tdss,
                         n_workers,
                         0xfeed,
-                        Phase::Aggregation,
+                        agg_phase,
                         cfg,
                         &mut next_item,
                         &mut report,
@@ -747,7 +795,7 @@ pub fn run_plan_threaded_with(
                     tdss,
                     n_workers,
                     0x5e9,
-                    Phase::Aggregation,
+                    agg_phase,
                     cfg,
                     &mut next_item,
                     &mut report,
@@ -763,9 +811,14 @@ pub fn run_plan_threaded_with(
                 working = reduced;
             },
         }
+        report.metrics.observe(
+            &format!("threaded.{agg_phase}.wall_us"),
+            phase_clock.elapsed().as_micros() as u64,
+        );
     }
 
     // --- Finalization: produce sealed results for the plan's dest. --------
+    let phase_clock = std::time::Instant::now();
     if working.is_empty() {
         return Ok((Vec::new(), report));
     }
@@ -786,7 +839,7 @@ pub fn run_plan_threaded_with(
         tdss,
         n_workers,
         seed,
-        Phase::Filtering,
+        fin_phase,
         cfg,
         &mut next_item,
         &mut report,
@@ -800,6 +853,18 @@ pub fn run_plan_threaded_with(
             Ok(WorkerOutput::Results(blobs))
         },
     )?;
+    report.metrics.observe(
+        &format!("threaded.{fin_phase}.wall_us"),
+        phase_clock.elapsed().as_micros() as u64,
+    );
+    report.metrics.inc(
+        &format!("threaded.{fin_phase}.results"),
+        results.len() as u64,
+    );
+    report.metrics.inc(
+        &format!("threaded.{fin_phase}.bytes"),
+        results.iter().map(|b| b.len() as u64).sum(),
+    );
     Ok((results, report))
 }
 
@@ -875,24 +940,57 @@ pub fn prepare_params_threaded(
     kind: ProtocolKind,
     n_workers: usize,
 ) -> Result<ProtocolParams> {
+    let (params, _) = prepare_params_threaded_faulty(
+        tdss,
+        system_querier,
+        query,
+        kind,
+        n_workers,
+        &FaultConfig::default(),
+    )?;
+    Ok(params)
+}
+
+/// [`prepare_params_threaded`] under a fault plan: the discovery
+/// sub-protocol's messages roll [`Phase::Discovery`] fault dice (loss,
+/// duplication, late delivery, corruption per `cfg`) and go through the same
+/// at-least-once/dedup machinery as every other phase. Returns the filled
+/// params together with the report of what the discovery run absorbed.
+pub fn prepare_params_threaded_faulty(
+    tdss: &[Tds],
+    system_querier: &Querier,
+    query: &Query,
+    kind: ProtocolKind,
+    n_workers: usize,
+    cfg: &FaultConfig,
+) -> Result<(ProtocolParams, ThreadedRunReport)> {
     let mut params = ProtocolParams::new(kind);
     let Some(need) = PhasePlan::compile(query, &params).discovery else {
-        return Ok(params);
+        return Ok((params, ThreadedRunReport::default()));
     };
     if discovery::satisfied(need, &params) {
-        return Ok(params);
+        return Ok((params, ThreadedRunReport::default()));
     }
     let dquery = discovery::discovery_query(query);
     let dparams = ProtocolParams::new(ProtocolKind::SAgg);
     let dplan = PhasePlan::compile(&dquery, &dparams).with_dest(ResultDest::Tds);
-    let blobs = run_plan_threaded(tdss, system_querier, &dquery, &dparams, &dplan, n_workers)?;
+    let (blobs, report) = run_plan_threaded_impl(
+        tdss,
+        system_querier,
+        &dquery,
+        &dparams,
+        &dplan,
+        n_workers,
+        cfg,
+        true,
+    )?;
     let opener = tdss
         .first()
         .ok_or_else(|| ProtocolError::Protocol("empty TDS population".into()))?;
     let rows = opener.open_k2_rows(&blobs)?;
     let distribution = discovery::distribution_from_rows(rows, dquery.group_by.len())?;
     discovery::apply_distribution(need, distribution, &mut params);
-    Ok(params)
+    Ok((params, report))
 }
 
 /// Backwards-compatible alias for the S_Agg-only entry point.

@@ -9,12 +9,18 @@
 //! blobs) and tags — there is no code path by which it could decrypt.
 
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+
+use tdsql_obs::{Field, Obs};
 
 use crate::bytes::Bytes;
 
 use crate::error::{ProtocolError, Result};
 use crate::leakage::{ExposureDeclaration, TagForm};
-use crate::message::{AssignmentId, DeliveryOutcome, Observation, QueryEnvelope, StoredTuple};
+use crate::message::{
+    AssignmentId, DeliveryOutcome, GroupTag, Observation, QueryEnvelope, StoredTuple,
+};
+use crate::protocol::ProtocolKind;
 use crate::stats::Phase;
 
 /// Debug-mode leak tripwire: every tag form the SSI observes must appear in
@@ -87,6 +93,11 @@ pub struct Ssi {
     /// discovered distribution histogram that ED_Hist refreshes "from time
     /// to time". Opaque to the SSI like everything else.
     cache: BTreeMap<String, Bytes>,
+    /// Trace collector, if the runtime attached one. Everything the SSI
+    /// emits through it is bounded by the posting protocol's
+    /// [`ExposureDeclaration`]: tag *forms* are public only when declared,
+    /// tag payloads appear only as keyed digests.
+    obs: Option<Arc<Obs>>,
 }
 
 impl Ssi {
@@ -98,6 +109,81 @@ impl Ssi {
     /// Start archiving every ciphertext (threat-model analysis).
     pub fn enable_retention(&mut self) {
         self.retain_blobs = true;
+    }
+
+    /// Attach a trace collector; from here on, accepted deliveries emit
+    /// `ssi.observe` events through it.
+    pub fn attach_obs(&mut self, obs: Arc<Obs>) {
+        self.obs = Some(obs);
+    }
+
+    /// Emit one `ssi.observe` event summarizing an accepted delivery batch.
+    ///
+    /// The exposure cross-check happens here: an observed tag form is named
+    /// in the trace only when the posting protocol's [`ExposureDeclaration`]
+    /// already allows the SSI to see that form in this phase — anything else
+    /// is reported as `undeclared` (the debug tripwire has already fired by
+    /// then). Tag payloads never appear in clear: they are folded into a
+    /// single keyed digest, so the trace reveals at most what the SSI's own
+    /// observation log already holds.
+    fn trace_observe(
+        &self,
+        query_id: u64,
+        phase: Phase,
+        protocol: ProtocolKind,
+        tuples: &[StoredTuple],
+    ) {
+        let Some(obs) = &self.obs else { return };
+        let decl = ExposureDeclaration::for_protocol(protocol);
+        let mut forms: Vec<&'static str> = Vec::new();
+        let mut undeclared = false;
+        let mut bytes = 0u64;
+        let mut tagged = false;
+        let mut tag_material: Vec<u8> = Vec::new();
+        for t in tuples {
+            bytes += t.blob.len() as u64;
+            let form = TagForm::of(&t.tag);
+            if decl.allows(phase, form) {
+                let name = match form {
+                    TagForm::None => "none",
+                    TagForm::Det => "det",
+                    TagForm::Bucket => "bucket",
+                };
+                if !forms.contains(&name) {
+                    forms.push(name);
+                }
+            } else {
+                undeclared = true;
+            }
+            match &t.tag {
+                GroupTag::None => tag_material.push(0),
+                GroupTag::Det(v) => {
+                    tagged = true;
+                    tag_material.push(1);
+                    tag_material.extend_from_slice(v);
+                }
+                GroupTag::Bucket(b) => {
+                    tagged = true;
+                    tag_material.push(2);
+                    tag_material.extend_from_slice(b);
+                }
+            }
+        }
+        forms.sort_unstable();
+        if undeclared {
+            forms.push("undeclared");
+        }
+        let mut fields = vec![
+            Field::u64("query", query_id),
+            Field::str("phase", phase.to_string()),
+            Field::u64("tuples", tuples.len() as u64),
+            Field::u64("bytes", bytes),
+            Field::str("forms", forms.join(",")),
+        ];
+        if tagged {
+            fields.push(Field::sensitive("tags", obs.redactor(), &tag_material));
+        }
+        obs.event("ssi.observe", None, fields);
     }
 
     /// The archived traffic: (query id, phase, stored tuple).
@@ -117,6 +203,20 @@ impl Ssi {
         let id = self.next_query_id;
         self.next_query_id += 1;
         envelope.query_id = id;
+        if let Some(obs) = &self.obs {
+            // The query text reaches the SSI only as a k1 ciphertext, but the
+            // trace still digests it: a sink must not learn which (encrypted)
+            // query blob maps to which trace lines across deployments.
+            obs.event(
+                "ssi.query_posted",
+                None,
+                vec![
+                    Field::u64("query", id),
+                    Field::str("protocol", envelope.protocol.name()),
+                    Field::sensitive("enc_query", obs.redactor(), &envelope.enc_query),
+                ],
+            );
+        }
         self.queries.insert(
             id,
             QueryState {
@@ -235,16 +335,22 @@ impl Ssi {
             .map(|t| Observation::of(query_id, Phase::Collection, t))
             .collect();
         self.retain(query_id, Phase::Collection, &tuples);
-        let st = self.state_mut(query_id)?;
-        debug_check_declared(&st.envelope, Phase::Collection, &tuples);
-        if st.collection_closed {
-            // Late arrivals after SIZE closed the window are dropped; the
-            // paper's stream semantics end the window at SIZE.
-            return Ok(DeliveryOutcome::WindowClosed);
+        let protocol;
+        let outcome;
+        {
+            let st = self.state_mut(query_id)?;
+            debug_check_declared(&st.envelope, Phase::Collection, &tuples);
+            if st.collection_closed {
+                // Late arrivals after SIZE closed the window are dropped; the
+                // paper's stream semantics end the window at SIZE.
+                return Ok(DeliveryOutcome::WindowClosed);
+            }
+            protocol = st.envelope.protocol;
+            outcome = Self::settle(st, query_id, assignment)?;
         }
-        let outcome = Self::settle(st, query_id, assignment)?;
         if outcome == DeliveryOutcome::Accepted {
-            st.collection.extend(tuples);
+            self.trace_observe(query_id, Phase::Collection, protocol, &tuples);
+            self.state_mut(query_id)?.collection.extend(tuples);
             self.observations.extend(obs);
         }
         Ok(outcome)
@@ -301,17 +407,23 @@ impl Ssi {
             .map(|t| Observation::of(query_id, phase, t))
             .collect();
         self.retain(query_id, phase, &tuples);
-        let st = self.state_mut(query_id)?;
-        if !st.collection_closed {
-            return Err(ProtocolError::InvalidTransition {
-                query_id,
-                what: "aggregation delivery while the collection window is open",
-            });
+        let protocol;
+        let outcome;
+        {
+            let st = self.state_mut(query_id)?;
+            if !st.collection_closed {
+                return Err(ProtocolError::InvalidTransition {
+                    query_id,
+                    what: "aggregation delivery while the collection window is open",
+                });
+            }
+            debug_check_declared(&st.envelope, phase, &tuples);
+            protocol = st.envelope.protocol;
+            outcome = Self::settle(st, query_id, assignment)?;
         }
-        debug_check_declared(&st.envelope, phase, &tuples);
-        let outcome = Self::settle(st, query_id, assignment)?;
         if outcome == DeliveryOutcome::Accepted {
-            st.working.extend(tuples);
+            self.trace_observe(query_id, phase, protocol, &tuples);
+            self.state_mut(query_id)?.working.extend(tuples);
             self.observations.extend(obs);
         }
         Ok(outcome)
@@ -332,9 +444,14 @@ impl Ssi {
             .map(|t| Observation::of(query_id, phase, t))
             .collect();
         self.retain(query_id, phase, &tuples);
-        let st = self.state_mut(query_id)?;
-        debug_check_declared(&st.envelope, phase, &tuples);
-        st.working.extend(tuples);
+        let protocol;
+        {
+            let st = self.state_mut(query_id)?;
+            debug_check_declared(&st.envelope, phase, &tuples);
+            protocol = st.envelope.protocol;
+        }
+        self.trace_observe(query_id, phase, protocol, &tuples);
+        self.state_mut(query_id)?.working.extend(tuples);
         self.observations.extend(obs);
         Ok(())
     }
@@ -367,24 +484,40 @@ impl Ssi {
                 )
             })
             .collect();
-        let st = self.state_mut(query_id)?;
-        if !st.collection_closed {
-            return Err(ProtocolError::InvalidTransition {
-                query_id,
-                what: "filtering delivery while the collection window is open",
-            });
+        let outcome;
+        {
+            let st = self.state_mut(query_id)?;
+            if !st.collection_closed {
+                return Err(ProtocolError::InvalidTransition {
+                    query_id,
+                    what: "filtering delivery while the collection window is open",
+                });
+            }
+            if cfg!(debug_assertions) {
+                let decl = ExposureDeclaration::for_protocol(st.envelope.protocol);
+                debug_assert!(
+                    decl.allows(Phase::Filtering, TagForm::None),
+                    "protocol {} declares no filtering-phase output",
+                    st.envelope.protocol.name(),
+                );
+            }
+            outcome = Self::settle(st, query_id, assignment)?;
         }
-        if cfg!(debug_assertions) {
-            let decl = ExposureDeclaration::for_protocol(st.envelope.protocol);
-            debug_assert!(
-                decl.allows(Phase::Filtering, TagForm::None),
-                "protocol {} declares no filtering-phase output",
-                st.envelope.protocol.name(),
-            );
-        }
-        let outcome = Self::settle(st, query_id, assignment)?;
         if outcome == DeliveryOutcome::Accepted {
-            st.results.extend(rows);
+            if let Some(o) = &self.obs {
+                o.event(
+                    "ssi.observe",
+                    None,
+                    vec![
+                        Field::u64("query", query_id),
+                        Field::str("phase", Phase::Filtering.to_string()),
+                        Field::u64("tuples", rows.len() as u64),
+                        Field::u64("bytes", rows.iter().map(|b| b.len() as u64).sum()),
+                        Field::str("forms", "none"),
+                    ],
+                );
+            }
+            self.state_mut(query_id)?.results.extend(rows);
             self.observations.extend(obs);
         }
         Ok(outcome)

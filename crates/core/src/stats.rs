@@ -8,9 +8,16 @@
 
 use std::collections::BTreeMap;
 
+use tdsql_obs::MetricsSet;
+
 /// Phases of the generic protocol.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub enum Phase {
+    /// Distribution-discovery sub-protocol (the S_Agg pre-query that C_Noise
+    /// and ED_Hist run to learn the grouping-attribute distribution). Runs
+    /// before the main query's collection phase and carries its own fault
+    /// coordinates and work attribution.
+    Discovery,
     /// Collection phase (steps 1–4).
     Collection,
     /// Aggregation phase (steps 5–8, possibly iterated).
@@ -21,12 +28,18 @@ pub enum Phase {
 
 impl Phase {
     /// All phases in protocol order.
-    pub const ALL: [Phase; 3] = [Phase::Collection, Phase::Aggregation, Phase::Filtering];
+    pub const ALL: [Phase; 4] = [
+        Phase::Discovery,
+        Phase::Collection,
+        Phase::Aggregation,
+        Phase::Filtering,
+    ];
 }
 
 impl std::fmt::Display for Phase {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
+            Phase::Discovery => f.write_str("discovery"),
             Phase::Collection => f.write_str("collection"),
             Phase::Aggregation => f.write_str("aggregation"),
             Phase::Filtering => f.write_str("filtering"),
@@ -149,6 +162,10 @@ pub struct RunStats {
     /// SIZE window closed before every targeted TDS contributed, or when a
     /// SIZE-bounded query abandoned work items after their retry budget.
     pub partial: bool,
+    /// Named counters and latency/volume histograms recorded during the run.
+    /// The round runtime records virtual time (rounds, byte volumes); nothing
+    /// here ever holds a wall-clock reading, so stats stay replayable.
+    pub metrics: MetricsSet,
 }
 
 impl RunStats {
@@ -159,6 +176,8 @@ impl RunStats {
 
     /// Record TDS work in a phase.
     pub fn record(&mut self, phase: Phase, tds_id: u64, work: TdsWork) {
+        self.metrics
+            .observe(&format!("{phase}.tds_bytes"), work.bytes());
         self.per_phase
             .entry(phase)
             .or_default()
@@ -173,11 +192,14 @@ impl RunStats {
         let p = self.per_phase.entry(phase).or_default();
         p.ssi_tuples_stored += tuples;
         p.ssi_bytes_stored += bytes;
+        self.metrics
+            .observe(&format!("{phase}.ssi_store_bytes"), bytes);
     }
 
     /// Count one sequential step of a phase.
     pub fn record_step(&mut self, phase: Phase) {
         self.per_phase.entry(phase).or_default().steps += 1;
+        self.metrics.inc(&format!("{phase}.steps"), 1);
     }
 
     /// Record the busiest single-TDS byte volume of the current step.
@@ -187,6 +209,8 @@ impl RunStats {
             .or_default()
             .critical_path_bytes
             .push(max_tds_bytes);
+        self.metrics
+            .observe(&format!("{phase}.critical_path_bytes"), max_tds_bytes);
     }
 
     /// Count one partition reassignment after a dropout.

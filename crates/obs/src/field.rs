@@ -1,0 +1,148 @@
+//! Typed trace fields: public values pass through, sensitive values exist
+//! only as keyed digests.
+
+use tdsql_crypto::hmac::HmacSha256;
+
+/// Domain-separation label for the redaction key derivation.
+const REDACTION_LABEL: &[u8] = b"tdsql-obs-redaction-v1";
+
+/// Turns sensitive plaintext into a short keyed digest.
+///
+/// The key is derived from caller-provided material (typically the world's
+/// master seed), so digests are stable within one deployment — the same
+/// grouping value always redacts to the same token, which keeps traces
+/// join-able for debugging — and unlinkable across deployments with
+/// different keys.
+#[derive(Clone)]
+pub struct Redactor {
+    key: [u8; 32],
+}
+
+impl Redactor {
+    /// Derive a redaction key from `material` (any length).
+    pub fn new(material: &[u8]) -> Self {
+        Self {
+            key: HmacSha256::mac(REDACTION_LABEL, material),
+        }
+    }
+
+    /// The keyed digest of `plaintext`, rendered as 32 lowercase hex chars
+    /// (the first 16 bytes of HMAC-SHA256).
+    pub fn digest(&self, plaintext: &[u8]) -> String {
+        let mac = HmacSha256::mac(&self.key, plaintext);
+        let mut out = String::with_capacity(32);
+        for b in &mac[..16] {
+            out.push_str(&format!("{b:02x}"));
+        }
+        out
+    }
+}
+
+impl std::fmt::Debug for Redactor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Never print the key.
+        f.write_str("Redactor { .. }")
+    }
+}
+
+/// A trace field value. There is deliberately no variant holding sensitive
+/// plaintext: [`FieldValue::Digest`] is produced only by [`Redactor`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FieldValue {
+    /// A public string (phase names, protocol names, outcome labels).
+    Str(String),
+    /// A public unsigned count or size.
+    U64(u64),
+    /// A public signed value.
+    I64(i64),
+    /// A public flag.
+    Bool(bool),
+    /// The keyed digest of a sensitive value (hex, no plaintext).
+    Digest(String),
+}
+
+/// One key/value pair attached to a trace event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Field {
+    /// Field name (static so field sets stay allocation-light and stable).
+    pub key: &'static str,
+    /// The value, already redacted if sensitive.
+    pub value: FieldValue,
+}
+
+impl Field {
+    /// A public string field.
+    pub fn str(key: &'static str, value: impl Into<String>) -> Self {
+        Self {
+            key,
+            value: FieldValue::Str(value.into()),
+        }
+    }
+
+    /// A public unsigned field.
+    pub fn u64(key: &'static str, value: u64) -> Self {
+        Self {
+            key,
+            value: FieldValue::U64(value),
+        }
+    }
+
+    /// A public signed field.
+    pub fn i64(key: &'static str, value: i64) -> Self {
+        Self {
+            key,
+            value: FieldValue::I64(value),
+        }
+    }
+
+    /// A public boolean field.
+    pub fn bool(key: &'static str, value: bool) -> Self {
+        Self {
+            key,
+            value: FieldValue::Bool(value),
+        }
+    }
+
+    /// A sensitive field: the plaintext is digested **here**, before the
+    /// value ever reaches a collector or sink.
+    pub fn sensitive(key: &'static str, redactor: &Redactor, plaintext: &[u8]) -> Self {
+        Self {
+            key,
+            value: FieldValue::Digest(redactor.digest(plaintext)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn digest_is_stable_per_key_and_differs_across_keys() {
+        let a = Redactor::new(b"key-a");
+        let b = Redactor::new(b"key-b");
+        assert_eq!(a.digest(b"secret"), a.digest(b"secret"));
+        assert_ne!(a.digest(b"secret"), b.digest(b"secret"));
+        assert_ne!(a.digest(b"secret"), a.digest(b"other"));
+        assert_eq!(a.digest(b"secret").len(), 32);
+    }
+
+    #[test]
+    fn sensitive_field_holds_no_plaintext() {
+        let r = Redactor::new(b"key");
+        let f = Field::sensitive("tag", &r, b"attr=diabetes");
+        match &f.value {
+            FieldValue::Digest(d) => {
+                assert!(!d.contains("diabetes"));
+                assert!(d.chars().all(|c| c.is_ascii_hexdigit()));
+            }
+            other => panic!("expected digest, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn redactor_debug_hides_key() {
+        let r = Redactor::new(b"top-secret-material");
+        assert_eq!(format!("{r:?}"), "Redactor { .. }");
+    }
+}

@@ -1,0 +1,297 @@
+//! Ring-buffer trace collector with a deterministic JSONL exporter.
+//!
+//! Events never carry wall-clock time: only a monotonic sequence number and
+//! an optional caller-supplied virtual time. Under a fixed seed a run's trace
+//! therefore replays byte-for-byte, which the redaction property tests rely
+//! on. Wall-clock measurements belong in [`crate::MetricsSet`] histograms,
+//! not in events.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+use crate::field::{Field, FieldValue, Redactor};
+
+/// Default ring capacity: old events are dropped (and counted) beyond this.
+const DEFAULT_CAPACITY: usize = 4096;
+
+/// One trace event: a name plus typed fields.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Event {
+    /// Monotonic per-collector sequence number (0-based).
+    pub seq: u64,
+    /// Virtual time supplied by the emitter (e.g. the round counter), if any.
+    pub vtime: Option<u64>,
+    /// Event name, dotted-path style (`"round.collection.wave"`).
+    pub name: &'static str,
+    /// Typed fields; sensitive values are already digests (see [`Field`]).
+    pub fields: Vec<Field>,
+}
+
+struct State {
+    ring: VecDeque<Event>,
+    next_seq: u64,
+    dropped: u64,
+}
+
+/// A bounded, thread-safe trace collector.
+///
+/// Construct one per run via [`Obs::new`] with key material (typically the
+/// master seed) — the derived [`Redactor`] makes sensitive digests stable
+/// within the run and unlinkable across keys. When the `TDSQL_LOG`
+/// environment variable is set (any non-empty value), each event is also
+/// pretty-printed to stderr as it arrives.
+pub struct Obs {
+    state: Mutex<State>,
+    redactor: Redactor,
+    capacity: usize,
+    console: bool,
+}
+
+impl std::fmt::Debug for Obs {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        f.debug_struct("Obs")
+            .field("events", &st.ring.len())
+            .field("dropped", &st.dropped)
+            .field("capacity", &self.capacity)
+            .finish()
+    }
+}
+
+impl Obs {
+    /// New collector keyed by `material`, console sink gated by `TDSQL_LOG`.
+    pub fn new(key_material: &[u8]) -> Self {
+        let console = std::env::var("TDSQL_LOG").is_ok_and(|v| !v.is_empty());
+        Self::with_options(key_material, DEFAULT_CAPACITY, console)
+    }
+
+    /// New collector with an explicit ring capacity and console toggle
+    /// (used by tests to avoid depending on the environment).
+    pub fn with_options(key_material: &[u8], capacity: usize, console: bool) -> Self {
+        Self {
+            state: Mutex::new(State {
+                ring: VecDeque::with_capacity(capacity.min(DEFAULT_CAPACITY)),
+                next_seq: 0,
+                dropped: 0,
+            }),
+            redactor: Redactor::new(key_material),
+            capacity: capacity.max(1),
+            console,
+        }
+    }
+
+    /// The collector's redactor, for building sensitive fields.
+    pub fn redactor(&self) -> &Redactor {
+        &self.redactor
+    }
+
+    /// Record an event. `vtime` is the emitter's virtual clock, if it has
+    /// one (round number, simulated time); wall-clock values must not be
+    /// passed here — they would break trace determinism.
+    pub fn event(&self, name: &'static str, vtime: Option<u64>, fields: Vec<Field>) {
+        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        let ev = Event {
+            seq: st.next_seq,
+            vtime,
+            name,
+            fields,
+        };
+        st.next_seq += 1;
+        if self.console {
+            eprintln!("{}", render_console(&ev));
+        }
+        if st.ring.len() == self.capacity {
+            st.ring.pop_front();
+            st.dropped += 1;
+        }
+        st.ring.push_back(ev);
+    }
+
+    /// Snapshot of all buffered events, oldest first.
+    pub fn events(&self) -> Vec<Event> {
+        let st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        st.ring.iter().cloned().collect()
+    }
+
+    /// Number of currently buffered events.
+    pub fn len(&self) -> usize {
+        let st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        st.ring.len()
+    }
+
+    /// True when nothing has been buffered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// How many events were evicted from the ring.
+    pub fn dropped(&self) -> u64 {
+        let st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        st.dropped
+    }
+
+    /// Drop all buffered events (sequence numbers keep counting).
+    pub fn clear(&self) {
+        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        st.ring.clear();
+    }
+
+    /// Export the buffer as JSONL: one JSON object per event, stable field
+    /// order, oldest first. Deterministic for a deterministic event stream.
+    pub fn export_jsonl(&self) -> String {
+        let st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        let mut out = String::new();
+        for ev in &st.ring {
+            render_json(ev, &mut out);
+            out.push('\n');
+        }
+        out
+    }
+}
+
+fn render_json(ev: &Event, out: &mut String) {
+    out.push_str("{\"seq\":");
+    out.push_str(&ev.seq.to_string());
+    if let Some(vt) = ev.vtime {
+        out.push_str(",\"vtime\":");
+        out.push_str(&vt.to_string());
+    }
+    out.push_str(",\"name\":");
+    push_json_str(out, ev.name);
+    for f in &ev.fields {
+        out.push(',');
+        push_json_str(out, f.key);
+        out.push(':');
+        match &f.value {
+            FieldValue::Str(s) => push_json_str(out, s),
+            FieldValue::U64(v) => out.push_str(&v.to_string()),
+            FieldValue::I64(v) => out.push_str(&v.to_string()),
+            FieldValue::Bool(v) => out.push_str(if *v { "true" } else { "false" }),
+            // Digests are hex, but escape uniformly anyway.
+            FieldValue::Digest(d) => push_json_str(out, d),
+        }
+    }
+    out.push('}');
+}
+
+fn push_json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn render_console(ev: &Event) -> String {
+    let mut line = match ev.vtime {
+        Some(vt) => format!("[obs #{:>4} t={vt}] {}", ev.seq, ev.name),
+        None => format!("[obs #{:>4}] {}", ev.seq, ev.name),
+    };
+    for f in &ev.fields {
+        line.push(' ');
+        line.push_str(f.key);
+        line.push('=');
+        match &f.value {
+            FieldValue::Str(s) => line.push_str(s),
+            FieldValue::U64(v) => line.push_str(&v.to_string()),
+            FieldValue::I64(v) => line.push_str(&v.to_string()),
+            FieldValue::Bool(v) => line.push_str(if *v { "true" } else { "false" }),
+            FieldValue::Digest(d) => {
+                line.push_str("digest:");
+                line.push_str(d);
+            }
+        }
+    }
+    line
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quiet(cap: usize) -> Obs {
+        Obs::with_options(b"test-key", cap, false)
+    }
+
+    #[test]
+    fn events_get_monotonic_seq_and_export_in_order() {
+        let obs = quiet(16);
+        obs.event("a", None, vec![Field::u64("n", 1)]);
+        obs.event("b", Some(7), vec![Field::str("phase", "collection")]);
+        let evs = obs.events();
+        assert_eq!(evs.len(), 2);
+        assert_eq!(evs[0].seq, 0);
+        assert_eq!(evs[1].seq, 1);
+        let jsonl = obs.export_jsonl();
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines[0], "{\"seq\":0,\"name\":\"a\",\"n\":1}");
+        assert_eq!(
+            lines[1],
+            "{\"seq\":1,\"vtime\":7,\"name\":\"b\",\"phase\":\"collection\"}"
+        );
+    }
+
+    #[test]
+    fn ring_evicts_oldest_and_counts_drops() {
+        let obs = quiet(2);
+        obs.event("e0", None, vec![]);
+        obs.event("e1", None, vec![]);
+        obs.event("e2", None, vec![]);
+        assert_eq!(obs.len(), 2);
+        assert_eq!(obs.dropped(), 1);
+        let evs = obs.events();
+        assert_eq!(evs[0].name, "e1");
+        assert_eq!(evs[1].seq, 2);
+    }
+
+    #[test]
+    fn sensitive_fields_export_as_digest_only() {
+        let obs = quiet(8);
+        let f = Field::sensitive("tag", obs.redactor(), b"diagnosis=flu");
+        obs.event("ssi.observe", None, vec![f]);
+        let jsonl = obs.export_jsonl();
+        assert!(!jsonl.contains("diagnosis"));
+        assert!(!jsonl.contains("flu"));
+        assert!(jsonl.contains("\"tag\":\""));
+    }
+
+    #[test]
+    fn json_strings_are_escaped() {
+        let obs = quiet(8);
+        obs.event("q", None, vec![Field::str("s", "a\"b\\c\nd\u{1}")]);
+        let jsonl = obs.export_jsonl();
+        assert!(jsonl.contains("a\\\"b\\\\c\\nd\\u0001"));
+    }
+
+    #[test]
+    fn export_is_deterministic_for_same_inputs() {
+        let mk = || {
+            let obs = quiet(8);
+            let d = Field::sensitive("g", obs.redactor(), b"salary");
+            obs.event("x", Some(3), vec![Field::u64("n", 9), d]);
+            obs.export_jsonl()
+        };
+        assert_eq!(mk(), mk());
+    }
+
+    #[test]
+    fn clear_keeps_sequence_counting() {
+        let obs = quiet(8);
+        obs.event("a", None, vec![]);
+        obs.clear();
+        obs.event("b", None, vec![]);
+        let evs = obs.events();
+        assert_eq!(evs.len(), 1);
+        assert_eq!(evs[0].seq, 1);
+    }
+}

@@ -317,6 +317,119 @@ fn size_bounded_query_degrades_to_partial_result() {
 }
 
 #[test]
+fn discovery_phase_faults_are_retried_within_budget() {
+    // Loss and corruption hitting the discovery sub-protocol itself: the
+    // round runtime must retry within the budget, count the absorbed faults
+    // under Phase::Discovery, and still produce complete protocol parameters
+    // so the main query matches the oracle exactly.
+    let (dbs, oracle) = smart_meters(&SmartMeterConfig {
+        n_tds: 20,
+        districts: 3,
+        readings_per_tds: 2,
+        ..Default::default()
+    });
+    let query = parse_query(SQL).unwrap();
+    let expected = execute(&oracle, &query).unwrap().rows;
+
+    for kind in [ProtocolKind::CNoise, ProtocolKind::EdHist { buckets: 3 }] {
+        let faults = FaultPlan::seeded(77).with_loss(0.3).with_corruption(0.3);
+        let mut world = SimBuilder::new()
+            .seed(320)
+            .connectivity(Connectivity::always_on().with_faults(faults))
+            .build(dbs.clone(), AccessPolicy::allow_all(Role::new("supplier")));
+        let params = world.prepare_params(&query, kind).unwrap();
+
+        // Nothing but discovery has run yet: every fault recorded so far was
+        // injected into — and absorbed by — the discovery phase.
+        assert!(
+            world.stats.faults.lost_uploads > 0,
+            "{}: 30% loss must hit discovery uploads (faults: {:?})",
+            kind.name(),
+            world.stats.faults
+        );
+        assert!(
+            world.stats.faults.corrupt_rejected > 0,
+            "{}: 30% corruption must trip discovery integrity checks (faults: {:?})",
+            kind.name(),
+            world.stats.faults
+        );
+        assert!(
+            world.stats.phase(Phase::Discovery).steps > 0,
+            "{}: discovery work must be attributed to Phase::Discovery",
+            kind.name()
+        );
+        match kind {
+            ProtocolKind::CNoise => assert!(
+                !params.noise_domain.is_empty(),
+                "faulty discovery still yields the noise domain"
+            ),
+            ProtocolKind::EdHist { .. } => assert!(
+                params.histogram.is_some(),
+                "faulty discovery still yields the histogram"
+            ),
+            _ => unreachable!(),
+        }
+
+        let querier = world.make_querier("energy-co", "supplier");
+        let rows = world.run_query(&querier, &query, params).unwrap();
+        assert_rows_eq(rows, expected.clone(), &kind.name());
+    }
+}
+
+#[test]
+fn threaded_discovery_faults_are_absorbed() {
+    // Same property on the threaded runtime: discovery under loss +
+    // corruption reports its absorbed faults in the discovery run report and
+    // the prepared parameters still drive an oracle-exact main query.
+    use tdsql_core::runtime::threaded::{
+        prepare_params_threaded_faulty, run_threaded_faulty, FaultConfig,
+    };
+    use tdsql_core::tds::SYSTEM_ROLE;
+
+    let (dbs, oracle) = smart_meters(&SmartMeterConfig {
+        n_tds: 30,
+        districts: 3,
+        readings_per_tds: 1,
+        ..Default::default()
+    });
+    let query = parse_query(SQL).unwrap();
+    let expected = execute(&oracle, &query).unwrap().rows;
+    let world = SimBuilder::new()
+        .seed(321)
+        .build(dbs, AccessPolicy::allow_all(Role::new("supplier")));
+    let system = world.make_querier("system", SYSTEM_ROLE);
+    let querier = world.make_querier("energy-co", "supplier");
+    let cfg = FaultConfig {
+        faults: FaultPlan::seeded(9).with_loss(0.3).with_corruption(0.3),
+        retry_budget: 64,
+        degrade: false,
+    };
+    for kind in [ProtocolKind::CNoise, ProtocolKind::EdHist { buckets: 3 }] {
+        let (params, dreport) =
+            prepare_params_threaded_faulty(&world.tdss, &system, &query, kind, 4, &cfg).unwrap();
+        assert!(
+            dreport.faults.lost_uploads > 0,
+            "{}: discovery losses must be counted (faults: {:?})",
+            kind.name(),
+            dreport.faults
+        );
+        assert!(
+            dreport.faults.corrupt_rejected > 0,
+            "{}: discovery corruption must be counted (faults: {:?})",
+            kind.name(),
+            dreport.faults
+        );
+        let (rows, _) =
+            run_threaded_faulty(&world.tdss, &querier, &query, &params, 4, &cfg).unwrap();
+        assert_rows_eq(
+            rows,
+            expected.clone(),
+            &format!("threaded {} after faulty discovery", kind.name()),
+        );
+    }
+}
+
+#[test]
 fn deterministic_replay_with_same_seed() {
     let (dbs, _) = smart_meters(&SmartMeterConfig {
         n_tds: 20,
