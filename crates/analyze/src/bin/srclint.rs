@@ -22,7 +22,9 @@ no-debug-keys   no derived Debug on structs holding raw key bytes (crypto/src)
 no-nondet-rng   no RNG inside deterministic crypto primitives (det, \
 bucket_hash, kdf, sha256, hmac, aes, ctr)
 no-raw-print    no println/eprintln/print/eprint/dbg in core/src or \
-bench/src — telemetry goes through tdsql-obs (bench bins allowlisted)";
+bench/src — telemetry goes through tdsql-obs (bench bins allowlisted)
+no-global-mutex-vec  no Mutex<Vec<..>> accumulators in core/src/runtime — \
+keep outputs worker-local or sharded (Mutex<VecDeque> queues are fine)";
 
 fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
     let Ok(entries) = std::fs::read_dir(dir) else {

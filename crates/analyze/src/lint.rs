@@ -25,7 +25,13 @@
 //!   redaction layer, so any formatted value — Public or Sensitive — can
 //!   leak. Telemetry must route through `tdsql-obs`, whose field types make
 //!   Sensitive plaintext unrepresentable. The bench *binaries* print their
-//!   reports to stdout by design and are suppressed via `srclint.allow`.
+//!   reports to stdout by design and are suppressed via `srclint.allow`;
+//! * `no-global-mutex-vec` — no `Mutex<Vec<…>>` inside
+//!   `core/src/runtime/`: a single mutex-guarded output vector is exactly
+//!   the global funnel that serialized the threaded runtime at 100k-TDS
+//!   populations. Keep outputs worker-local (merged at phase end) or behind
+//!   sharded/striped structures; per-shard `Mutex<VecDeque<…>>` queues are
+//!   fine and not matched.
 //!
 //! Findings can be suppressed through a checked-in allowlist (`srclint.allow`
 //! at the workspace root): one finding per line, `rule path-fragment
@@ -126,6 +132,13 @@ fn is_deterministic_crypto(path: &str) -> bool {
 /// flows through. `tdsql-obs` is the only sanctioned sink there.
 fn is_print_scope(path: &str) -> bool {
     path.contains("core/src/") || path.contains("bench/src/")
+}
+
+/// Paths where a shared `Mutex<Vec<…>>` accumulator is forbidden: the
+/// runtime interpreters, whose scalability depends on worker-local output
+/// buffers and sharded queues.
+fn is_runtime_scope(path: &str) -> bool {
+    path.contains("core/src/runtime/")
 }
 
 const PRINT_TOKENS: &[&str] = &["println!", "eprintln!", "print!", "eprint!", "dbg!"];
@@ -279,6 +292,12 @@ pub fn lint_file(rel_path: &str, source: &str) -> Vec<Finding> {
                 }
             }
         }
+
+        // `Mutex<VecDeque<…>>` (a sharded queue) deliberately does not match:
+        // the token requires the `<` right after `Vec`.
+        if is_runtime_scope(rel_path) && trimmed.contains("Mutex<Vec<") {
+            push("no-global-mutex-vec", idx, raw);
+        }
     }
     findings
 }
@@ -370,6 +389,19 @@ mod tests {
         assert!(f.iter().any(|x| x.rule == "no-raw-print"));
         let doc = "/// Use println! for nothing here.\nfn f() {}\n";
         assert!(lint_file("crates/core/src/plan.rs", doc).is_empty());
+    }
+
+    #[test]
+    fn mutex_vec_flagged_only_in_runtime() {
+        let src = "struct S {\n    collected: Mutex<Vec<StoredTuple>>,\n}\n";
+        let f = lint_file("crates/core/src/runtime/threaded.rs", src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "no-global-mutex-vec");
+        // Out of scope: the SSI's striped per-query state is allowed.
+        assert!(lint_file("crates/core/src/ssi.rs", src).is_empty());
+        // Sharded work queues are the sanctioned alternative.
+        let queue = "struct Q {\n    shards: Vec<Mutex<VecDeque<FWorkItem>>>,\n}\n";
+        assert!(lint_file("crates/core/src/runtime/threaded.rs", queue).is_empty());
     }
 
     #[test]

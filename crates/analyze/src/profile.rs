@@ -83,7 +83,11 @@ mod tests {
     fn declared_exposure_passes() {
         let log = vec![
             obs(7, Phase::Collection, GroupTag::Bucket([1; 8])),
-            obs(7, Phase::Aggregation, GroupTag::Det(vec![2])),
+            obs(
+                7,
+                Phase::Aggregation,
+                GroupTag::Det(tdsql_core::bytes::Bytes::from(vec![2])),
+            ),
             obs(7, Phase::Filtering, GroupTag::None),
         ];
         let diags = verify_observations(ProtocolKind::EdHist { buckets: 4 }, &log, 7);
@@ -92,7 +96,11 @@ mod tests {
 
     #[test]
     fn undeclared_tag_is_reported() {
-        let log = vec![obs(3, Phase::Collection, GroupTag::Det(vec![9]))];
+        let log = vec![obs(
+            3,
+            Phase::Collection,
+            GroupTag::Det(tdsql_core::bytes::Bytes::from(vec![9])),
+        )];
         let diags = verify_observations(ProtocolKind::SAgg, &log, 3);
         assert_eq!(diags.len(), 1);
         assert_eq!(diags[0].rule, "undeclared-exposure");
@@ -100,7 +108,11 @@ mod tests {
 
     #[test]
     fn other_queries_are_ignored() {
-        let log = vec![obs(1, Phase::Collection, GroupTag::Det(vec![9]))];
+        let log = vec![obs(
+            1,
+            Phase::Collection,
+            GroupTag::Det(tdsql_core::bytes::Bytes::from(vec![9])),
+        )];
         assert!(verify_observations(ProtocolKind::SAgg, &log, 2).is_empty());
     }
 
@@ -109,7 +121,11 @@ mod tests {
         let log = vec![
             obs(1, Phase::Collection, GroupTag::Bucket([0; 8])),
             obs(1, Phase::Collection, GroupTag::Bucket([1; 8])),
-            obs(1, Phase::Aggregation, GroupTag::Det(vec![1])),
+            obs(
+                1,
+                Phase::Aggregation,
+                GroupTag::Det(tdsql_core::bytes::Bytes::from(vec![1])),
+            ),
         ];
         let p = observed_profile(&log, 1);
         assert_eq!(p[&Phase::Collection], BTreeSet::from([TagForm::Bucket]));

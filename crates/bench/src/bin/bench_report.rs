@@ -4,6 +4,9 @@
 //! ```sh
 //! cargo run --release -p tdsql-bench --bin bench_report            # write BENCH_4.json
 //! cargo run --release -p tdsql-bench --bin bench_report -- --check BENCH_4.json
+//! cargo run --release -p tdsql-bench --bin bench_report -- --throughput   # write BENCH_5.json
+//! cargo run --release -p tdsql-bench --bin bench_report -- --check-throughput BENCH_5.json
+//! cargo run --release -p tdsql-bench --bin bench_report -- --throughput-smoke
 //! ```
 //!
 //! Sweeps the TDS population for every protocol and writes `BENCH_4.json`
@@ -20,15 +23,39 @@
 //! still checked against the cleartext oracle before a row is emitted.
 //! `--check <file>` validates an existing report against the schema (used
 //! by CI after regenerating the artifact).
+//!
+//! ## Throughput mode (`--throughput` → `BENCH_5.json`)
+//!
+//! Scales the population to {1k, 10k, 100k} TDSs on the *healthy* path (no
+//! fault plan — this measures the sharded hot path, not the retry
+//! machinery). All five protocols run at 1k and 10k; at 100k the sweep
+//! keeps the two aggregation workhorses, S_Agg and ED_Hist. Each row
+//! records tuples/second, the per-phase `threaded.<phase>.wall_us`
+//! histogram (count/sum/max), and two regression tripwires:
+//!
+//! * `key_schedules_delta` — AES key schedules expanded *during the run*
+//!   must be O(key rings), never O(tuples): the per-ring `CipherContext`
+//!   cache is what makes 100k collections affordable;
+//! * `determinism_checked` — at 1k and 10k, the sharded (8-worker) sealed
+//!   result blobs are compared byte-for-byte against a 1-worker reference
+//!   run of the same seed (skipped at 100k to keep the sweep's runtime
+//!   bounded; the property is population-independent).
+//!
+//! Queries are single-table on purpose: the nested-loop join would add an
+//! O(N²) term that swamps the runtime costs this report tracks.
+//! `--throughput-smoke` runs one small row (S_Agg @ 1k) with every check
+//! enabled and writes nothing — the CI-sized canary.
 
 use std::fmt::Write as _;
 use std::time::Instant;
 
 use tdsql_core::access::AccessPolicy;
 use tdsql_core::connectivity::FaultPlan;
+use tdsql_core::plan::PhasePlan;
 use tdsql_core::protocol::ProtocolKind;
 use tdsql_core::runtime::threaded::{
-    prepare_params_threaded_faulty, run_threaded_faulty, FaultConfig,
+    prepare_params_threaded, prepare_params_threaded_faulty, run_plan_threaded,
+    run_threaded_faulty, FaultConfig,
 };
 use tdsql_core::runtime::SimBuilder;
 use tdsql_core::tds::SYSTEM_ROLE;
@@ -216,8 +243,324 @@ fn check(content: &str) -> std::result::Result<(), String> {
     Ok(())
 }
 
+// --- throughput mode (BENCH_5.json) -------------------------------------
+
+/// Schema identifier for the throughput report; bump on row-layout changes.
+const THROUGHPUT_SCHEMA: &str = "tdsql-bench-throughput/v1";
+const THROUGHPUT_SEED: u64 = 5;
+const THROUGHPUT_WORKERS: usize = 8;
+const THROUGHPUT_SWEEP: [usize; 3] = [1_000, 10_000, 100_000];
+/// Above this population the 1-worker reference run is skipped.
+const DETERMINISM_CAP: usize = 10_000;
+/// Key schedules a single run may expand: O(rings), with headroom. A
+/// per-tuple or per-TDS rebuild blows straight through this at n ≥ 1k.
+const MAX_RUN_KEY_SCHEDULES: u64 = 64;
+/// Keys every throughput row must carry, in emission order.
+const THROUGHPUT_ROW_KEYS: [&str; 8] = [
+    "protocol",
+    "n_tds",
+    "wall_ms",
+    "tuples",
+    "tuples_per_sec",
+    "results",
+    "determinism_checked",
+    "key_schedules_delta",
+];
+
+/// Per-phase wall-clock digest lifted from `threaded.<phase>.wall_us`.
+struct PhaseWall {
+    phase: &'static str,
+    count: u64,
+    sum_us: u64,
+    max_us: u64,
+}
+
+struct ThroughputRow {
+    protocol: &'static str,
+    n_tds: usize,
+    wall_ms: f64,
+    tuples: u64,
+    tuples_per_sec: f64,
+    results: u64,
+    determinism_checked: bool,
+    key_schedules_delta: u64,
+    phases: Vec<PhaseWall>,
+}
+
+/// At 100k only the aggregation workhorses run: a full five-protocol sweep
+/// at that scale buys no extra signal for several more minutes of CI time.
+fn throughput_protocols(n_tds: usize) -> Vec<(&'static str, ProtocolKind)> {
+    if n_tds > DETERMINISM_CAP {
+        vec![
+            ("s_agg", ProtocolKind::SAgg),
+            ("ed_hist", ProtocolKind::EdHist { buckets: 4 }),
+        ]
+    } else {
+        protocols()
+    }
+}
+
+fn throughput_one(name: &'static str, kind: ProtocolKind, n_tds: usize) -> ThroughputRow {
+    let (dbs, oracle) = smart_meters(&SmartMeterConfig {
+        n_tds,
+        districts: 8,
+        readings_per_tds: 1,
+        ..Default::default()
+    });
+    let world = SimBuilder::new()
+        .seed(THROUGHPUT_SEED)
+        .build(dbs, AccessPolicy::allow_all(Role::new("supplier")));
+    let querier = world.make_querier("energy-co", "supplier");
+    let system = world.make_querier("system", SYSTEM_ROLE);
+    // Single-table queries: the join's O(N²) nested loop is not what this
+    // report measures.
+    let sql = match kind {
+        ProtocolKind::Basic => "SELECT c.cid FROM consumer c WHERE c.accomodation = 'apartment'",
+        _ => "SELECT c.district, COUNT(*), AVG(c.cid) FROM consumer c GROUP BY c.district",
+    };
+    let query = parse_query(sql).expect("throughput query parses");
+    let expected = execute(&oracle, &query).expect("oracle").rows;
+
+    let params = prepare_params_threaded(&world.tdss, &system, &query, kind, THROUGHPUT_WORKERS)
+        .expect("discovery");
+
+    // Determinism tripwire: the sharded sealed blobs must be byte-identical
+    // to a 1-worker reference of the same seed.
+    let determinism_checked = n_tds <= DETERMINISM_CAP;
+    if determinism_checked {
+        let plan = PhasePlan::compile(&query, &params);
+        let sharded = run_plan_threaded(
+            &world.tdss,
+            &querier,
+            &query,
+            &params,
+            &plan,
+            THROUGHPUT_WORKERS,
+        )
+        .expect("sharded run");
+        let reference = run_plan_threaded(&world.tdss, &querier, &query, &params, &plan, 1)
+            .expect("reference run");
+        assert_eq!(
+            sharded, reference,
+            "{name}/{n_tds}: sharded blobs differ from the 1-worker reference"
+        );
+    }
+
+    // Key-schedule tripwire around the measured run.
+    let schedules_before = tdsql_crypto::key_schedules_built();
+    let start = Instant::now();
+    let (mut rows, report) = run_threaded_faulty(
+        &world.tdss,
+        &querier,
+        &query,
+        &params,
+        THROUGHPUT_WORKERS,
+        &FaultConfig::default(),
+    )
+    .expect("throughput run");
+    let wall = start.elapsed();
+    let key_schedules_delta = tdsql_crypto::key_schedules_built() - schedules_before;
+    assert!(
+        key_schedules_delta <= MAX_RUN_KEY_SCHEDULES,
+        "{name}/{n_tds}: {key_schedules_delta} AES key schedules expanded during \
+         one run — the per-ring CipherContext cache has regressed to per-call"
+    );
+
+    // Oracle check (same float tolerance rationale as bench_one).
+    let mut want = expected;
+    rows.sort_by(|a, b| format!("{a:?}").cmp(&format!("{b:?}")));
+    want.sort_by(|a, b| format!("{a:?}").cmp(&format!("{b:?}")));
+    assert_eq!(rows.len(), want.len(), "{name}/{n_tds}: row count");
+    for (got, exp) in rows.iter().zip(want.iter()) {
+        for (g, e) in got.iter().zip(exp.iter()) {
+            match (g, e) {
+                (Value::Float(x), Value::Float(y)) => {
+                    let scale = y.abs().max(1.0);
+                    assert!((x - y).abs() / scale < 1e-9, "{name}/{n_tds}: {x} vs {y}");
+                }
+                _ => assert_eq!(g, e, "{name}/{n_tds}: run diverged from oracle"),
+            }
+        }
+    }
+
+    let tuples = report.metrics.counter("threaded.collection.tuples");
+    let phases = ["collection", "aggregation", "filtering"]
+        .iter()
+        .filter_map(|phase| {
+            report
+                .metrics
+                .histogram(&format!("threaded.{phase}.wall_us"))
+                .map(|h| PhaseWall {
+                    phase,
+                    count: h.count,
+                    sum_us: h.sum,
+                    max_us: h.max,
+                })
+        })
+        .collect();
+    ThroughputRow {
+        protocol: name,
+        n_tds,
+        wall_ms: wall.as_secs_f64() * 1e3,
+        tuples,
+        tuples_per_sec: tuples as f64 / wall.as_secs_f64().max(1e-9),
+        results: report.metrics.counter("threaded.filtering.results"),
+        determinism_checked,
+        key_schedules_delta,
+        phases,
+    }
+}
+
+fn render_throughput(rows: &[ThroughputRow]) -> String {
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "{{\"schema\":\"{THROUGHPUT_SCHEMA}\",\"seed\":{THROUGHPUT_SEED},\
+         \"workers\":{THROUGHPUT_WORKERS},\"rows\":["
+    );
+    for (i, r) in rows.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "\n  {{\"protocol\":\"{}\",\"n_tds\":{},\"wall_ms\":{:.3},\"tuples\":{},\
+             \"tuples_per_sec\":{:.1},\"results\":{},\"determinism_checked\":{},\
+             \"key_schedules_delta\":{},\"phases\":[",
+            r.protocol,
+            r.n_tds,
+            r.wall_ms,
+            r.tuples,
+            r.tuples_per_sec,
+            r.results,
+            r.determinism_checked,
+            r.key_schedules_delta,
+        );
+        for (j, p) in r.phases.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"phase\":\"{}\",\"wall_us_count\":{},\"wall_us_sum\":{},\"wall_us_max\":{}}}",
+                p.phase, p.count, p.sum_us, p.max_us
+            );
+        }
+        out.push_str("]}");
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
+/// Structural schema validation for the throughput report, mirroring
+/// [`check`]: header, row count, per-row keys, and the 100k rows present.
+fn check_throughput(content: &str) -> std::result::Result<(), String> {
+    let header = format!("{{\"schema\":\"{THROUGHPUT_SCHEMA}\"");
+    if !content.starts_with(&header) {
+        return Err(format!(
+            "missing or wrong schema header (want {THROUGHPUT_SCHEMA})"
+        ));
+    }
+    if !content.contains("\"rows\":[") {
+        return Err("missing rows array".into());
+    }
+    let row_count = content.matches("{\"protocol\":").count();
+    let want: usize = THROUGHPUT_SWEEP
+        .iter()
+        .map(|&n| throughput_protocols(n).len())
+        .sum();
+    if row_count != want {
+        return Err(format!("expected {want} rows, found {row_count}"));
+    }
+    for key in THROUGHPUT_ROW_KEYS {
+        let occurrences = content.matches(&format!("\"{key}\":")).count();
+        if occurrences != row_count {
+            return Err(format!(
+                "key {key} appears {occurrences} times, expected {row_count}"
+            ));
+        }
+    }
+    for name in protocols().iter().map(|(n, _)| *n) {
+        if !content.contains(&format!("\"protocol\":\"{name}\"")) {
+            return Err(format!("protocol {name} missing from report"));
+        }
+    }
+    for n in THROUGHPUT_SWEEP {
+        if !content.contains(&format!("\"n_tds\":{n}")) {
+            return Err(format!("sweep point n_tds={n} missing from report"));
+        }
+    }
+    if !content.contains("\"phase\":\"collection\"") {
+        return Err("no per-phase wall-us digests present".into());
+    }
+    Ok(())
+}
+
+fn print_throughput_row(r: &ThroughputRow) {
+    println!(
+        "{:<10} {:>7} {:>11.3} {:>8} {:>14.1} {:>8} {:>6} {:>10}",
+        r.protocol,
+        r.n_tds,
+        r.wall_ms,
+        r.tuples,
+        r.tuples_per_sec,
+        r.results,
+        r.determinism_checked,
+        r.key_schedules_delta
+    );
+}
+
+fn run_throughput(smoke: bool) {
+    println!(
+        "{:<10} {:>7} {:>11} {:>8} {:>14} {:>8} {:>6} {:>10}",
+        "protocol", "n_tds", "wall_ms", "tuples", "tuples_per_sec", "results", "det", "key_sched"
+    );
+    if smoke {
+        // One small row with every tripwire armed; writes nothing.
+        let row = throughput_one("s_agg", ProtocolKind::SAgg, 1_000);
+        print_throughput_row(&row);
+        println!("\nthroughput smoke ok");
+        return;
+    }
+    let mut rows = Vec::new();
+    for n_tds in THROUGHPUT_SWEEP {
+        for (name, kind) in throughput_protocols(n_tds) {
+            let row = throughput_one(name, kind, n_tds);
+            print_throughput_row(&row);
+            rows.push(row);
+        }
+    }
+    let report = render_throughput(&rows);
+    check_throughput(&report).expect("freshly rendered report must satisfy its own schema");
+    let dest = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_5.json");
+    std::fs::write(&dest, &report).expect("write BENCH_5.json");
+    println!("\nwrote {}", dest.display());
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("--throughput") => return run_throughput(false),
+        Some("--throughput-smoke") => return run_throughput(true),
+        Some("--check-throughput") => {
+            let path = args.get(1).map(String::as_str).unwrap_or("BENCH_5.json");
+            let content =
+                std::fs::read_to_string(path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
+            match check_throughput(&content) {
+                Ok(()) => {
+                    println!("{path}: schema ok");
+                    return;
+                }
+                Err(why) => {
+                    eprintln!("{path}: schema violation: {why}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        _ => {}
+    }
     if args.first().map(String::as_str) == Some("--check") {
         let path = args.get(1).map(String::as_str).unwrap_or("BENCH_4.json");
         let content =

@@ -145,7 +145,7 @@ mod tests {
             .run_query(&querier, &query, ProtocolParams::new(ProtocolKind::SAgg))
             .unwrap();
         let ring = world.ring().clone();
-        (world.ssi.retained().to_vec(), ring)
+        (world.ssi.retained(), ring)
     }
 
     #[test]

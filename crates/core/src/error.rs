@@ -37,6 +37,17 @@ pub enum ProtocolError {
         /// The configured pad length it must fit in.
         pad: usize,
     },
+    /// An encoded collection's length exceeds its wire-format counter width.
+    /// Encoding refuses instead of truncating the count silently (a wrapped
+    /// `as u16`/`as u32` cast would produce a decodable-but-wrong payload).
+    LengthOverflow {
+        /// Which counter overflowed (e.g. "PlainTuple values").
+        what: &'static str,
+        /// The actual length.
+        len: usize,
+        /// The maximum the wire format can carry.
+        max: usize,
+    },
     /// A work item exhausted its retry budget: the query terminates loudly
     /// instead of re-sending the partition forever. (SIZE-bounded queries
     /// degrade to a partial result instead of raising this.)
@@ -78,6 +89,11 @@ impl std::fmt::Display for ProtocolError {
             ProtocolError::PadTooSmall { needed, pad } => write!(
                 f,
                 "payload needs {needed} bytes but pad is {pad}: raise `pad` to keep sizes uniform"
+            ),
+            ProtocolError::LengthOverflow { what, len, max } => write!(
+                f,
+                "{what} has {len} elements but the wire counter carries at most {max}: \
+                 refusing to truncate"
             ),
             ProtocolError::QueryAborted { phase, retries } => write!(
                 f,

@@ -86,11 +86,19 @@ impl Histogram {
     }
 
     /// Serialize for k2-encrypted distribution to TDSs.
+    ///
+    /// Counter-width audit: both `as u32` casts below count in-memory
+    /// collections (distinct groups; canonical key bytes). Exceeding u32
+    /// would require >4 billion distinct GROUP BY values resident in one
+    /// `BTreeMap` — unreachable before memory exhaustion — so these stay
+    /// as casts with debug guards rather than `Result` plumbing.
     pub fn encode(&self) -> Vec<u8> {
         let mut out = Vec::new();
         out.extend_from_slice(&self.n_buckets.to_be_bytes());
+        debug_assert!(u32::try_from(self.assignment.len()).is_ok());
         out.extend_from_slice(&(self.assignment.len() as u32).to_be_bytes());
         for (key, bucket) in &self.assignment {
+            debug_assert!(u32::try_from(key.0.len()).is_ok());
             out.extend_from_slice(&(key.0.len() as u32).to_be_bytes());
             out.extend_from_slice(&key.0);
             out.extend_from_slice(&bucket.to_be_bytes());

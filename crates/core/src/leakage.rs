@@ -139,7 +139,10 @@ mod tests {
     #[test]
     fn tag_form_classification() {
         assert_eq!(TagForm::of(&GroupTag::None), TagForm::None);
-        assert_eq!(TagForm::of(&GroupTag::Det(vec![1])), TagForm::Det);
+        assert_eq!(
+            TagForm::of(&GroupTag::Det(crate::bytes::Bytes::from(vec![1]))),
+            TagForm::Det
+        );
         assert_eq!(TagForm::of(&GroupTag::Bucket([0; 8])), TagForm::Bucket);
     }
 }

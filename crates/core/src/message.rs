@@ -20,8 +20,10 @@ pub enum GroupTag {
     /// No tag — the SSI partitions blindly (S_Agg, basic protocol).
     None,
     /// `Det_Enc(A_G)` ciphertext bytes (noise-based protocols, and the
-    /// second aggregation step of ED_Hist).
-    Det(Vec<u8>),
+    /// second aggregation step of ED_Hist). Arc-backed: tags are cloned
+    /// into every observation and partition map, so clones must be
+    /// refcount bumps rather than byte copies.
+    Det(Bytes),
     /// `h(bucketId)` (first step of ED_Hist).
     Bucket([u8; 8]),
 }
@@ -172,8 +174,8 @@ mod tests {
         use std::collections::HashSet;
         let mut set = HashSet::new();
         set.insert(GroupTag::None);
-        set.insert(GroupTag::Det(vec![1, 2]));
-        set.insert(GroupTag::Det(vec![1, 2]));
+        set.insert(GroupTag::Det(Bytes::from(vec![1, 2])));
+        set.insert(GroupTag::Det(Bytes::from(vec![1, 2])));
         set.insert(GroupTag::Bucket([0; 8]));
         assert_eq!(set.len(), 3);
     }

@@ -106,10 +106,10 @@ mod tests {
     #[test]
     fn tag_partitions_group_and_chunk() {
         let items = vec![
-            tuple(GroupTag::Det(vec![1]), 1),
-            tuple(GroupTag::Det(vec![2]), 2),
-            tuple(GroupTag::Det(vec![1]), 3),
-            tuple(GroupTag::Det(vec![1]), 4),
+            tuple(GroupTag::Det(crate::bytes::Bytes::from(vec![1])), 1),
+            tuple(GroupTag::Det(crate::bytes::Bytes::from(vec![2])), 2),
+            tuple(GroupTag::Det(crate::bytes::Bytes::from(vec![1])), 3),
+            tuple(GroupTag::Det(crate::bytes::Bytes::from(vec![1])), 4),
         ];
         let parts = tag_partitions(items, 2);
         // Tag [1] has 3 tuples → 2 partitions; tag [2] has 1 → 1 partition.
@@ -119,7 +119,7 @@ mod tests {
         }
         let tag1_total: usize = parts
             .iter()
-            .filter(|(t, _)| *t == GroupTag::Det(vec![1]))
+            .filter(|(t, _)| *t == GroupTag::Det(crate::bytes::Bytes::from(vec![1])))
             .map(|(_, v)| v.len())
             .sum();
         assert_eq!(tag1_total, 3);

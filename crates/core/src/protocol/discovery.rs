@@ -113,7 +113,7 @@ pub fn discover_distribution(world: &mut SimWorld, target: &Query) -> Result<Vec
 
     let envelope = querier.make_envelope(&query, params.kind, &mut world.rng);
     let qid = world.ssi.post_query(envelope);
-    let env = world.ssi.envelope(qid)?.clone();
+    let env = world.ssi.envelope(qid)?;
     // Everything the runtime does on this sub-query's behalf — stats, fault
     // coordinates, abort errors — is attributed to [`Phase::Discovery`], so
     // chaos schedules reach discovery traffic too.
@@ -123,7 +123,7 @@ pub fn discover_distribution(world: &mut SimWorld, target: &Query) -> Result<Vec
         .and_then(|()| world.execute_plan(qid, &env, &params, &plan));
     world.in_discovery = false;
     run?;
-    let blobs = world.ssi.results(qid)?.to_vec();
+    let blobs = world.ssi.results(qid)?;
 
     // Any TDS can open the k2-sealed distribution; the runtime uses the
     // first one (in a deployment each TDS downloads and opens it itself).

@@ -125,7 +125,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         let cipher = NDetCipher::new(&ring.k1);
         let row = ResultRow(vec![Value::Int(7), Value::Str("x".into())]);
-        let blob = Bytes::from(cipher.encrypt(&mut rng, &row.encode()));
+        let blob = Bytes::from(cipher.encrypt(&mut rng, &row.encode().unwrap()));
         let rows = q.decrypt_results(&[blob]).unwrap();
         assert_eq!(rows, vec![vec![Value::Int(7), Value::Str("x".into())]]);
     }

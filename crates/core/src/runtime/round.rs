@@ -40,7 +40,7 @@ use crate::protocol::{discovery, ProtocolKind, ProtocolParams};
 use crate::querier::Querier;
 use crate::ssi::Ssi;
 use crate::stats::{Phase, RunStats, TdsWork};
-use crate::tds::{QueryContext, Tds, SYSTEM_ROLE};
+use crate::tds::{CipherContext, QueryContext, Tds, SYSTEM_ROLE};
 
 /// Builder for a simulation world.
 #[derive(Debug, Clone)]
@@ -116,12 +116,22 @@ impl SimBuilder {
         assert_eq!(databases.len(), policies.len(), "one policy per TDS");
         let ring = KeyRing::derive(&self.master_seed);
         let signer = CredentialSigner::new(&self.authority_secret);
+        // One cipher context per ring: AES key schedules and HMAC pads are
+        // derived once and shared, so provisioning 100k TDSs costs 100k
+        // refcount bumps, not 100k key-schedule expansions.
+        let ciphers = CipherContext::shared(&ring);
         let tdss: Vec<Tds> = databases
             .into_iter()
             .zip(policies)
             .enumerate()
             .map(|(i, (db, policy))| {
-                Tds::new(i as u64, &ring, signer.verification_key(), db, policy)
+                Tds::with_ciphers(
+                    i as u64,
+                    Arc::clone(&ciphers),
+                    signer.verification_key(),
+                    db,
+                    policy,
+                )
             })
             .collect();
         let system_querier = Querier::new(
@@ -286,8 +296,9 @@ impl SimWorld {
     pub fn rotate_keys(&mut self) -> u32 {
         self.epoch += 1;
         self.ring = KeyRing::derive_epoch(&self.master_seed, self.epoch);
+        let ciphers = CipherContext::shared(&self.ring);
         for tds in &mut self.tdss {
-            tds.rekey(&self.ring);
+            tds.rekey_shared(Arc::clone(&ciphers));
         }
         self.system_querier = Querier::new(
             "system",
@@ -369,7 +380,7 @@ impl SimWorld {
         let plan = PhasePlan::compile(query, params);
         let envelope = querier.make_envelope_targeted(query, params.kind, target, &mut self.rng);
         let qid = self.ssi.post_query(envelope);
-        let env = self.ssi.envelope(qid)?.clone();
+        let env = self.ssi.envelope(qid)?;
         // The query text (grouping attributes, literals) is sensitive: it
         // enters the trace only as a keyed digest.
         self.obs.event(
@@ -385,7 +396,7 @@ impl SimWorld {
 
         self.run_collection(qid, &env, params)?;
         self.execute_plan(qid, &env, params, &plan)?;
-        Ok(self.ssi.results(qid)?.to_vec())
+        Ok(self.ssi.results(qid)?)
     }
 
     /// The phase a runtime step is attributed to: itself normally, or
@@ -613,7 +624,7 @@ impl SimWorld {
                     if !open[j] || contributed[j][i] || self.ssi.size_tuples_reached(qid)? {
                         continue;
                     }
-                    let env = self.ssi.envelope(qid)?.clone();
+                    let env = self.ssi.envelope(qid)?;
                     let tds = &self.tdss[i];
                     let ctx = tds.open_query(&env, prepared[j].clone(), self.round)?;
                     let tuples = tds.collect(&ctx, &mut self.rng)?;
@@ -668,10 +679,10 @@ impl SimWorld {
         for ((&qid, params), (querier, query, _)) in
             qids.iter().zip(prepared.iter()).zip(jobs.iter())
         {
-            let env = self.ssi.envelope(qid)?.clone();
+            let env = self.ssi.envelope(qid)?;
             let plan = PhasePlan::compile(query, params);
             self.execute_plan(qid, &env, params, &plan)?;
-            let blobs = self.ssi.results(qid)?.to_vec();
+            let blobs = self.ssi.results(qid)?;
             let mut rows = querier.decrypt_results(&blobs)?;
             tdsql_sql::order::apply_order_limit(query, &mut rows)?;
             results.push(rows);

@@ -1,13 +1,29 @@
 //! Concurrent runtime: every TDS works on its own thread.
 //!
 //! The round-based runtime is deterministic but sequential. This runtime
-//! interprets the same compiled [`PhasePlan`]s with real parallelism: TDS
-//! workers pull partitions from a shared work queue and the shared state sits
-//! behind mutexes — the "parallel feed" of Fig. 4 made literal. All four
-//! protocols are supported; results are bit-identical to the round runtime's
-//! up to float merge order (tested in `tests/threaded_runtime.rs`).
+//! interprets the same compiled [`PhasePlan`]s with real parallelism, and
+//! scales to 100k-TDS populations by keeping the hot path shard-local:
+//!
+//! * work items live in **per-worker queue shards** ([`ShardedQueue`]) —
+//!   a worker pops from its home shard and steals from neighbours only
+//!   when its shard runs dry, so queue locks are uncontended in steady
+//!   state (the old design funnelled every pop through one global mutex);
+//! * delivery bookkeeping is **lock-striped** ([`StripedLedger`]) — two
+//!   deliveries for different work items settle on different stripes and
+//!   never serialize;
+//! * worker outputs stay **thread-local** until the phase ends, then merge
+//!   once, sorted by work-item id.
+//!
+//! Determinism: every work item draws its randomness from a private RNG
+//! seeded by `(phase seed, item, attempt)` — never from a per-worker
+//! stream — and the merged output order is the item order. A run's bytes
+//! are therefore identical for any worker count and any thread schedule,
+//! including under an active [`FaultPlan`] (which item survives which
+//! attempt is a function of the plan, not the scheduler). Verified in
+//! `tests/threaded_runtime.rs` and `tests/chaos.rs`.
 
 use std::collections::{BTreeSet, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 use tdsql_crypto::rng::{SeedableRng, StdRng};
@@ -46,21 +62,147 @@ fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
     m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
-/// A shared pull-queue of partitions (the crossbeam channel of the original
-/// design, expressed with std primitives for the hermetic build).
-struct WorkQueue {
-    items: Mutex<std::collections::VecDeque<Vec<StoredTuple>>>,
+/// Build the RNG for one `(seed, item, attempt)` coordinate.
+///
+/// Work-item randomness must not come from per-worker RNG streams: which
+/// worker processes which item depends on the thread schedule, and a
+/// schedule-dependent nonce makes run bytes irreproducible. Seeding per
+/// (item, attempt) instead makes every sealed blob a pure function of the
+/// phase seed and the fault plan. The splitmix64 finalizer decorrelates
+/// the low-entropy inputs (items are sequential integers).
+fn item_rng(seed: u64, item: u64, attempt: u32) -> StdRng {
+    let mut x = seed
+        ^ item.wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        ^ u64::from(attempt).wrapping_mul(0xd134_2543_de82_ef95);
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^= x >> 31;
+    StdRng::seed_from_u64(x)
 }
 
-impl WorkQueue {
-    fn new(partitions: Vec<Vec<StoredTuple>>) -> Self {
+/// First error across the worker pool, with a cheap cancellation flag so
+/// the hot path never takes the mutex just to learn nothing has failed.
+struct FirstError {
+    hit: AtomicBool,
+    slot: Mutex<Option<ProtocolError>>,
+}
+
+impl FirstError {
+    fn new() -> Self {
         Self {
-            items: Mutex::new(partitions.into()),
+            hit: AtomicBool::new(false),
+            slot: Mutex::new(None),
         }
     }
 
-    fn pop(&self) -> Option<Vec<StoredTuple>> {
-        lock(&self.items).pop_front()
+    fn set(&self, e: ProtocolError) {
+        lock(&self.slot).get_or_insert(e);
+        self.hit.store(true, Ordering::Release);
+    }
+
+    fn is_set(&self) -> bool {
+        self.hit.load(Ordering::Acquire)
+    }
+
+    fn take(&self) -> Option<ProtocolError> {
+        lock(&self.slot).take()
+    }
+}
+
+/// Convert a caught panic payload into a protocol error.
+fn panic_to_error(payload: Box<dyn std::any::Any + Send>) -> ProtocolError {
+    let what = payload
+        .downcast_ref::<&str>()
+        .map(|s| (*s).to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "non-string panic payload".into());
+    ProtocolError::Protocol(format!("worker panicked: {what}"))
+}
+
+/// One unit of work: a partition plus its stable item id (fault decisions
+/// and output ordering key off it) and how many times it has been tried.
+struct FWorkItem {
+    item: u64,
+    partition: Vec<StoredTuple>,
+    attempts: u32,
+}
+
+/// Per-worker sharded work queue with steal-on-empty.
+///
+/// Partitions are dealt to shards in contiguous chunks so a worker's home
+/// shard holds a consecutive item range. A worker pops from its home shard
+/// and scans the other shards only when home is empty; re-queued items
+/// (fault path) go to `item % n_shards`, spreading retries instead of
+/// piling them on one lock. `in_flight` counts popped-but-unresolved items
+/// so fault-path workers know an empty scan may not mean the phase is over
+/// (a peer could still re-queue what it holds).
+struct ShardedQueue {
+    shards: Vec<Mutex<VecDeque<FWorkItem>>>,
+    in_flight: AtomicUsize,
+}
+
+impl ShardedQueue {
+    fn deal(items: Vec<FWorkItem>, n_shards: usize) -> Self {
+        let n_shards = n_shards.max(1);
+        let chunk = items.len().div_ceil(n_shards).max(1);
+        let mut shards: Vec<VecDeque<FWorkItem>> = (0..n_shards).map(|_| VecDeque::new()).collect();
+        for (i, item) in items.into_iter().enumerate() {
+            shards[(i / chunk).min(n_shards - 1)].push_back(item);
+        }
+        Self {
+            shards: shards.into_iter().map(Mutex::new).collect(),
+            in_flight: AtomicUsize::new(0),
+        }
+    }
+
+    /// One scan over all shards starting at `home`. Marks the popped item
+    /// in-flight while the shard lock is still held, so a concurrent empty
+    /// scan cannot observe "no items anywhere, nothing in flight".
+    fn try_pop(&self, home: usize) -> Option<FWorkItem> {
+        let n = self.shards.len();
+        for i in 0..n {
+            let mut shard = lock(&self.shards[(home + i) % n]);
+            if let Some(w) = shard.pop_front() {
+                self.in_flight.fetch_add(1, Ordering::SeqCst);
+                return Some(w);
+            }
+        }
+        None
+    }
+
+    /// Pop for the fault path: spins (with yields) while peers hold items
+    /// that may yet be re-queued. Returns `None` only when every shard is
+    /// empty and nothing is in flight.
+    fn pop_or_wait(&self, home: usize) -> Option<FWorkItem> {
+        loop {
+            // Read in-flight BEFORE scanning: re-queues push to the shard
+            // before decrementing, so "0 in flight, then an empty scan"
+            // proves no item can appear later.
+            let quiescent = self.in_flight.load(Ordering::SeqCst) == 0;
+            if let Some(w) = self.try_pop(home) {
+                return Some(w);
+            }
+            if quiescent {
+                return None;
+            }
+            std::thread::yield_now();
+        }
+    }
+
+    /// Put a popped item back (fault path: lost upload, corrupt download,
+    /// late delivery). Push precedes the in-flight decrement — see
+    /// [`Self::pop_or_wait`].
+    fn requeue(&self, fw: FWorkItem) {
+        let shard = (fw.item as usize) % self.shards.len();
+        lock(&self.shards[shard]).push_back(fw);
+        self.in_flight.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    /// Mark a popped item resolved (settled, abandoned, or errored).
+    fn resolve(&self) {
+        self.in_flight.fetch_sub(1, Ordering::SeqCst);
     }
 }
 
@@ -74,7 +216,8 @@ impl WorkQueue {
 ///
 /// Message *reorder* has no dedicated knob here: thread scheduling already
 /// delivers uploads in nondeterministic order, which is exactly the fault
-/// the round runtime has to synthesise.
+/// the round runtime has to synthesise. (Output bytes still don't depend on
+/// that order — deliveries are merged by work-item id at the phase end.)
 #[derive(Debug, Clone, Copy)]
 pub struct FaultConfig {
     /// Deterministic fault plan (loss / duplication / late / corruption).
@@ -147,20 +290,20 @@ impl DeliveryLedger {
         DeliveryOutcome::Accepted
     }
 
-    /// Deliver everything the network held back. An accepted late delivery
+    /// Deliver everything the network held back, in (item, attempt) order
+    /// so the flush is schedule-independent. An accepted late delivery
     /// completes its item — even one that was already abandoned (the
     /// at-least-once contract holds past the budget).
-    fn flush_stash(&mut self, working: &mut Vec<StoredTuple>, results: &mut Vec<Bytes>) {
-        for (item, attempt, output) in std::mem::take(&mut self.stash) {
+    fn flush_stash(&mut self, accepted: &mut Vec<(u64, WorkerOutput)>) {
+        let mut stash = std::mem::take(&mut self.stash);
+        stash.sort_by_key(|(item, attempt, _)| (*item, *attempt));
+        for (item, attempt, output) in stash {
             match self.settle(item, attempt) {
                 DeliveryOutcome::Accepted => {
                     if self.abandoned.remove(&item) {
                         self.stats.items_abandoned -= 1;
                     }
-                    match output {
-                        WorkerOutput::Working(ts) => working.extend(ts),
-                        WorkerOutput::Results(rs) => results.extend(rs),
-                    }
+                    accepted.push((item, output));
                 }
                 DeliveryOutcome::Duplicate => self.stats.duplicates_dropped += 1,
                 DeliveryOutcome::LateAfterReassign => self.stats.late_after_reassign += 1,
@@ -170,48 +313,66 @@ impl DeliveryLedger {
     }
 }
 
-/// One unit of work in the faulty queue: a partition plus its stable item
-/// id (fault decisions key off it) and how many times it has been tried.
-struct FWorkItem {
-    item: u64,
-    partition: Vec<StoredTuple>,
-    attempts: u32,
+/// A lock-striped [`DeliveryLedger`]: deliveries for different work items
+/// settle on different stripes, so concurrent settles only serialize when
+/// they actually race on the *same* item (which is the race the ledger
+/// exists to adjudicate). Item → stripe is a pure function, so one item's
+/// whole history lives on one stripe.
+struct StripedLedger {
+    stripes: Vec<Mutex<DeliveryLedger>>,
 }
 
-/// Shared state of one faulty phase: the retry queue plus the ledger.
-///
-/// Unlike [`WorkQueue`], an empty `pending` does not mean the phase is
-/// over — a peer may be about to re-queue the item it holds. `in_flight`
-/// tracks items popped but not yet resolved; workers only quit when both
-/// are zero.
-struct FaultyQueue {
-    pending: VecDeque<FWorkItem>,
-    in_flight: usize,
-    ledger: DeliveryLedger,
-}
-
-impl FaultyQueue {
-    /// Pop the next work item, spinning (with yields) while peers might
-    /// still re-queue. Returns `None` only when the phase is drained.
-    fn pop(state: &Mutex<FaultyQueue>) -> Option<FWorkItem> {
-        loop {
-            {
-                let mut st = lock(state);
-                if let Some(w) = st.pending.pop_front() {
-                    st.in_flight += 1;
-                    return Some(w);
-                }
-                if st.in_flight == 0 {
-                    return None;
-                }
-            }
-            std::thread::yield_now();
+impl StripedLedger {
+    fn new(n_stripes: usize) -> Self {
+        Self {
+            stripes: (0..n_stripes.max(1))
+                .map(|_| Mutex::new(DeliveryLedger::default()))
+                .collect(),
         }
+    }
+
+    fn stripe(&self, item: u64) -> &Mutex<DeliveryLedger> {
+        &self.stripes[(item as usize) % self.stripes.len()]
+    }
+
+    /// Collapse the stripes into one ledger at phase end (single-threaded).
+    /// Item sets are disjoint across stripes, so the merge is a plain union.
+    fn into_merged(self) -> DeliveryLedger {
+        let mut merged = DeliveryLedger::default();
+        for s in self.stripes {
+            let led = s
+                .into_inner()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            merged.settled.extend(led.settled);
+            merged.done.extend(led.done);
+            merged.abandoned.extend(led.abandoned);
+            merged.stash.extend(led.stash);
+            merged.stats.absorb(&led.stats);
+        }
+        merged
     }
 }
 
+/// Merge per-worker `(item, output)` lists into the phase's working set and
+/// result blobs. Sorting by item id is what makes the merged order — and
+/// therefore everything downstream (partitioning, nonces, result bytes) —
+/// independent of worker count and thread schedule.
+fn merge_outputs(mut accepted: Vec<(u64, WorkerOutput)>) -> (Vec<StoredTuple>, Vec<Bytes>) {
+    accepted.sort_by_key(|(item, _)| *item);
+    let mut working = Vec::new();
+    let mut results = Vec::new();
+    for (_, output) in accepted {
+        match output {
+            WorkerOutput::Working(ts) => working.extend(ts),
+            WorkerOutput::Results(rs) => results.extend(rs),
+        }
+    }
+    (working, results)
+}
+
 /// Fan a set of partitions out to `n_workers` threads; each partition is
-/// processed by some TDS via `work`. Returns the concatenated outputs.
+/// processed by some TDS via `work`. Returns the merged outputs, ordered by
+/// partition index regardless of scheduling.
 ///
 /// A worker that returns an error or panics stops pulling; the remaining
 /// workers keep draining the queue, and the first failure is reported after
@@ -228,51 +389,58 @@ pub fn parallel_partitions<F>(
 where
     F: Fn(&Tds, &[StoredTuple], &mut StdRng) -> Result<WorkerOutput> + Sync,
 {
-    let queue = WorkQueue::new(partitions);
+    let items: Vec<FWorkItem> = partitions
+        .into_iter()
+        .enumerate()
+        .map(|(i, partition)| FWorkItem {
+            item: i as u64,
+            partition,
+            attempts: 0,
+        })
+        .collect();
+    let queue = ShardedQueue::deal(items, n_workers);
+    let first_err = FirstError::new();
 
-    let working: Mutex<Vec<StoredTuple>> = Mutex::new(Vec::new());
-    let results: Mutex<Vec<Bytes>> = Mutex::new(Vec::new());
-    let first_err: Mutex<Option<ProtocolError>> = Mutex::new(None);
-    std::thread::scope(|scope| {
+    let accepted = std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(n_workers);
         for w in 0..n_workers {
             let queue = &queue;
-            let working = &working;
-            let results = &results;
             let first_err = &first_err;
             let work = &work;
             let tds = &tdss[w % tdss.len()];
-            scope.spawn(move || {
-                let mut rng = StdRng::seed_from_u64(seed ^ (w as u64).wrapping_mul(0x9e3779b9));
-                while let Some(partition) = queue.pop() {
+            handles.push(scope.spawn(move || {
+                let mut local: Vec<(u64, WorkerOutput)> = Vec::new();
+                while let Some(fw) = queue.try_pop(w) {
+                    queue.resolve();
+                    if first_err.is_set() {
+                        // A peer already failed; drain quietly.
+                        continue;
+                    }
+                    let mut rng = item_rng(seed, fw.item, 1);
                     let step = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                        work(tds, &partition, &mut rng)
+                        work(tds, &fw.partition, &mut rng)
                     }))
-                    .unwrap_or_else(|payload| {
-                        let what = payload
-                            .downcast_ref::<&str>()
-                            .map(|s| (*s).to_string())
-                            .or_else(|| payload.downcast_ref::<String>().cloned())
-                            .unwrap_or_else(|| "non-string panic payload".into());
-                        Err(ProtocolError::Protocol(format!("worker panicked: {what}")))
-                    });
+                    .unwrap_or_else(|payload| Err(panic_to_error(payload)));
                     match step {
-                        Ok(WorkerOutput::Working(ts)) => lock(working).extend(ts),
-                        Ok(WorkerOutput::Results(rs)) => lock(results).extend(rs),
-                        Err(e) => {
-                            lock(first_err).get_or_insert(e);
-                            return;
-                        }
+                        Ok(output) => local.push((fw.item, output)),
+                        Err(e) => first_err.set(e),
                     }
                 }
-            });
+                local
+            }));
         }
+        let mut accepted = Vec::new();
+        for h in handles {
+            if let Ok(local) = h.join() {
+                accepted.extend(local);
+            }
+        }
+        accepted
     });
-    if let Some(e) = lock(&first_err).take() {
+    if let Some(e) = first_err.take() {
         return Err(e);
     }
-    let working = std::mem::take(&mut *lock(&working));
-    let results = std::mem::take(&mut *lock(&results));
-    Ok((working, results))
+    Ok(merge_outputs(accepted))
 }
 
 /// [`parallel_partitions`] with at-least-once delivery faults injected on
@@ -283,9 +451,9 @@ where
 /// the upload may be lost (re-queued), held back until the end of the phase
 /// (stashed *and* re-queued, modelling an SSI timeout plus eventual
 /// delivery), or duplicated (second settle must come back `Duplicate`).
-/// Re-queueing to the back of the queue is the threaded analogue of the
-/// round runtime's backoff. Item ids come from `next_item` so successive
-/// phases (and waves within one phase) never share fault coordinates.
+/// Re-queueing is the threaded analogue of the round runtime's backoff.
+/// Item ids come from `next_item` so successive phases (and waves within
+/// one phase) never share fault coordinates.
 #[allow(clippy::too_many_arguments)]
 fn parallel_partitions_faulty<F>(
     tdss: &[Tds],
@@ -307,7 +475,7 @@ where
         return parallel_partitions(tdss, n_workers, seed, partitions, work);
     }
 
-    let pending: VecDeque<FWorkItem> = partitions
+    let items: Vec<FWorkItem> = partitions
         .into_iter()
         .map(|partition| {
             let item = *next_item;
@@ -319,49 +487,43 @@ where
             }
         })
         .collect();
-    let state = Mutex::new(FaultyQueue {
-        pending,
-        in_flight: 0,
-        ledger: DeliveryLedger::default(),
-    });
+    let queue = ShardedQueue::deal(items, n_workers);
+    let ledger = StripedLedger::new(n_workers.max(8));
+    let first_err = FirstError::new();
 
-    let working: Mutex<Vec<StoredTuple>> = Mutex::new(Vec::new());
-    let results: Mutex<Vec<Bytes>> = Mutex::new(Vec::new());
-    let first_err: Mutex<Option<ProtocolError>> = Mutex::new(None);
-    std::thread::scope(|scope| {
+    let accepted = std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(n_workers);
         for w in 0..n_workers {
-            let state = &state;
-            let working = &working;
-            let results = &results;
+            let queue = &queue;
+            let ledger = &ledger;
             let first_err = &first_err;
             let work = &work;
             let tds = &tdss[w % tdss.len()];
-            scope.spawn(move || {
-                let mut rng = StdRng::seed_from_u64(seed ^ (w as u64).wrapping_mul(0x9e3779b9));
-                while let Some(mut fw) = FaultyQueue::pop(state) {
-                    if lock(first_err).is_some() {
+            handles.push(scope.spawn(move || {
+                let mut local: Vec<(u64, WorkerOutput)> = Vec::new();
+                while let Some(mut fw) = queue.pop_or_wait(w) {
+                    if first_err.is_set() {
                         // A peer already failed; resolve and drain quietly.
-                        let mut st = lock(state);
-                        st.in_flight -= 1;
+                        queue.resolve();
                         continue;
                     }
                     if fw.attempts >= cfg.retry_budget {
-                        let mut st = lock(state);
-                        st.in_flight -= 1;
                         if cfg.degrade {
-                            st.ledger.stats.items_abandoned += 1;
-                            st.ledger.abandoned.insert(fw.item);
-                            continue;
+                            let mut led = lock(ledger.stripe(fw.item));
+                            led.stats.items_abandoned += 1;
+                            led.abandoned.insert(fw.item);
+                        } else {
+                            first_err.set(ProtocolError::QueryAborted {
+                                phase,
+                                retries: fw.attempts,
+                            });
                         }
-                        drop(st);
-                        lock(first_err).get_or_insert(ProtocolError::QueryAborted {
-                            phase,
-                            retries: fw.attempts,
-                        });
+                        queue.resolve();
                         continue;
                     }
                     fw.attempts += 1;
                     let attempt = fw.attempts;
+                    let mut rng = item_rng(seed, fw.item, attempt);
 
                     // Download leg: the partition the TDS sees may be corrupt.
                     let corrupted = cfg.faults.corrupt_download(phase, fw.item, attempt);
@@ -379,14 +541,7 @@ where
                     let step = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                         work(tds, input, &mut rng)
                     }))
-                    .unwrap_or_else(|payload| {
-                        let what = payload
-                            .downcast_ref::<&str>()
-                            .map(|s| (*s).to_string())
-                            .or_else(|| payload.downcast_ref::<String>().cloned())
-                            .unwrap_or_else(|| "non-string panic payload".into());
-                        Err(ProtocolError::Protocol(format!("worker panicked: {what}")))
-                    });
+                    .unwrap_or_else(|payload| Err(panic_to_error(payload)));
 
                     let output = match step {
                         Err(e)
@@ -398,17 +553,13 @@ where
                         {
                             // Tamper detected exactly as designed: reject the
                             // delivery and have the SSI re-send the partition.
-                            let mut st = lock(state);
-                            st.ledger.stats.corrupt_rejected += 1;
-                            st.pending.push_back(fw);
-                            st.in_flight -= 1;
+                            lock(ledger.stripe(fw.item)).stats.corrupt_rejected += 1;
+                            queue.requeue(fw);
                             continue;
                         }
                         Err(e) => {
-                            let mut st = lock(state);
-                            st.in_flight -= 1;
-                            drop(st);
-                            lock(first_err).get_or_insert(e);
+                            first_err.set(e);
+                            queue.resolve();
                             continue;
                         }
                         Ok(output) => output,
@@ -416,70 +567,65 @@ where
 
                     // Upload leg.
                     if cfg.faults.lose_upload(phase, fw.item, attempt) {
-                        let mut st = lock(state);
-                        st.ledger.stats.lost_uploads += 1;
-                        st.pending.push_back(fw);
-                        st.in_flight -= 1;
+                        lock(ledger.stripe(fw.item)).stats.lost_uploads += 1;
+                        queue.requeue(fw);
                         continue;
                     }
                     if cfg.faults.deliver_late(phase, fw.item, attempt) {
                         // The SSI times out and re-sends; the upload arrives
                         // eventually (flushed at the end of the phase).
-                        let mut st = lock(state);
-                        st.ledger.stash.push((fw.item, attempt, output));
-                        st.pending.push_back(fw);
-                        st.in_flight -= 1;
+                        lock(ledger.stripe(fw.item))
+                            .stash
+                            .push((fw.item, attempt, output));
+                        queue.requeue(fw);
                         continue;
                     }
                     let duplicated = cfg.faults.duplicate_upload(phase, fw.item, attempt);
-                    let mut st = lock(state);
-                    match st.ledger.settle(fw.item, attempt) {
+                    let mut led = lock(ledger.stripe(fw.item));
+                    match led.settle(fw.item, attempt) {
                         DeliveryOutcome::Accepted => {
-                            if st.ledger.abandoned.remove(&fw.item) {
-                                st.ledger.stats.items_abandoned -= 1;
+                            if led.abandoned.remove(&fw.item) {
+                                led.stats.items_abandoned -= 1;
                             }
                             if duplicated {
                                 // The network replays the same assignment;
                                 // the ledger must drop the second copy.
-                                if st.ledger.settle(fw.item, attempt) == DeliveryOutcome::Duplicate
-                                {
-                                    st.ledger.stats.duplicates_dropped += 1;
+                                if led.settle(fw.item, attempt) == DeliveryOutcome::Duplicate {
+                                    led.stats.duplicates_dropped += 1;
                                 }
                             }
-                            st.in_flight -= 1;
-                            drop(st);
-                            match output {
-                                WorkerOutput::Working(ts) => lock(working).extend(ts),
-                                WorkerOutput::Results(rs) => lock(results).extend(rs),
-                            }
+                            drop(led);
+                            local.push((fw.item, output));
                         }
                         DeliveryOutcome::Duplicate => {
-                            st.ledger.stats.duplicates_dropped += 1;
-                            st.in_flight -= 1;
+                            led.stats.duplicates_dropped += 1;
                         }
                         DeliveryOutcome::LateAfterReassign => {
-                            st.ledger.stats.late_after_reassign += 1;
-                            st.in_flight -= 1;
+                            led.stats.late_after_reassign += 1;
                         }
-                        DeliveryOutcome::WindowClosed => {
-                            st.in_flight -= 1;
-                        }
+                        DeliveryOutcome::WindowClosed => {}
                     }
+                    queue.resolve();
                 }
-            });
+                local
+            }));
         }
+        let mut accepted = Vec::new();
+        for h in handles {
+            if let Ok(local) = h.join() {
+                accepted.extend(local);
+            }
+        }
+        accepted
     });
-    if let Some(e) = lock(&first_err).take() {
+    if let Some(e) = first_err.take() {
         return Err(e);
     }
-    let mut working = std::mem::take(&mut *lock(&working));
-    let mut results = std::mem::take(&mut *lock(&results));
-    let mut st = state
-        .into_inner()
-        .unwrap_or_else(std::sync::PoisonError::into_inner);
-    st.ledger.flush_stash(&mut working, &mut results);
-    report.absorb(st.ledger);
-    Ok((working, results))
+    let mut accepted = accepted;
+    let mut merged = ledger.into_merged();
+    merged.flush_stash(&mut accepted);
+    report.absorb(merged);
+    Ok(merge_outputs(accepted))
 }
 
 /// Partition the working set as a plan step prescribes (threaded flavour:
@@ -540,6 +686,9 @@ pub fn run_plan_threaded_with(
     run_plan_threaded_impl(tdss, querier, query, params, plan, n_workers, cfg, false)
 }
 
+/// Collection-phase seed, mixed with (item, attempt) per contribution.
+const COLLECTION_SEED: u64 = 0x5eed;
+
 /// The shared interpreter behind [`run_plan_threaded_with`]. With
 /// `as_discovery` every phase is attributed to [`Phase::Discovery`] — in
 /// fault coordinates, abort errors and the report — so a chaos schedule
@@ -585,44 +734,66 @@ fn run_plan_threaded_impl(
     // A TDS's contribution can only come from that TDS, so retries stay
     // pinned to the worker holding it rather than going through the shared
     // queue: each worker loops locally until the delivery settles or the
-    // retry budget runs out.
+    // retry budget runs out. Contributions are merged in TDS order, and
+    // each (TDS, attempt) seals with its own RNG, so the collected working
+    // set is byte-identical for any worker count.
     let phase_clock = std::time::Instant::now();
-    let collected: Mutex<Vec<StoredTuple>> = Mutex::new(Vec::new());
-    let col_ledger: Mutex<DeliveryLedger> = Mutex::new(DeliveryLedger::default());
-    let first_err: Mutex<Option<ProtocolError>> = Mutex::new(None);
+    let faults_active = cfg.faults.is_active();
+    let col_ledger = StripedLedger::new(n_workers.max(8));
+    let first_err = FirstError::new();
     let chunk_size = tdss.len().div_ceil(n_workers);
     let item_base = next_item;
     next_item += tdss.len() as u64;
-    std::thread::scope(|scope| {
+    let accepted = std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(n_workers);
         for (w, chunk) in tdss.chunks(chunk_size).enumerate() {
-            let collected = &collected;
             let col_ledger = &col_ledger;
             let first_err = &first_err;
             let envelope = &envelope;
-            scope.spawn(move || {
-                let mut rng = StdRng::seed_from_u64(0x5eed + w as u64);
+            handles.push(scope.spawn(move || {
+                let mut local: Vec<(u64, WorkerOutput)> = Vec::new();
                 for (k, tds) in chunk.iter().enumerate() {
                     let item = item_base + (w * chunk_size + k) as u64;
+                    if !faults_active {
+                        // Healthy fast path: no fault legs, no ledger locks —
+                        // collection scales with zero shared-state traffic.
+                        if first_err.is_set() {
+                            return local;
+                        }
+                        let mut rng = item_rng(COLLECTION_SEED, item, 1);
+                        let step = (|| -> Result<Vec<StoredTuple>> {
+                            let ctx = tds.open_query(envelope, params.clone(), 0)?;
+                            tds.collect(&ctx, &mut rng)
+                        })();
+                        match step {
+                            Ok(tuples) => local.push((item, WorkerOutput::Working(tuples))),
+                            Err(e) => {
+                                first_err.set(e);
+                                return local;
+                            }
+                        }
+                        continue;
+                    }
                     let mut attempt: u32 = 0;
                     loop {
-                        if lock(first_err).is_some() {
-                            return;
+                        if first_err.is_set() {
+                            return local;
                         }
                         if attempt >= cfg.retry_budget {
-                            let mut led = lock(col_ledger);
                             if cfg.degrade {
+                                let mut led = lock(col_ledger.stripe(item));
                                 led.stats.items_abandoned += 1;
                                 led.abandoned.insert(item);
                                 break;
                             }
-                            drop(led);
-                            lock(first_err).get_or_insert(ProtocolError::QueryAborted {
+                            first_err.set(ProtocolError::QueryAborted {
                                 phase: col_phase,
                                 retries: attempt,
                             });
-                            return;
+                            return local;
                         }
                         attempt += 1;
+                        let mut rng = item_rng(COLLECTION_SEED, item, attempt);
                         // Download leg: the query envelope itself may arrive
                         // corrupted — `open_query` then fails to authenticate.
                         let corrupted = cfg.faults.corrupt_download(col_phase, item, attempt);
@@ -649,28 +820,30 @@ fn run_plan_threaded_impl(
                                         ProtocolError::Crypto(_) | ProtocolError::Codec(_)
                                     ) =>
                             {
-                                lock(col_ledger).stats.corrupt_rejected += 1;
+                                lock(col_ledger.stripe(item)).stats.corrupt_rejected += 1;
                                 continue;
                             }
                             Err(e) => {
-                                lock(first_err).get_or_insert(e);
-                                return;
+                                first_err.set(e);
+                                return local;
                             }
                             Ok(tuples) => tuples,
                         };
                         // Upload leg.
                         if cfg.faults.lose_upload(col_phase, item, attempt) {
-                            lock(col_ledger).stats.lost_uploads += 1;
+                            lock(col_ledger.stripe(item)).stats.lost_uploads += 1;
                             continue;
                         }
                         if cfg.faults.deliver_late(col_phase, item, attempt) {
-                            let mut led = lock(col_ledger);
-                            led.stash
-                                .push((item, attempt, WorkerOutput::Working(tuples)));
+                            lock(col_ledger.stripe(item)).stash.push((
+                                item,
+                                attempt,
+                                WorkerOutput::Working(tuples),
+                            ));
                             continue;
                         }
                         let duplicated = cfg.faults.duplicate_upload(col_phase, item, attempt);
-                        let mut led = lock(col_ledger);
+                        let mut led = lock(col_ledger.stripe(item));
                         match led.settle(item, attempt) {
                             DeliveryOutcome::Accepted => {
                                 if duplicated
@@ -679,7 +852,7 @@ fn run_plan_threaded_impl(
                                     led.stats.duplicates_dropped += 1;
                                 }
                                 drop(led);
-                                lock(collected).extend(tuples);
+                                local.push((item, WorkerOutput::Working(tuples)));
                                 break;
                             }
                             DeliveryOutcome::Duplicate => {
@@ -694,22 +867,28 @@ fn run_plan_threaded_impl(
                         }
                     }
                 }
-            });
+                local
+            }));
         }
+        let mut accepted = Vec::new();
+        for h in handles {
+            if let Ok(local) = h.join() {
+                accepted.extend(local);
+            }
+        }
+        accepted
     });
-    if let Some(e) = lock(&first_err).take() {
+    if let Some(e) = first_err.take() {
         return Err(e);
     }
-    let mut working = std::mem::take(&mut *lock(&collected));
+    let mut accepted = accepted;
     {
         // Deliver stashed (late) collection uploads before the window closes.
-        let mut led = col_ledger
-            .into_inner()
-            .unwrap_or_else(std::sync::PoisonError::into_inner);
-        let mut no_results: Vec<Bytes> = Vec::new();
-        led.flush_stash(&mut working, &mut no_results);
+        let mut led = col_ledger.into_merged();
+        led.flush_stash(&mut accepted);
         report.absorb(led);
     }
+    let (mut working, _) = merge_outputs(accepted);
     report.metrics.observe(
         &format!("threaded.{col_phase}.wall_us"),
         phase_clock.elapsed().as_micros() as u64,

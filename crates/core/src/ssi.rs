@@ -7,9 +7,19 @@
 //! observation log, which the security tests and the exposure analysis mine
 //! for leaks. By construction this type holds only ciphertexts ([`bytes::Bytes`]
 //! blobs) and tags — there is no code path by which it could decrypt.
+//!
+//! Concurrency: every delivery method takes `&self`. Per-query state lives
+//! behind an [`Arc`] handle pulled from a briefly read-locked registry, and
+//! inside a query the settle ledger is **lock-striped** twice — assignment
+//! slots by assignment id, completed items by work-item id — so concurrent
+//! deliveries serialize only when they genuinely race on the same item or
+//! assignment (the races the dedup ledger exists to adjudicate). 100k TDSs
+//! uploading collection tuples for different work items touch 100k different
+//! stripe combinations, not one mutex.
 
 use std::collections::{BTreeMap, BTreeSet};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError, RwLock};
 
 use tdsql_obs::{Field, Obs};
 
@@ -22,6 +32,17 @@ use crate::message::{
 };
 use crate::protocol::ProtocolKind;
 use crate::stats::Phase;
+
+/// Stripes per ledger level. Settles take two short critical sections (one
+/// assignment stripe, then one item stripe — sequential, never nested), so a
+/// modest stripe count already removes essentially all false sharing.
+const LEDGER_STRIPES: usize = 16;
+
+/// Lock a mutex, recovering the data on poison: a panicking delivery thread
+/// must not poison the server for everyone else.
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// Debug-mode leak tripwire: every tag form the SSI observes must appear in
 /// the posting protocol's [`ExposureDeclaration`]. A failure here means a
@@ -56,43 +77,101 @@ struct AssignmentSlot {
     settled: bool,
 }
 
-/// Per-query server-side state.
-#[derive(Debug, Clone)]
-struct QueryState {
+/// Per-query server-side state, shared by `Arc` so deliveries to different
+/// queries never hold the registry lock while they work.
+#[derive(Debug)]
+struct QueryHandle {
+    /// Immutable after posting.
     envelope: QueryEnvelope,
     /// Covering Result of the collection phase.
-    collection: Vec<StoredTuple>,
+    collection: Mutex<Vec<StoredTuple>>,
     /// Working set of the aggregation phase.
-    working: Vec<StoredTuple>,
+    working: Mutex<Vec<StoredTuple>>,
     /// Final `k1`-encrypted rows awaiting the querier.
-    results: Vec<Bytes>,
-    collection_closed: bool,
-    /// Issued assignments, keyed by [`AssignmentId`].
-    assignments: BTreeMap<u64, AssignmentSlot>,
-    /// Work items already completed by some assignment's delivery.
-    items_done: BTreeSet<u64>,
+    results: Mutex<Vec<Bytes>>,
+    collection_closed: AtomicBool,
+    /// Issued assignments, striped by [`AssignmentId`].
+    assignments: Vec<Mutex<BTreeMap<u64, AssignmentSlot>>>,
+    /// Work items already completed by some assignment's delivery, striped
+    /// by item id.
+    items_done: Vec<Mutex<BTreeSet<u64>>>,
     /// Next work-item id to hand out.
-    next_item: u64,
+    next_item: AtomicU64,
+}
+
+impl QueryHandle {
+    fn new(envelope: QueryEnvelope) -> Self {
+        Self {
+            envelope,
+            collection: Mutex::new(Vec::new()),
+            working: Mutex::new(Vec::new()),
+            results: Mutex::new(Vec::new()),
+            collection_closed: AtomicBool::new(false),
+            assignments: (0..LEDGER_STRIPES).map(|_| Mutex::default()).collect(),
+            items_done: (0..LEDGER_STRIPES).map(|_| Mutex::default()).collect(),
+            next_item: AtomicU64::new(0),
+        }
+    }
+
+    fn assignment_stripe(&self, assignment: AssignmentId) -> &Mutex<BTreeMap<u64, AssignmentSlot>> {
+        &self.assignments[(assignment.0 as usize) % LEDGER_STRIPES]
+    }
+
+    fn item_stripe(&self, item: u64) -> &Mutex<BTreeSet<u64>> {
+        &self.items_done[(item as usize) % LEDGER_STRIPES]
+    }
+
+    /// Dedup core: settle a delivery under `assignment`. First completed
+    /// delivery per work item is accepted; a repeat of the same assignment is
+    /// a duplicate; a different assignment of an already-done item is a late
+    /// arrival after reassignment. Rejects assignments the SSI never issued.
+    ///
+    /// Two sequential critical sections: the assignment stripe adjudicates
+    /// "did *this* assignment already settle?", then the item stripe
+    /// adjudicates "did *any* assignment already complete this item?". The
+    /// item stripe is the single serialization point per item, so even under
+    /// concurrent racing assignments exactly one delivery comes back
+    /// [`DeliveryOutcome::Accepted`].
+    fn settle(&self, query_id: u64, assignment: AssignmentId) -> Result<DeliveryOutcome> {
+        let item = {
+            let mut slots = lock(self.assignment_stripe(assignment));
+            let slot = slots
+                .get_mut(&assignment.0)
+                .ok_or(ProtocolError::InvalidTransition {
+                    query_id,
+                    what: "delivery under an assignment the SSI never issued",
+                })?;
+            if slot.settled {
+                return Ok(DeliveryOutcome::Duplicate);
+            }
+            slot.settled = true;
+            slot.item
+        };
+        if !lock(self.item_stripe(item)).insert(item) {
+            return Ok(DeliveryOutcome::LateAfterReassign);
+        }
+        Ok(DeliveryOutcome::Accepted)
+    }
 }
 
 /// The untrusted supporting server.
 #[derive(Debug, Default)]
 pub struct Ssi {
-    next_query_id: u64,
-    next_assignment_id: u64,
-    queries: BTreeMap<u64, QueryState>,
+    next_query_id: AtomicU64,
+    next_assignment_id: AtomicU64,
+    queries: RwLock<BTreeMap<u64, Arc<QueryHandle>>>,
     /// Everything the SSI has observed, in arrival order.
-    pub observations: Vec<Observation>,
+    observations: Mutex<Vec<Observation>>,
     /// When enabled, every ciphertext that ever crossed the server is kept
     /// verbatim — modelling an SSI that archives traffic hoping to decrypt
     /// it later (e.g. after compromising a TDS). Used by the
     /// [`crate::adversary`] analysis.
-    retain_blobs: bool,
-    retained: Vec<(u64, Phase, StoredTuple)>,
+    retain_blobs: AtomicBool,
+    retained: Mutex<Vec<(u64, Phase, StoredTuple)>>,
     /// Named, k2-sealed blobs parked by TDSs for other TDSs — e.g. the
     /// discovered distribution histogram that ED_Hist refreshes "from time
     /// to time". Opaque to the SSI like everything else.
-    cache: BTreeMap<String, Bytes>,
+    cache: Mutex<BTreeMap<String, Bytes>>,
     /// Trace collector, if the runtime attached one. Everything the SSI
     /// emits through it is bounded by the posting protocol's
     /// [`ExposureDeclaration`]: tag *forms* are public only when declared,
@@ -108,13 +187,24 @@ impl Ssi {
 
     /// Start archiving every ciphertext (threat-model analysis).
     pub fn enable_retention(&mut self) {
-        self.retain_blobs = true;
+        self.retain_blobs.store(true, Ordering::Relaxed);
     }
 
     /// Attach a trace collector; from here on, accepted deliveries emit
     /// `ssi.observe` events through it.
     pub fn attach_obs(&mut self, obs: Arc<Obs>) {
         self.obs = Some(obs);
+    }
+
+    /// Snapshot of the observation log, in arrival order. (A snapshot, not a
+    /// borrow: the log is behind a lock so concurrent deliveries can append.)
+    pub fn observations(&self) -> Vec<Observation> {
+        lock(&self.observations).clone()
+    }
+
+    /// Number of entries in the observation log.
+    pub fn observations_len(&self) -> usize {
+        lock(&self.observations).len()
     }
 
     /// Emit one `ssi.observe` event summarizing an accepted delivery batch.
@@ -186,22 +276,20 @@ impl Ssi {
         obs.event("ssi.observe", None, fields);
     }
 
-    /// The archived traffic: (query id, phase, stored tuple).
-    pub fn retained(&self) -> &[(u64, Phase, StoredTuple)] {
-        &self.retained
+    /// The archived traffic: (query id, phase, stored tuple) snapshots.
+    pub fn retained(&self) -> Vec<(u64, Phase, StoredTuple)> {
+        lock(&self.retained).clone()
     }
 
-    fn retain(&mut self, query_id: u64, phase: Phase, tuples: &[StoredTuple]) {
-        if self.retain_blobs {
-            self.retained
-                .extend(tuples.iter().map(|t| (query_id, phase, t.clone())));
+    fn retain(&self, query_id: u64, phase: Phase, tuples: &[StoredTuple]) {
+        if self.retain_blobs.load(Ordering::Relaxed) {
+            lock(&self.retained).extend(tuples.iter().map(|t| (query_id, phase, t.clone())));
         }
     }
 
     /// Post a query to the global querybox (step 1). Returns the query id.
-    pub fn post_query(&mut self, mut envelope: QueryEnvelope) -> u64 {
-        let id = self.next_query_id;
-        self.next_query_id += 1;
+    pub fn post_query(&self, mut envelope: QueryEnvelope) -> u64 {
+        let id = self.next_query_id.fetch_add(1, Ordering::Relaxed);
         envelope.query_id = id;
         if let Some(obs) = &self.obs {
             // The query text reaches the SSI only as a k1 ciphertext, but the
@@ -217,31 +305,19 @@ impl Ssi {
                 ],
             );
         }
-        self.queries.insert(
-            id,
-            QueryState {
-                envelope,
-                collection: Vec::new(),
-                working: Vec::new(),
-                results: Vec::new(),
-                collection_closed: false,
-                assignments: BTreeMap::new(),
-                items_done: BTreeSet::new(),
-                next_item: 0,
-            },
-        );
+        self.queries
+            .write()
+            .unwrap_or_else(PoisonError::into_inner)
+            .insert(id, Arc::new(QueryHandle::new(envelope)));
         id
     }
 
-    fn state(&self, query_id: u64) -> Result<&QueryState> {
+    fn handle(&self, query_id: u64) -> Result<Arc<QueryHandle>> {
         self.queries
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
             .get(&query_id)
-            .ok_or(ProtocolError::UnknownQuery { query_id })
-    }
-
-    fn state_mut(&mut self, query_id: u64) -> Result<&mut QueryState> {
-        self.queries
-            .get_mut(&query_id)
+            .cloned()
             .ok_or(ProtocolError::UnknownQuery { query_id })
     }
 
@@ -251,143 +327,117 @@ impl Ssi {
     /// one TDS's collection contribution). Item ids never repeat within a
     /// query, so a wave-2 partition can never collide with a completed
     /// wave-1 item in the dedup ledger.
-    pub fn new_item(&mut self, query_id: u64) -> Result<u64> {
-        let st = self.state_mut(query_id)?;
-        let item = st.next_item;
-        st.next_item += 1;
-        Ok(item)
+    pub fn new_item(&self, query_id: u64) -> Result<u64> {
+        Ok(self
+            .handle(query_id)?
+            .next_item
+            .fetch_add(1, Ordering::Relaxed))
     }
 
     /// Register one delivery attempt for a work item and return its unique
     /// [`AssignmentId`]. Every upload must quote the assignment it answers;
     /// re-sent work gets a fresh assignment for the same item.
-    pub fn begin_assignment(&mut self, query_id: u64, item: u64) -> Result<AssignmentId> {
-        let id = self.next_assignment_id;
-        {
-            let st = self.state_mut(query_id)?;
-            if item >= st.next_item {
-                return Err(ProtocolError::InvalidTransition {
-                    query_id,
-                    what: "assignment for a work item the SSI never allocated",
-                });
-            }
-            st.assignments.insert(
-                id,
-                AssignmentSlot {
-                    item,
-                    settled: false,
-                },
-            );
+    pub fn begin_assignment(&self, query_id: u64, item: u64) -> Result<AssignmentId> {
+        let st = self.handle(query_id)?;
+        if item >= st.next_item.load(Ordering::Relaxed) {
+            return Err(ProtocolError::InvalidTransition {
+                query_id,
+                what: "assignment for a work item the SSI never allocated",
+            });
         }
-        self.next_assignment_id += 1;
+        let id = self.next_assignment_id.fetch_add(1, Ordering::Relaxed);
+        lock(st.assignment_stripe(AssignmentId(id))).insert(
+            id,
+            AssignmentSlot {
+                item,
+                settled: false,
+            },
+        );
         Ok(AssignmentId(id))
-    }
-
-    /// Dedup core: settle a delivery under `assignment`. First completed
-    /// delivery per work item is accepted; a repeat of the same assignment is
-    /// a duplicate; a different assignment of an already-done item is a late
-    /// arrival after reassignment. Rejects assignments the SSI never issued.
-    fn settle(
-        st: &mut QueryState,
-        query_id: u64,
-        assignment: AssignmentId,
-    ) -> Result<DeliveryOutcome> {
-        let slot =
-            st.assignments
-                .get_mut(&assignment.0)
-                .ok_or(ProtocolError::InvalidTransition {
-                    query_id,
-                    what: "delivery under an assignment the SSI never issued",
-                })?;
-        if slot.settled {
-            return Ok(DeliveryOutcome::Duplicate);
-        }
-        slot.settled = true;
-        let item = slot.item;
-        if !st.items_done.insert(item) {
-            return Ok(DeliveryOutcome::LateAfterReassign);
-        }
-        Ok(DeliveryOutcome::Accepted)
     }
 
     /// Has this work item already been completed by some delivery?
     pub fn item_done(&self, query_id: u64, item: u64) -> Result<bool> {
-        Ok(self.state(query_id)?.items_done.contains(&item))
+        let st = self.handle(query_id)?;
+        let done = lock(st.item_stripe(item)).contains(&item);
+        Ok(done)
     }
 
     /// The posted envelope — what connecting TDSs download (step 2).
-    pub fn envelope(&self, query_id: u64) -> Result<&QueryEnvelope> {
-        Ok(&self.state(query_id)?.envelope)
+    pub fn envelope(&self, query_id: u64) -> Result<QueryEnvelope> {
+        Ok(self.handle(query_id)?.envelope.clone())
     }
 
     /// Receive collection-phase tuples from a TDS (step 4 / 4'), delivered
     /// under an assignment. Duplicated and late deliveries are deduplicated —
     /// at-least-once transport must never double-count a contribution.
     pub fn receive_collection(
-        &mut self,
+        &self,
         query_id: u64,
         assignment: AssignmentId,
         tuples: Vec<StoredTuple>,
     ) -> Result<DeliveryOutcome> {
-        // Record observations first (split borrows via a local buffer).
         let obs: Vec<Observation> = tuples
             .iter()
             .map(|t| Observation::of(query_id, Phase::Collection, t))
             .collect();
         self.retain(query_id, Phase::Collection, &tuples);
-        let protocol;
-        let outcome;
-        {
-            let st = self.state_mut(query_id)?;
-            debug_check_declared(&st.envelope, Phase::Collection, &tuples);
-            if st.collection_closed {
-                // Late arrivals after SIZE closed the window are dropped; the
-                // paper's stream semantics end the window at SIZE.
-                return Ok(DeliveryOutcome::WindowClosed);
-            }
-            protocol = st.envelope.protocol;
-            outcome = Self::settle(st, query_id, assignment)?;
+        let st = self.handle(query_id)?;
+        debug_check_declared(&st.envelope, Phase::Collection, &tuples);
+        if st.collection_closed.load(Ordering::Acquire) {
+            // Late arrivals after SIZE closed the window are dropped; the
+            // paper's stream semantics end the window at SIZE.
+            return Ok(DeliveryOutcome::WindowClosed);
         }
+        let outcome = st.settle(query_id, assignment)?;
         if outcome == DeliveryOutcome::Accepted {
-            self.trace_observe(query_id, Phase::Collection, protocol, &tuples);
-            self.state_mut(query_id)?.collection.extend(tuples);
-            self.observations.extend(obs);
+            self.trace_observe(query_id, Phase::Collection, st.envelope.protocol, &tuples);
+            lock(&st.collection).extend(tuples);
+            lock(&self.observations).extend(obs);
         }
         Ok(outcome)
     }
 
     /// Number of tuples collected so far (what the SIZE clause sees).
     pub fn collection_count(&self, query_id: u64) -> Result<usize> {
-        Ok(self.state(query_id)?.collection.len())
+        let st = self.handle(query_id)?;
+        let n = lock(&st.collection).len();
+        Ok(n)
     }
 
     /// Evaluate the SIZE tuple bound (the round bound is the runtime's job).
     pub fn size_tuples_reached(&self, query_id: u64) -> Result<bool> {
-        let st = self.state(query_id)?;
+        let st = self.handle(query_id)?;
         match st.envelope.size.max_tuples {
-            Some(max) => Ok(st.collection.len() as u64 >= max),
+            Some(max) => Ok(lock(&st.collection).len() as u64 >= max),
             None => Ok(false),
         }
     }
 
     /// Close the collection window and move the Covering Result into the
     /// working set for the aggregation/filtering phases.
-    pub fn close_collection(&mut self, query_id: u64) -> Result<()> {
-        let st = self.state_mut(query_id)?;
-        st.collection_closed = true;
-        st.working = std::mem::take(&mut st.collection);
+    pub fn close_collection(&self, query_id: u64) -> Result<()> {
+        let st = self.handle(query_id)?;
+        st.collection_closed.store(true, Ordering::Release);
+        let collected = std::mem::take(&mut *lock(&st.collection));
+        *lock(&st.working) = collected;
         Ok(())
     }
 
     /// Has the collection window been closed?
     pub fn collection_closed(&self, query_id: u64) -> Result<bool> {
-        Ok(self.state(query_id)?.collection_closed)
+        Ok(self
+            .handle(query_id)?
+            .collection_closed
+            .load(Ordering::Acquire))
     }
 
     /// Take the whole working set (the plan interpreter partitions it and
     /// hands the partitions to connected TDSs).
-    pub fn take_working(&mut self, query_id: u64) -> Result<Vec<StoredTuple>> {
-        Ok(std::mem::take(&mut self.state_mut(query_id)?.working))
+    pub fn take_working(&self, query_id: u64) -> Result<Vec<StoredTuple>> {
+        let st = self.handle(query_id)?;
+        let working = std::mem::take(&mut *lock(&st.working));
+        Ok(working)
     }
 
     /// Store tuples back into the working set (step 8: partial aggregations
@@ -396,7 +446,7 @@ impl Ssi {
     /// entering the working set twice would double-count, so only the first
     /// completed delivery per work item is merged.
     pub fn receive_working(
-        &mut self,
+        &self,
         query_id: u64,
         assignment: AssignmentId,
         phase: Phase,
@@ -407,24 +457,19 @@ impl Ssi {
             .map(|t| Observation::of(query_id, phase, t))
             .collect();
         self.retain(query_id, phase, &tuples);
-        let protocol;
-        let outcome;
-        {
-            let st = self.state_mut(query_id)?;
-            if !st.collection_closed {
-                return Err(ProtocolError::InvalidTransition {
-                    query_id,
-                    what: "aggregation delivery while the collection window is open",
-                });
-            }
-            debug_check_declared(&st.envelope, phase, &tuples);
-            protocol = st.envelope.protocol;
-            outcome = Self::settle(st, query_id, assignment)?;
+        let st = self.handle(query_id)?;
+        if !st.collection_closed.load(Ordering::Acquire) {
+            return Err(ProtocolError::InvalidTransition {
+                query_id,
+                what: "aggregation delivery while the collection window is open",
+            });
         }
+        debug_check_declared(&st.envelope, phase, &tuples);
+        let outcome = st.settle(query_id, assignment)?;
         if outcome == DeliveryOutcome::Accepted {
-            self.trace_observe(query_id, phase, protocol, &tuples);
-            self.state_mut(query_id)?.working.extend(tuples);
-            self.observations.extend(obs);
+            self.trace_observe(query_id, phase, st.envelope.protocol, &tuples);
+            lock(&st.working).extend(tuples);
+            lock(&self.observations).extend(obs);
         }
         Ok(outcome)
     }
@@ -434,7 +479,7 @@ impl Ssi {
     /// between plan steps. This is SSI-internal data movement, not an upload
     /// crossing the faulty transport, so no assignment and no dedup apply.
     pub fn restore_working(
-        &mut self,
+        &self,
         query_id: u64,
         phase: Phase,
         tuples: Vec<StoredTuple>,
@@ -444,21 +489,19 @@ impl Ssi {
             .map(|t| Observation::of(query_id, phase, t))
             .collect();
         self.retain(query_id, phase, &tuples);
-        let protocol;
-        {
-            let st = self.state_mut(query_id)?;
-            debug_check_declared(&st.envelope, phase, &tuples);
-            protocol = st.envelope.protocol;
-        }
-        self.trace_observe(query_id, phase, protocol, &tuples);
-        self.state_mut(query_id)?.working.extend(tuples);
-        self.observations.extend(obs);
+        let st = self.handle(query_id)?;
+        debug_check_declared(&st.envelope, phase, &tuples);
+        self.trace_observe(query_id, phase, st.envelope.protocol, &tuples);
+        lock(&st.working).extend(tuples);
+        lock(&self.observations).extend(obs);
         Ok(())
     }
 
     /// Current working-set size.
     pub fn working_len(&self, query_id: u64) -> Result<usize> {
-        Ok(self.state(query_id)?.working.len())
+        let st = self.handle(query_id)?;
+        let n = lock(&st.working).len();
+        Ok(n)
     }
 
     /// Receive final `k1`-encrypted rows (step 12) and concatenate them into
@@ -466,7 +509,7 @@ impl Ssi {
     /// other upload: a duplicated filtering delivery would repeat result rows
     /// to the querier.
     pub fn receive_results(
-        &mut self,
+        &self,
         query_id: u64,
         assignment: AssignmentId,
         rows: Vec<Bytes>,
@@ -484,25 +527,22 @@ impl Ssi {
                 )
             })
             .collect();
-        let outcome;
-        {
-            let st = self.state_mut(query_id)?;
-            if !st.collection_closed {
-                return Err(ProtocolError::InvalidTransition {
-                    query_id,
-                    what: "filtering delivery while the collection window is open",
-                });
-            }
-            if cfg!(debug_assertions) {
-                let decl = ExposureDeclaration::for_protocol(st.envelope.protocol);
-                debug_assert!(
-                    decl.allows(Phase::Filtering, TagForm::None),
-                    "protocol {} declares no filtering-phase output",
-                    st.envelope.protocol.name(),
-                );
-            }
-            outcome = Self::settle(st, query_id, assignment)?;
+        let st = self.handle(query_id)?;
+        if !st.collection_closed.load(Ordering::Acquire) {
+            return Err(ProtocolError::InvalidTransition {
+                query_id,
+                what: "filtering delivery while the collection window is open",
+            });
         }
+        if cfg!(debug_assertions) {
+            let decl = ExposureDeclaration::for_protocol(st.envelope.protocol);
+            debug_assert!(
+                decl.allows(Phase::Filtering, TagForm::None),
+                "protocol {} declares no filtering-phase output",
+                st.envelope.protocol.name(),
+            );
+        }
+        let outcome = st.settle(query_id, assignment)?;
         if outcome == DeliveryOutcome::Accepted {
             if let Some(o) = &self.obs {
                 o.event(
@@ -517,21 +557,24 @@ impl Ssi {
                     ],
                 );
             }
-            self.state_mut(query_id)?.results.extend(rows);
-            self.observations.extend(obs);
+            lock(&st.results).extend(rows);
+            lock(&self.observations).extend(obs);
         }
         Ok(outcome)
     }
 
-    /// Deliver the concatenated result to the querier (step 13).
-    pub fn results(&self, query_id: u64) -> Result<&[Bytes]> {
-        Ok(&self.state(query_id)?.results)
+    /// Deliver the concatenated result to the querier (step 13). `Bytes`
+    /// blobs are Arc-backed, so the snapshot is refcount bumps, not copies.
+    pub fn results(&self, query_id: u64) -> Result<Vec<Bytes>> {
+        let st = self.handle(query_id)?;
+        let rows = lock(&st.results).clone();
+        Ok(rows)
     }
 
     /// Park a named k2-sealed blob for later download by TDSs (histogram
     /// cache and similar cross-query state).
-    pub fn put_cache(&mut self, name: &str, blob: Bytes) {
-        self.observations.push(Observation::of(
+    pub fn put_cache(&self, name: &str, blob: Bytes) {
+        lock(&self.observations).push(Observation::of(
             u64::MAX,
             Phase::Collection,
             &StoredTuple {
@@ -539,19 +582,21 @@ impl Ssi {
                 blob: blob.clone(),
             },
         ));
-        self.cache.insert(name.to_string(), blob);
+        lock(&self.cache).insert(name.to_string(), blob);
     }
 
-    /// Fetch a parked blob.
-    pub fn get_cache(&self, name: &str) -> Option<&Bytes> {
-        self.cache.get(name)
+    /// Fetch a parked blob (refcount bump — the blob itself is shared).
+    pub fn get_cache(&self, name: &str) -> Option<Bytes> {
+        lock(&self.cache).get(name).cloned()
     }
 
     /// Drop all server-side state for a finished query, reclaiming storage.
     /// (The observation log — what the SSI "remembers" — is deliberately
     /// retained: forgetting is not a security mechanism.)
-    pub fn purge_query(&mut self, query_id: u64) -> Result<()> {
+    pub fn purge_query(&self, query_id: u64) -> Result<()> {
         self.queries
+            .write()
+            .unwrap_or_else(PoisonError::into_inner)
             .remove(&query_id)
             .map(|_| ())
             .ok_or(ProtocolError::UnknownQuery { query_id })
@@ -559,20 +604,28 @@ impl Ssi {
 
     /// Number of queries with live server-side state.
     pub fn live_queries(&self) -> usize {
-        self.queries.len()
+        self.queries
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .len()
     }
 
     /// Total bytes currently stored for a query (collection + working +
     /// results) — feeds the Load_Q accounting.
     pub fn stored_bytes(&self, query_id: u64) -> Result<u64> {
-        let st = self.state(query_id)?;
-        let sum = st
-            .collection
+        let st = self.handle(query_id)?;
+        let sum = lock(&st.collection)
             .iter()
             .map(|t| t.blob.len() as u64)
             .sum::<u64>()
-            + st.working.iter().map(|t| t.blob.len() as u64).sum::<u64>()
-            + st.results.iter().map(|b| b.len() as u64).sum::<u64>();
+            + lock(&st.working)
+                .iter()
+                .map(|t| t.blob.len() as u64)
+                .sum::<u64>()
+            + lock(&st.results)
+                .iter()
+                .map(|b| b.len() as u64)
+                .sum::<u64>();
         Ok(sum)
     }
 }
@@ -608,7 +661,7 @@ mod tests {
     }
 
     /// Collect one tuple batch over a fresh item + assignment.
-    fn collect(ssi: &mut Ssi, qid: u64, tuples: Vec<StoredTuple>) -> DeliveryOutcome {
+    fn collect(ssi: &Ssi, qid: u64, tuples: Vec<StoredTuple>) -> DeliveryOutcome {
         let item = ssi.new_item(qid).unwrap();
         let a = ssi.begin_assignment(qid, item).unwrap();
         ssi.receive_collection(qid, a, tuples).unwrap()
@@ -616,18 +669,18 @@ mod tests {
 
     #[test]
     fn lifecycle() {
-        let mut ssi = Ssi::new();
+        let ssi = Ssi::new();
         let qid = ssi.post_query(envelope());
         assert_eq!(ssi.envelope(qid).unwrap().query_id, qid);
         assert!(!ssi.size_tuples_reached(qid).unwrap());
 
         assert_eq!(
-            collect(&mut ssi, qid, vec![tuple(1)]),
+            collect(&ssi, qid, vec![tuple(1)]),
             DeliveryOutcome::Accepted
         );
         assert!(!ssi.size_tuples_reached(qid).unwrap());
         assert_eq!(
-            collect(&mut ssi, qid, vec![tuple(2)]),
+            collect(&ssi, qid, vec![tuple(2)]),
             DeliveryOutcome::Accepted
         );
         assert!(ssi.size_tuples_reached(qid).unwrap());
@@ -636,7 +689,7 @@ mod tests {
         assert!(ssi.collection_closed(qid).unwrap());
         // Late tuples dropped.
         assert_eq!(
-            collect(&mut ssi, qid, vec![tuple(3)]),
+            collect(&ssi, qid, vec![tuple(3)]),
             DeliveryOutcome::WindowClosed
         );
         assert_eq!(ssi.collection_count(qid).unwrap(), 0);
@@ -656,12 +709,12 @@ mod tests {
         assert_eq!(ssi.results(qid).unwrap().len(), 1);
         // Observations: two collection tuples (the late one was dropped
         // before being observed) plus one result row.
-        assert_eq!(ssi.observations.len(), 3);
+        assert_eq!(ssi.observations().len(), 3);
     }
 
     #[test]
     fn duplicate_and_late_deliveries_are_deduplicated() {
-        let mut ssi = Ssi::new();
+        let ssi = Ssi::new();
         let qid = ssi.post_query(envelope());
         let item = ssi.new_item(qid).unwrap();
         let a1 = ssi.begin_assignment(qid, item).unwrap();
@@ -684,13 +737,78 @@ mod tests {
         );
         // Exactly one contribution was merged and observed.
         assert_eq!(ssi.collection_count(qid).unwrap(), 1);
-        assert_eq!(ssi.observations.len(), 1);
+        assert_eq!(ssi.observations().len(), 1);
         assert!(ssi.item_done(qid, item).unwrap());
+    }
+
+    /// The striped ledger under real contention: many threads race the same
+    /// assignments and items concurrently. Exactly one delivery per item may
+    /// come back Accepted; every other delivery must be classified Duplicate
+    /// (same assignment re-settled) or LateAfterReassign (different
+    /// assignment, item already done) — never double-merged, never lost.
+    #[test]
+    fn concurrent_settles_accept_exactly_once_per_item() {
+        const N_ITEMS: usize = 96;
+        const ASSIGNMENTS_PER_ITEM: usize = 3;
+        const N_THREADS: usize = 8;
+
+        let ssi = Ssi::new();
+        let qid = ssi.post_query(envelope());
+        let mut assignments = Vec::new();
+        for _ in 0..N_ITEMS {
+            let item = ssi.new_item(qid).unwrap();
+            for _ in 0..ASSIGNMENTS_PER_ITEM {
+                assignments.push((item, ssi.begin_assignment(qid, item).unwrap()));
+            }
+        }
+
+        // Every thread tries to deliver under every assignment.
+        let per_thread: Vec<Vec<DeliveryOutcome>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..N_THREADS)
+                .map(|t| {
+                    let ssi = &ssi;
+                    let assignments = &assignments;
+                    scope.spawn(move || {
+                        let mut outcomes = Vec::with_capacity(assignments.len());
+                        // Stagger start points so threads collide on
+                        // different stripes over time.
+                        let n = assignments.len();
+                        for i in 0..n {
+                            let (_, a) = assignments[(t * n / N_THREADS + i) % n];
+                            outcomes.push(ssi.receive_collection(qid, a, vec![tuple(1)]).unwrap());
+                        }
+                        outcomes
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| match h.join() {
+                    Ok(v) => v,
+                    Err(_) => panic!("stress thread panicked"),
+                })
+                .collect()
+        });
+
+        let accepted: usize = per_thread
+            .iter()
+            .flatten()
+            .filter(|&&o| o == DeliveryOutcome::Accepted)
+            .count();
+        let total: usize = per_thread.iter().map(|v| v.len()).sum();
+        assert_eq!(accepted, N_ITEMS, "exactly one Accepted per work item");
+        assert_eq!(total, N_THREADS * N_ITEMS * ASSIGNMENTS_PER_ITEM);
+        // Exactly one contribution per item was merged and observed.
+        assert_eq!(ssi.collection_count(qid).unwrap(), N_ITEMS);
+        assert_eq!(ssi.observations().len(), N_ITEMS);
+        for (item, _) in &assignments {
+            assert!(ssi.item_done(qid, *item).unwrap());
+        }
     }
 
     #[test]
     fn deliveries_respect_the_query_lifecycle() {
-        let mut ssi = Ssi::new();
+        let ssi = Ssi::new();
         let qid = ssi.post_query(envelope());
         let item = ssi.new_item(qid).unwrap();
         let a = ssi.begin_assignment(qid, item).unwrap();
@@ -723,7 +841,7 @@ mod tests {
 
     #[test]
     fn unknown_query_rejected() {
-        let mut ssi = Ssi::new();
+        let ssi = Ssi::new();
         assert!(matches!(
             ssi.envelope(42),
             Err(ProtocolError::UnknownQuery { query_id: 42 })
@@ -744,23 +862,27 @@ mod tests {
 
     #[test]
     fn stored_bytes_accounting() {
-        let mut ssi = Ssi::new();
+        let ssi = Ssi::new();
         let qid = ssi.post_query(envelope());
-        collect(&mut ssi, qid, vec![tuple(1), tuple(2)]);
+        collect(&ssi, qid, vec![tuple(1), tuple(2)]);
         assert_eq!(ssi.stored_bytes(qid).unwrap(), 8);
     }
 
     #[test]
     fn purge_reclaims_state_but_keeps_observations() {
-        let mut ssi = Ssi::new();
+        let ssi = Ssi::new();
         let qid = ssi.post_query(envelope());
-        collect(&mut ssi, qid, vec![tuple(1)]);
-        let observed = ssi.observations.len();
+        collect(&ssi, qid, vec![tuple(1)]);
+        let observed = ssi.observations().len();
         assert_eq!(ssi.live_queries(), 1);
         ssi.purge_query(qid).unwrap();
         assert_eq!(ssi.live_queries(), 0);
         assert!(ssi.envelope(qid).is_err());
-        assert_eq!(ssi.observations.len(), observed, "the SSI does not forget");
+        assert_eq!(
+            ssi.observations().len(),
+            observed,
+            "the SSI does not forget"
+        );
         // A purged query's id is typed-unknown from then on.
         assert!(matches!(
             ssi.purge_query(qid),
@@ -774,7 +896,7 @@ mod tests {
 
     #[test]
     fn ids_are_unique() {
-        let mut ssi = Ssi::new();
+        let ssi = Ssi::new();
         let a = ssi.post_query(envelope());
         let b = ssi.post_query(envelope());
         assert_ne!(a, b);

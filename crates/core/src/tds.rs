@@ -8,6 +8,7 @@
 
 use crate::bytes::Bytes;
 use std::collections::BTreeMap;
+use std::sync::Arc;
 use tdsql_crypto::rng::seq::SliceRandom;
 use tdsql_crypto::rng::Rng;
 use tdsql_crypto::rng::StdRng;
@@ -67,21 +68,63 @@ pub enum ResultDest {
     Tds,
 }
 
+/// The full cipher suite derived from one [`KeyRing`].
+///
+/// Building this is the expensive part of provisioning a TDS: four AES
+/// key-schedule expansions plus four HMAC ipad/opad precomputations. All
+/// TDSs burned from the same ring use *identical* cipher material, so the
+/// context is built once per ring and shared via [`std::sync::Arc`] —
+/// key-schedule construction is O(rings), not O(TDS population).
+#[derive(Clone)]
+pub struct CipherContext {
+    /// `k1` cipher — querier ↔ TDS messages.
+    pub k1: NDetCipher,
+    /// `k2` cipher — TDS ↔ TDS messages relayed by the SSI.
+    pub k2: NDetCipher,
+    /// Deterministic cipher under `k2` material — group tags.
+    pub det2: DetCipher,
+    /// Keyed bucket-id hash — ED_Hist tags.
+    pub bucket_hasher: BucketHasher,
+}
+
+impl CipherContext {
+    /// Derive every cipher from a key ring, once.
+    pub fn new(ring: &KeyRing) -> Self {
+        Self {
+            k1: NDetCipher::new(&ring.k1),
+            k2: NDetCipher::new(&ring.k2),
+            det2: DetCipher::new(&ring.k2),
+            bucket_hasher: BucketHasher::new(&ring.hash),
+        }
+    }
+
+    /// Derive and wrap for sharing across a TDS population.
+    pub fn shared(ring: &KeyRing) -> Arc<Self> {
+        Arc::new(Self::new(ring))
+    }
+}
+
+impl std::fmt::Debug for CipherContext {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Never print key-derived material.
+        write!(f, "CipherContext {{ .. }}")
+    }
+}
+
 /// The Trusted Data Server.
 pub struct Tds {
     /// Stable identifier.
     pub id: u64,
-    k1: NDetCipher,
-    k2: NDetCipher,
-    det2: DetCipher,
-    bucket_hasher: BucketHasher,
+    ciphers: Arc<CipherContext>,
     authority_key: [u8; 32],
     db: Database,
     policy: AccessPolicy,
 }
 
 impl Tds {
-    /// Provision a TDS at burn time.
+    /// Provision a TDS at burn time. Derives a private cipher context;
+    /// population-scale provisioning should build one [`CipherContext`]
+    /// per ring and use [`Tds::with_ciphers`] instead.
     pub fn new(
         id: u64,
         ring: &KeyRing,
@@ -89,12 +132,20 @@ impl Tds {
         db: Database,
         policy: AccessPolicy,
     ) -> Self {
+        Self::with_ciphers(id, CipherContext::shared(ring), authority_key, db, policy)
+    }
+
+    /// Provision a TDS sharing an already-derived cipher context.
+    pub fn with_ciphers(
+        id: u64,
+        ciphers: Arc<CipherContext>,
+        authority_key: [u8; 32],
+        db: Database,
+        policy: AccessPolicy,
+    ) -> Self {
         Self {
             id,
-            k1: NDetCipher::new(&ring.k1),
-            k2: NDetCipher::new(&ring.k2),
-            det2: DetCipher::new(&ring.k2),
-            bucket_hasher: BucketHasher::new(&ring.hash),
+            ciphers,
             authority_key,
             db,
             policy,
@@ -104,10 +155,13 @@ impl Tds {
     /// Install a new key ring (epoch rotation). The authority key and the
     /// local data are untouched; all ciphers are re-derived.
     pub fn rekey(&mut self, ring: &KeyRing) {
-        self.k1 = NDetCipher::new(&ring.k1);
-        self.k2 = NDetCipher::new(&ring.k2);
-        self.det2 = DetCipher::new(&ring.k2);
-        self.bucket_hasher = BucketHasher::new(&ring.hash);
+        self.ciphers = CipherContext::shared(ring);
+    }
+
+    /// Epoch rotation sharing one already-derived context across the
+    /// population (the O(rings) path).
+    pub fn rekey_shared(&mut self, ciphers: Arc<CipherContext>) {
+        self.ciphers = ciphers;
     }
 
     /// The local database (mutable: data acquisition is application-defined).
@@ -130,7 +184,7 @@ impl Tds {
         params: ProtocolParams,
         now_round: u64,
     ) -> Result<QueryContext> {
-        let sql_bytes = self.k1.decrypt(&envelope.enc_query)?;
+        let sql_bytes = self.ciphers.k1.decrypt(&envelope.enc_query)?;
         let sql = String::from_utf8(sql_bytes)
             .map_err(|_| ProtocolError::Codec("query is not UTF-8".into()))?;
         let query = parse_query(&sql)?;
@@ -241,7 +295,7 @@ impl Tds {
                 }
                 inputs.extend(fakes);
                 for t in inputs {
-                    let tag = GroupTag::Det(self.det2.encrypt(&t.key.0));
+                    let tag = GroupTag::Det(Bytes::from(self.ciphers.det2.encrypt(&t.key.0)));
                     out.push(self.seal_k2(tag, t.encode(ctx.params.pad)?, rng));
                 }
             }
@@ -266,7 +320,7 @@ impl Tds {
                     all.push(self.dummy_input(ctx, rng));
                 }
                 for t in all {
-                    let tag = GroupTag::Det(self.det2.encrypt(&t.key.0));
+                    let tag = GroupTag::Det(Bytes::from(self.ciphers.det2.encrypt(&t.key.0)));
                     out.push(self.seal_k2(tag, t.encode(ctx.params.pad)?, rng));
                 }
             }
@@ -279,12 +333,12 @@ impl Tds {
                     let mut d = self.dummy_input(ctx, rng);
                     d.fake = true;
                     let bucket = rng.gen_range(0..hist.n_buckets());
-                    let tag = GroupTag::Bucket(self.bucket_hasher.hash(bucket));
+                    let tag = GroupTag::Bucket(self.ciphers.bucket_hasher.hash(bucket));
                     out.push(self.seal_k2(tag, d.encode(ctx.params.pad)?, rng));
                 } else {
                     for t in inputs {
                         let bucket = hist.bucket_of(&t.key);
-                        let tag = GroupTag::Bucket(self.bucket_hasher.hash(bucket));
+                        let tag = GroupTag::Bucket(self.ciphers.bucket_hasher.hash(bucket));
                         out.push(self.seal_k2(tag, t.encode(ctx.params.pad)?, rng));
                     }
                 }
@@ -342,7 +396,7 @@ impl Tds {
         let plan = self.require_plan(ctx)?;
         let mut groups: BTreeMap<GroupKey, Vec<AggState>> = BTreeMap::new();
         for tuple in partition {
-            let plain = self.k2.decrypt(&tuple.blob)?;
+            let plain = self.ciphers.k2.decrypt(&tuple.blob)?;
             let input = AggInput::decode(&plain)?;
             if input.fake {
                 continue;
@@ -352,7 +406,7 @@ impl Tds {
                 .or_insert_with(|| plan.init_states());
             plan.update_states(states, &input.inputs)?;
         }
-        Ok(self.emit_groups(ctx, groups, retag, rng))
+        self.emit_groups(ctx, groups, retag, rng)
     }
 
     /// Merge a partition of partial-aggregation batches.
@@ -366,7 +420,7 @@ impl Tds {
         let plan = self.require_plan(ctx)?;
         let mut groups: BTreeMap<GroupKey, Vec<AggState>> = BTreeMap::new();
         for tuple in partition {
-            let plain = self.k2.decrypt(&tuple.blob)?;
+            let plain = self.ciphers.k2.decrypt(&tuple.blob)?;
             let batch = PartialAggBatch::decode(&plain)?;
             for (key, states) in batch.entries {
                 match groups.entry(key) {
@@ -379,7 +433,7 @@ impl Tds {
                 }
             }
         }
-        Ok(self.emit_groups(ctx, groups, retag, rng))
+        self.emit_groups(ctx, groups, retag, rng)
     }
 
     fn emit_groups(
@@ -388,23 +442,23 @@ impl Tds {
         groups: BTreeMap<GroupKey, Vec<AggState>>,
         retag: RetagMode,
         rng: &mut StdRng,
-    ) -> Vec<StoredTuple> {
+    ) -> Result<Vec<StoredTuple>> {
         let _ = ctx;
         match retag {
             RetagMode::None => {
                 let batch = PartialAggBatch {
                     entries: groups.into_iter().collect(),
                 };
-                vec![self.seal_k2(GroupTag::None, batch.encode(), rng)]
+                Ok(vec![self.seal_k2(GroupTag::None, batch.encode()?, rng)])
             }
             RetagMode::DetPerGroup => groups
                 .into_iter()
                 .map(|(key, states)| {
-                    let tag = GroupTag::Det(self.det2.encrypt(&key.0));
+                    let tag = GroupTag::Det(Bytes::from(self.ciphers.det2.encrypt(&key.0)));
                     let batch = PartialAggBatch {
                         entries: vec![(key, states)],
                     };
-                    self.seal_k2(tag, batch.encode(), rng)
+                    Ok(self.seal_k2(tag, batch.encode()?, rng))
                 })
                 .collect(),
         }
@@ -422,12 +476,12 @@ impl Tds {
         let _ = ctx;
         let mut out = Vec::new();
         for tuple in partition {
-            let plain = self.k2.decrypt(&tuple.blob)?;
+            let plain = self.ciphers.k2.decrypt(&tuple.blob)?;
             match PlainTuple::decode(&plain)? {
                 PlainTuple::Dummy => {}
                 PlainTuple::Row(values) => {
                     out.push(Bytes::from(
-                        self.k1.encrypt(rng, &ResultRow(values).encode()),
+                        self.ciphers.k1.encrypt(rng, &ResultRow(values).encode()?),
                     ));
                 }
             }
@@ -447,17 +501,17 @@ impl Tds {
         let plan = self.require_plan(ctx)?;
         let mut out = Vec::new();
         for tuple in partition {
-            let plain = self.k2.decrypt(&tuple.blob)?;
+            let plain = self.ciphers.k2.decrypt(&tuple.blob)?;
             let batch = PartialAggBatch::decode(&plain)?;
             for (key, states) in &batch.entries {
                 if !plan.having_passes(key, states)? {
                     continue;
                 }
                 let row = plan.project(key, states)?;
-                let encoded = ResultRow(row).encode();
+                let encoded = ResultRow(row).encode()?;
                 let sealed = match dest {
-                    ResultDest::Querier => self.k1.encrypt(rng, &encoded),
-                    ResultDest::Tds => self.k2.encrypt(rng, &encoded),
+                    ResultDest::Querier => self.ciphers.k1.encrypt(rng, &encoded),
+                    ResultDest::Tds => self.ciphers.k2.encrypt(rng, &encoded),
                 };
                 out.push(Bytes::from(sealed));
             }
@@ -471,7 +525,7 @@ impl Tds {
         blobs
             .iter()
             .map(|b| {
-                let plain = self.k2.decrypt(b)?;
+                let plain = self.ciphers.k2.decrypt(b)?;
                 Ok(ResultRow::decode(&plain)?.0)
             })
             .collect()
@@ -479,12 +533,12 @@ impl Tds {
 
     /// Seal a histogram for SSI-side caching under `k2`.
     pub fn seal_histogram(&self, hist: &Histogram, rng: &mut StdRng) -> Bytes {
-        Bytes::from(self.k2.encrypt(rng, &hist.encode()))
+        Bytes::from(self.ciphers.k2.encrypt(rng, &hist.encode()))
     }
 
     /// Open a `k2`-sealed histogram.
     pub fn open_histogram(&self, blob: &Bytes) -> Result<Histogram> {
-        let plain = self.k2.decrypt(blob)?;
+        let plain = self.ciphers.k2.decrypt(blob)?;
         Histogram::decode(&plain).ok_or_else(|| ProtocolError::Codec("corrupt histogram".into()))
     }
 
@@ -497,7 +551,7 @@ impl Tds {
     fn seal_k2(&self, tag: GroupTag, plain: Vec<u8>, rng: &mut StdRng) -> StoredTuple {
         StoredTuple {
             tag,
-            blob: Bytes::from(self.k2.encrypt(rng, &plain)),
+            blob: Bytes::from(self.ciphers.k2.encrypt(rng, &plain)),
         }
     }
 }

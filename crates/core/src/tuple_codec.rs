@@ -25,6 +25,26 @@ fn corrupt(msg: &str) -> ProtocolError {
     ProtocolError::Codec(msg.to_string())
 }
 
+/// Checked narrowing of a collection length to a `u16` wire counter.
+/// A plain `as u16` cast would wrap at 65 536 and produce a payload that
+/// decodes cleanly to the *wrong* number of elements — a silent data loss.
+fn len_u16(what: &'static str, len: usize) -> Result<u16> {
+    u16::try_from(len).map_err(|_| ProtocolError::LengthOverflow {
+        what,
+        len,
+        max: u16::MAX as usize,
+    })
+}
+
+/// Checked narrowing of a collection length to a `u32` wire counter.
+fn len_u32(what: &'static str, len: usize) -> Result<u32> {
+    u32::try_from(len).map_err(|_| ProtocolError::LengthOverflow {
+        what,
+        len,
+        max: u32::MAX as usize,
+    })
+}
+
 fn read_u8(buf: &[u8], pos: &mut usize) -> Result<u8> {
     let b = *buf.get(*pos).ok_or_else(|| corrupt("unexpected end"))?;
     *pos += 1;
@@ -88,7 +108,7 @@ impl PlainTuple {
         match self {
             PlainTuple::Row(values) => {
                 out.push(0);
-                out.extend_from_slice(&(values.len() as u16).to_be_bytes());
+                out.extend_from_slice(&len_u16("PlainTuple values", values.len())?.to_be_bytes());
                 for v in values {
                     v.canonical_bytes(&mut out);
                 }
@@ -143,9 +163,9 @@ impl AggInput {
     pub fn encode(&self, pad: usize) -> Result<Vec<u8>> {
         let mut out = Vec::with_capacity(pad.max(32));
         out.push(self.fake as u8);
-        out.extend_from_slice(&(self.key.0.len() as u32).to_be_bytes());
+        out.extend_from_slice(&len_u32("AggInput group key", self.key.0.len())?.to_be_bytes());
         out.extend_from_slice(&self.key.0);
-        out.extend_from_slice(&(self.inputs.len() as u16).to_be_bytes());
+        out.extend_from_slice(&len_u16("AggInput inputs", self.inputs.len())?.to_be_bytes());
         for v in &self.inputs {
             v.canonical_bytes(&mut out);
         }
@@ -198,18 +218,22 @@ pub struct PartialAggBatch {
 impl PartialAggBatch {
     /// Encode (no padding: batch sizes are already data-independent, they
     /// depend only on the number of groups in the partition).
-    pub fn encode(&self) -> Vec<u8> {
+    pub fn encode(&self) -> Result<Vec<u8>> {
         let mut out = Vec::new();
-        out.extend_from_slice(&(self.entries.len() as u32).to_be_bytes());
+        out.extend_from_slice(
+            &len_u32("PartialAggBatch entries", self.entries.len())?.to_be_bytes(),
+        );
         for (key, states) in &self.entries {
-            out.extend_from_slice(&(key.0.len() as u32).to_be_bytes());
+            out.extend_from_slice(
+                &len_u32("PartialAggBatch group key", key.0.len())?.to_be_bytes(),
+            );
             out.extend_from_slice(&key.0);
-            out.extend_from_slice(&(states.len() as u16).to_be_bytes());
+            out.extend_from_slice(&len_u16("PartialAggBatch states", states.len())?.to_be_bytes());
             for st in states {
                 st.encode(&mut out);
             }
         }
-        out
+        Ok(out)
     }
 
     /// Decode.
@@ -251,13 +275,13 @@ pub struct ResultRow(pub Vec<Value>);
 
 impl ResultRow {
     /// Encode.
-    pub fn encode(&self) -> Vec<u8> {
+    pub fn encode(&self) -> Result<Vec<u8>> {
         let mut out = Vec::new();
-        out.extend_from_slice(&(self.0.len() as u16).to_be_bytes());
+        out.extend_from_slice(&len_u16("ResultRow values", self.0.len())?.to_be_bytes());
         for v in &self.0 {
             v.canonical_bytes(&mut out);
         }
-        out
+        Ok(out)
     }
 
     /// Decode.
@@ -350,14 +374,14 @@ mod tests {
                 (GroupKey::from_values(&[Value::Int(2)]), vec![st]),
             ],
         };
-        let enc = batch.encode();
+        let enc = batch.encode().unwrap();
         assert_eq!(PartialAggBatch::decode(&enc).unwrap(), batch);
     }
 
     #[test]
     fn result_row_roundtrip() {
         let r = ResultRow(vec![Value::Str("north".into()), Value::Float(3.0)]);
-        assert_eq!(ResultRow::decode(&r.encode()).unwrap(), r);
+        assert_eq!(ResultRow::decode(&r.encode().unwrap()).unwrap(), r);
     }
 
     #[test]
@@ -369,9 +393,43 @@ mod tests {
         assert!(ResultRow::decode(&[0, 1, 1]).is_err());
         // Trailing garbage on unpadded formats is rejected.
         let r = ResultRow(vec![Value::Int(1)]);
-        let mut enc = r.encode();
+        let mut enc = r.encode().unwrap();
         enc.push(0);
         assert!(ResultRow::decode(&enc).is_err());
+    }
+
+    #[test]
+    fn length_overflow_rejected_not_wrapped() {
+        // 65 536 values wraps a u16 counter to 0: the old `as u16` cast
+        // produced a payload that decoded cleanly to an EMPTY row. Now it
+        // is a typed refusal.
+        let row = PlainTuple::Row(vec![Value::Int(0); (u16::MAX as usize) + 1]);
+        match row.encode(1 << 22) {
+            Err(ProtocolError::LengthOverflow { what, len, max }) => {
+                assert_eq!(what, "PlainTuple values");
+                assert_eq!(len, 65_536);
+                assert_eq!(max, 65_535);
+            }
+            other => panic!("expected LengthOverflow, got {other:?}"),
+        }
+        let r = ResultRow(vec![Value::Int(0); (u16::MAX as usize) + 1]);
+        assert!(matches!(
+            r.encode(),
+            Err(ProtocolError::LengthOverflow { .. })
+        ));
+        let a = AggInput {
+            key: GroupKey(vec![]),
+            inputs: vec![Value::Int(0); (u16::MAX as usize) + 1],
+            fake: false,
+        };
+        assert!(matches!(
+            a.encode(1 << 22),
+            Err(ProtocolError::LengthOverflow { .. })
+        ));
+        // The boundary itself is still encodable.
+        let ok = ResultRow(vec![Value::Bool(true); u16::MAX as usize]);
+        let enc = ok.encode().unwrap();
+        assert_eq!(ResultRow::decode(&enc).unwrap().0.len(), u16::MAX as usize);
     }
 
     #[test]

@@ -24,9 +24,21 @@ pub struct SAggModel;
 
 impl SAggModel {
     /// Number of aggregation iterations `n = ⌈log_α(Nt/G)⌉ ≥ 1`.
+    ///
+    /// Counted by an integer power loop, not `log().ceil()`: at exact powers
+    /// of α the float log can land a hair above the integer (e.g.
+    /// `1024f64.log(2.0) == 10.000000000000002`), and `ceil` then over-counts
+    /// a whole iteration — a +10% T_Q error for the cost model. The epsilon
+    /// guard absorbs the opposite rounding (log a hair *below* the integer).
     pub fn iterations(p: &ModelParams) -> u32 {
         let ratio = (p.nt / p.g).max(p.alpha);
-        ratio.log(p.alpha).ceil().max(1.0) as u32
+        let mut n = 0u32;
+        let mut acc = 1.0f64;
+        while acc * (1.0 + 1e-9) < ratio {
+            acc *= p.alpha;
+            n += 1;
+        }
+        n.max(1)
     }
 
     /// TDSs mobilised at iteration `i` (1-based): `(Nt/G)·α^{-i}`, at least 1.
@@ -103,6 +115,33 @@ mod tests {
         assert!((m.tq - expected_tq).abs() / expected_tq < 1e-9, "{}", m.tq);
         // Fig. 10e shows S_Agg ≈ 0.4 s at G = 10³.
         assert!(m.tq > 0.2 && m.tq < 0.8, "T_Q = {}", m.tq);
+    }
+
+    /// Regression for the float-precision over-count: at exact powers of α,
+    /// `log().ceil()` used to return n+1 (`1024f64.log(2.0)` is
+    /// 10.000000000000002), inflating every S_Agg latency estimate by one
+    /// full iteration.
+    #[test]
+    fn exact_powers_of_alpha_do_not_overcount() {
+        let mut p = ModelParams::default();
+        p.alpha = 2.0;
+        p.g = 1.0;
+        for n in 1..=20u32 {
+            p.nt = 2f64.powi(n as i32);
+            assert_eq!(
+                SAggModel::iterations(&p),
+                n,
+                "Nt/G = 2^{n} must take exactly {n} halving iterations"
+            );
+        }
+        // Just past a power needs one more iteration; just under stays.
+        p.nt = 1025.0;
+        assert_eq!(SAggModel::iterations(&p), 11);
+        p.nt = 1023.0;
+        assert_eq!(SAggModel::iterations(&p), 10);
+        // α itself: a ratio clamped up to α is one iteration.
+        p.nt = 1.0;
+        assert_eq!(SAggModel::iterations(&p), 1);
     }
 
     #[test]

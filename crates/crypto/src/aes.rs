@@ -11,6 +11,19 @@ pub const BLOCK_SIZE: usize = 16;
 pub const KEY_SIZE: usize = 16;
 const ROUNDS: usize = 10;
 
+/// Global count of key-schedule expansions performed by [`Aes128::new`].
+///
+/// Key schedules must be built O(rings), never O(tuples): a hot helper that
+/// re-expands a schedule per call turns a 167-cycle hardware operation into
+/// the dominant cost at 100k-TDS populations. The bench report asserts this
+/// counter stays flat across a sweep (see `bench_report --throughput`).
+static KEY_SCHEDULES_BUILT: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+/// How many AES key schedules have been expanded process-wide.
+pub fn key_schedules_built() -> u64 {
+    KEY_SCHEDULES_BUILT.load(std::sync::atomic::Ordering::Relaxed)
+}
+
 /// Forward S-box (FIPS-197 Figure 7).
 const SBOX: [u8; 256] = [
     0x63, 0x7c, 0x77, 0x7b, 0xf2, 0x6b, 0x6f, 0xc5, 0x30, 0x01, 0x67, 0x2b, 0xfe, 0xd7, 0xab, 0x76,
@@ -91,6 +104,7 @@ impl std::fmt::Debug for Aes128 {
 impl Aes128 {
     /// Expand a 16-byte key into the 11 round keys (FIPS-197 §5.2).
     pub fn new(key: &[u8; KEY_SIZE]) -> Self {
+        KEY_SCHEDULES_BUILT.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         let mut w = [[0u8; 4]; 4 * (ROUNDS + 1)];
         for (i, chunk) in key.chunks_exact(4).enumerate() {
             w[i].copy_from_slice(chunk);

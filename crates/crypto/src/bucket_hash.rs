@@ -19,20 +19,24 @@ pub type BucketTag = [u8; BUCKET_TAG_LEN];
 /// Keyed hash for bucket identifiers.
 #[derive(Clone)]
 pub struct BucketHasher {
-    key: [u8; 32],
+    /// Keyed HMAC template (ipad absorbed, opad stored), cloned per hash so
+    /// the pad precomputation happens once per key ring.
+    mac: HmacSha256,
 }
 
 impl BucketHasher {
     /// Build a hasher from the ring's hash key.
     pub fn new(key: &SymKey) -> Self {
         Self {
-            key: *key.mac_key(),
+            mac: HmacSha256::new(key.mac_key()),
         }
     }
 
     /// Hash a bucket identifier.
     pub fn hash(&self, bucket_id: u32) -> BucketTag {
-        let digest = HmacSha256::mac(&self.key, &bucket_id.to_be_bytes());
+        let mut mac = self.mac.clone();
+        mac.update(&bucket_id.to_be_bytes());
+        let digest = mac.finalize();
         let mut tag = [0u8; BUCKET_TAG_LEN];
         tag.copy_from_slice(&digest[..BUCKET_TAG_LEN]);
         tag

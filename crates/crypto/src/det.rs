@@ -25,7 +25,9 @@ pub const OVERHEAD: usize = BLOCK_SIZE;
 #[derive(Clone)]
 pub struct DetCipher {
     aes: Aes128,
-    mac_key: [u8; 32],
+    /// Keyed HMAC template (ipad absorbed, opad stored), cloned per message
+    /// so the pad precomputation happens once per key ring.
+    mac: HmacSha256,
 }
 
 impl DetCipher {
@@ -33,12 +35,12 @@ impl DetCipher {
     pub fn new(key: &SymKey) -> Self {
         Self {
             aes: Aes128::new(key.enc_key()),
-            mac_key: *key.mac_key(),
+            mac: HmacSha256::new(key.mac_key()),
         }
     }
 
     fn synthetic_iv(&self, plaintext: &[u8]) -> [u8; BLOCK_SIZE] {
-        let mut mac = HmacSha256::new(&self.mac_key);
+        let mut mac = self.mac.clone();
         mac.update(b"det-siv");
         mac.update(plaintext);
         let digest = mac.finalize();

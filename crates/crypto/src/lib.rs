@@ -39,6 +39,7 @@ pub mod ndet;
 pub mod rng;
 pub mod sha256;
 
+pub use aes::key_schedules_built;
 pub use bucket_hash::BucketHasher;
 pub use credential::{Credential, CredentialSigner};
 pub use det::DetCipher;

@@ -24,10 +24,17 @@ pub const NONCE_LEN: usize = BLOCK_SIZE;
 pub const OVERHEAD: usize = NONCE_LEN + TAG_LEN;
 
 /// Probabilistic authenticated cipher bound to one [`SymKey`].
+///
+/// Construction is the expensive part (AES key-schedule expansion plus the
+/// HMAC ipad/opad precomputation); per-message work clones the precomputed
+/// MAC template instead of re-deriving it, so a cipher built once per key
+/// ring amortises across every tuple sealed under that ring.
 #[derive(Clone)]
 pub struct NDetCipher {
     aes: Aes128,
-    mac_key: [u8; 32],
+    /// Keyed HMAC template: ipad already absorbed, opad stored. Cloned per
+    /// message — two SHA-256 compressions cheaper than `HmacSha256::new`.
+    mac: HmacSha256,
 }
 
 impl NDetCipher {
@@ -35,7 +42,7 @@ impl NDetCipher {
     pub fn new(key: &SymKey) -> Self {
         Self {
             aes: Aes128::new(key.enc_key()),
-            mac_key: *key.mac_key(),
+            mac: HmacSha256::new(key.mac_key()),
         }
     }
 
@@ -53,7 +60,7 @@ impl NDetCipher {
         out.extend_from_slice(nonce);
         out.extend_from_slice(plaintext);
         ctr::apply_keystream(&self.aes, nonce, &mut out[NONCE_LEN..]);
-        let mut mac = HmacSha256::new(&self.mac_key);
+        let mut mac = self.mac.clone();
         mac.update(&out);
         let tag = mac.finalize();
         out.extend_from_slice(&tag[..TAG_LEN]);
@@ -69,7 +76,7 @@ impl NDetCipher {
             });
         }
         let (body, tag) = ciphertext.split_at(ciphertext.len() - TAG_LEN);
-        let mut mac = HmacSha256::new(&self.mac_key);
+        let mut mac = self.mac.clone();
         mac.update(body);
         let expected = mac.finalize();
         if !ct_eq(&expected[..TAG_LEN], tag) {

@@ -417,10 +417,18 @@ impl SumState {
 
 impl AggState {
     /// Serialize to bytes.
+    ///
+    /// Counter-width audit: the `as u32` casts in this impl (and in
+    /// `PlainState::encode`) count elements of in-memory sets/vectors. A
+    /// u32 overflow would need >4 billion resident entries — memory
+    /// exhaustion strikes first — so they stay as casts with debug guards,
+    /// unlike the per-tuple wire counters in `tuple_codec` which take
+    /// attacker-shaped row widths and return typed `LengthOverflow` errors.
     pub fn encode(&self, out: &mut Vec<u8>) {
         match self {
             AggState::Distinct(set) => {
                 out.push(0);
+                debug_assert!(u32::try_from(set.len()).is_ok());
                 out.extend_from_slice(&(set.len() as u32).to_be_bytes());
                 for enc in set {
                     out.extend_from_slice(&(enc.len() as u32).to_be_bytes());
@@ -491,6 +499,7 @@ impl PlainState {
             }
             PlainState::Median(values) => {
                 out.push(8);
+                debug_assert!(u32::try_from(values.len()).is_ok());
                 out.extend_from_slice(&(values.len() as u32).to_be_bytes());
                 for v in values {
                     out.extend_from_slice(&v.to_be_bytes());

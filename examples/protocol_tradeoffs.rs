@@ -60,7 +60,7 @@ fn main() {
             world.stats.participating_tds(),
             world.stats.load_bytes(),
             world.stats.phase(Phase::Aggregation).steps,
-            world.ssi.observations.len(),
+            world.ssi.observations_len(),
             rows.len(),
         );
     }

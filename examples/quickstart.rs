@@ -65,7 +65,7 @@ fn main() {
     );
     println!(
         "SSI observed {} ciphertexts — all tagged {:?}, nothing else",
-        world.ssi.observations.len(),
-        world.ssi.observations[0].tag,
+        world.ssi.observations_len(),
+        world.ssi.observations()[0].tag,
     );
 }

@@ -105,13 +105,13 @@ fn main() {
     // discovery sub-query has its own id; show the headline query only.)
     let target = world
         .ssi
-        .observations
+        .observations()
         .iter()
         .map(|o| o.query_id)
         .max()
         .unwrap_or(0);
     let mut tags = std::collections::BTreeMap::new();
-    for obs in &world.ssi.observations {
+    for obs in &world.ssi.observations() {
         if obs.phase == Phase::Collection && obs.query_id == target {
             *tags.entry(format!("{:?}", obs.tag)).or_insert(0u64) += 1;
         }

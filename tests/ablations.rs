@@ -90,7 +90,7 @@ fn stale_histogram_stays_correct_but_leaks_skew() {
         params.histogram = Some(hist);
         let rows = world.run_query(&querier, &query, params).unwrap();
         let mut counts = std::collections::BTreeMap::new();
-        for obs in &world.ssi.observations {
+        for obs in &world.ssi.observations() {
             if obs.phase == Phase::Collection {
                 if let GroupTag::Bucket(_) = obs.tag {
                     *counts.entry(obs.tag.clone()).or_insert(0u64) += 1;
@@ -141,7 +141,7 @@ fn prepared_params_amortise_discovery() {
         .prepare_params(&query, ProtocolKind::EdHist { buckets: 2 })
         .unwrap();
     assert!(params.histogram.is_some());
-    let observations_after_discovery = world.ssi.observations.len();
+    let observations_after_discovery = world.ssi.observations_len();
     for _ in 0..3 {
         let rows = world.run_query(&querier, &query, params.clone()).unwrap();
         assert_rows_eq(rows, expected.clone(), "prepared params");
@@ -151,7 +151,7 @@ fn prepared_params_amortise_discovery() {
     // the histogram was reused verbatim.
     let new_ids: std::collections::BTreeSet<u64> = world
         .ssi
-        .observations
+        .observations()
         .iter()
         .skip(observations_after_discovery)
         .map(|o| o.query_id)

@@ -179,3 +179,70 @@ fn chaos_size_bounded_runs_never_abort() {
         }
     }
 }
+
+/// Scheduling must not change a run's bytes: for every protocol, the same
+/// chaos seed must produce byte-identical sealed result blobs (and identical
+/// fault counters) whatever the worker count — every work item draws its
+/// randomness from (phase seed, item, attempt), never from a per-worker
+/// stream. A chaos case that aborts must abort for every worker count too.
+#[test]
+fn chaos_sharded_blobs_byte_identical_across_worker_counts() {
+    use tdsql_core::plan::PhasePlan;
+    use tdsql_core::runtime::threaded::run_plan_threaded_with;
+
+    let (dbs, _) = smart_meters(&SmartMeterConfig {
+        n_tds: 24,
+        districts: 3,
+        readings_per_tds: 1,
+        ..Default::default()
+    });
+    let base = chaos_base();
+    for (i, (kind, sql)) in protocols().into_iter().enumerate() {
+        let case = base.wrapping_mul(1000) + 700 + i as u64;
+        let query = parse_query(sql).unwrap();
+        let mut world = SimBuilder::new()
+            .seed(0xdead ^ case)
+            .build(dbs.clone(), AccessPolicy::allow_all(Role::new("supplier")));
+        let querier = world.make_querier("energy-co", "supplier");
+        let params = world.prepare_params(&query, kind).unwrap();
+        let plan = PhasePlan::compile(&query, &params);
+        let cfg = FaultConfig {
+            faults: random_plan(case),
+            retry_budget: 24,
+            degrade: false,
+        };
+        let label = format!("determinism case {case} ({})", kind.name());
+        let runs: Vec<_> = [1usize, 3, 8]
+            .iter()
+            .map(|&w| {
+                run_plan_threaded_with(&world.tdss, &querier, &query, &params, &plan, w, &cfg)
+            })
+            .collect();
+        match &runs[0] {
+            Ok((ref_blobs, ref_report)) => {
+                for (w, run) in [1usize, 3, 8].iter().zip(&runs) {
+                    let (blobs, report) = run
+                        .as_ref()
+                        .unwrap_or_else(|e| panic!("{label}: {w} workers aborted: {e}"));
+                    assert_eq!(
+                        blobs, ref_blobs,
+                        "{label}: {w}-worker blobs differ from the 1-worker reference"
+                    );
+                    assert_eq!(
+                        report.faults, ref_report.faults,
+                        "{label}: fault counters must be schedule-independent"
+                    );
+                }
+            }
+            Err(_) => {
+                for (w, run) in [1usize, 3, 8].iter().zip(&runs) {
+                    assert!(
+                        run.is_err(),
+                        "{label}: the reference aborted but {w} workers succeeded — \
+                         abort decisions must be schedule-independent"
+                    );
+                }
+            }
+        }
+    }
+}

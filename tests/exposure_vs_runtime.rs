@@ -53,13 +53,13 @@ fn observe(kind: ProtocolKind, seed: u64) -> (BTreeMap<GroupTag, u64>, PlainTabl
 
     let target = world
         .ssi
-        .observations
+        .observations()
         .iter()
         .map(|o| o.query_id)
         .max()
         .unwrap_or(0);
     let mut counts = BTreeMap::new();
-    for obs in &world.ssi.observations {
+    for obs in &world.ssi.observations() {
         if obs.phase == Phase::Collection && obs.query_id == target {
             *counts.entry(obs.tag.clone()).or_default() += 1;
         }

@@ -446,7 +446,7 @@ fn deterministic_replay_with_same_seed() {
         let rows = world
             .run_query(&querier, &query, ProtocolParams::new(ProtocolKind::SAgg))
             .unwrap();
-        (rows, world.stats.rounds, world.ssi.observations.len())
+        (rows, world.stats.rounds, world.ssi.observations_len())
     };
     let a = run(55);
     let b = run(55);

@@ -83,7 +83,7 @@ fn rotation_contains_a_later_compromise() {
     world
         .run_query(&q1, &query, ProtocolParams::new(ProtocolKind::SAgg))
         .unwrap();
-    let all_blobs = world.ssi.retained().to_vec();
+    let all_blobs = world.ssi.retained();
     assert!(all_blobs.len() > epoch0_blobs);
 
     // An adversary with the *current* (epoch-1) ring opens only the

@@ -47,7 +47,7 @@ fn run(kind: ProtocolKind, sql: &str, seed: u64) -> SimWorld {
 fn target_query(world: &SimWorld) -> u64 {
     world
         .ssi
-        .observations
+        .observations()
         .iter()
         .map(|o| o.query_id)
         .filter(|&q| q != u64::MAX)
@@ -61,14 +61,14 @@ fn target_query(world: &SimWorld) -> u64 {
 fn assert_whole_log_declared(world: &SimWorld) {
     let qids: BTreeSet<u64> = world
         .ssi
-        .observations
+        .observations()
         .iter()
         .map(|o| o.query_id)
         .filter(|&q| q != u64::MAX)
         .collect();
     for qid in qids {
         let kind = world.ssi.envelope(qid).unwrap().protocol;
-        let diags = verify_observations(kind, &world.ssi.observations, qid);
+        let diags = verify_observations(kind, &world.ssi.observations(), qid);
         assert!(
             diags.is_empty(),
             "query {qid} under {}: {diags:?}",
@@ -83,7 +83,7 @@ fn golden(world: &SimWorld, expect: &[(Phase, TagForm)]) {
     for (phase, form) in expect {
         want.entry(*phase).or_default().insert(*form);
     }
-    let got = observed_profile(&world.ssi.observations, qid);
+    let got = observed_profile(&world.ssi.observations(), qid);
     assert_eq!(got, want, "observed profile differs from golden profile");
 }
 
@@ -202,11 +202,12 @@ fn mislabeled_plan_and_log_are_rejected() {
     // Runtime side: plant the same leak in a real S_Agg log.
     let world = run(ProtocolKind::SAgg, AGG_SQL, 16);
     let qid = target_query(&world);
-    let mut log = world.ssi.observations.clone();
+    let mut log = world.ssi.observations().clone();
     let mut leaked = log[0].clone();
     leaked.query_id = qid;
     leaked.phase = Phase::Collection;
-    leaked.tag = tdsql_core::message::GroupTag::Det(vec![0xde, 0xad]);
+    leaked.tag =
+        tdsql_core::message::GroupTag::Det(tdsql_core::bytes::Bytes::from(vec![0xde, 0xad]));
     log.push(leaked);
     let diags = verify_observations(ProtocolKind::SAgg, &log, qid);
     assert_eq!(diags.len(), 1, "{diags:?}");

@@ -46,13 +46,13 @@ fn run(kind: ProtocolKind, seed: u64) -> SimWorld {
 fn collection_tag_counts(world: &SimWorld) -> BTreeMap<GroupTag, u64> {
     let target = world
         .ssi
-        .observations
+        .observations()
         .iter()
         .map(|o| o.query_id)
         .max()
         .unwrap_or(0);
     let mut counts = BTreeMap::new();
-    for obs in &world.ssi.observations {
+    for obs in &world.ssi.observations() {
         if obs.phase == Phase::Collection && obs.query_id == target {
             *counts.entry(obs.tag.clone()).or_default() += 1;
         }
@@ -71,7 +71,7 @@ fn s_agg_reveals_no_tags_and_no_repeats() {
     let world = run(ProtocolKind::SAgg, 200);
     let mut digests = std::collections::HashSet::new();
     let mut n_collection = 0;
-    for obs in &world.ssi.observations {
+    for obs in &world.ssi.observations() {
         assert_eq!(obs.tag, GroupTag::None, "S_Agg must not tag anything");
         if obs.phase == Phase::Collection {
             n_collection += 1;
@@ -96,14 +96,14 @@ fn collection_payloads_are_size_uniform() {
         let world = run(kind, 201);
         let target = world
             .ssi
-            .observations
+            .observations()
             .iter()
             .map(|o| o.query_id)
             .max()
             .unwrap();
         let sizes: std::collections::BTreeSet<usize> = world
             .ssi
-            .observations
+            .observations()
             .iter()
             .filter(|o| o.phase == Phase::Collection && o.query_id == target)
             .map(|o| o.blob_len)
@@ -157,7 +157,7 @@ fn raised_pad_keeps_long_group_values_uniform() {
     world.run_query(&querier, &query, params).unwrap();
     let sizes: std::collections::BTreeSet<usize> = world
         .ssi
-        .observations
+        .observations()
         .iter()
         .filter(|o| o.phase == Phase::Collection)
         .map(|o| o.blob_len)
@@ -247,7 +247,7 @@ fn observed_blobs_never_contain_plaintext_markers() {
         .run_query(&querier, &query, ProtocolParams::new(ProtocolKind::SAgg))
         .unwrap();
     let needle = b"district-";
-    for obs in &world.ssi.observations {
+    for obs in &world.ssi.observations() {
         // Observations only carry digests; lengths must not leak either:
         // every collection payload has the same padded size (checked above).
         let _ = obs;

@@ -205,3 +205,61 @@ fn threaded_inactive_fault_plan_is_identity() {
     assert_eq!(report.faults.total(), 0, "no fault counters without faults");
     assert!(!report.partial);
 }
+
+/// Decrypted result rows — order included — must be identical for any
+/// worker count, healthy or faulty: outputs merge in work-item order, not
+/// in upload-arrival order.
+#[test]
+fn threaded_rows_identical_across_worker_counts() {
+    let (dbs, oracle) = smart_meters(&SmartMeterConfig {
+        n_tds: 48,
+        districts: 4,
+        readings_per_tds: 1,
+        ..Default::default()
+    });
+    let faulty = FaultConfig {
+        faults: FaultPlan::seeded(99)
+            .with_loss(0.15)
+            .with_duplication(0.25)
+            .with_late(0.15)
+            .with_corruption(0.1),
+        ..Default::default()
+    };
+    for cfg in [FaultConfig::default(), faulty] {
+        for (kind, sql) in all_protocols() {
+            let query = parse_query(sql).unwrap();
+            let expected = execute(&oracle, &query).unwrap().rows;
+            let mut world = SimBuilder::new()
+                .seed(630)
+                .build(dbs.clone(), AccessPolicy::allow_all(Role::new("supplier")));
+            let querier = world.make_querier("energy-co", "supplier");
+            let params = world.prepare_params(&query, kind).unwrap();
+            let label = format!(
+                "{} ({})",
+                kind.name(),
+                if cfg.faults.is_active() {
+                    "faulty"
+                } else {
+                    "healthy"
+                }
+            );
+            let (ref_rows, ref_report) =
+                run_threaded_faulty(&world.tdss, &querier, &query, &params, 1, &cfg)
+                    .unwrap_or_else(|e| panic!("{label}: reference run failed: {e}"));
+            assert_rows_eq(ref_rows.clone(), expected, &label);
+            for w in [2usize, 5, 8] {
+                let (rows, report) =
+                    run_threaded_faulty(&world.tdss, &querier, &query, &params, w, &cfg)
+                        .unwrap_or_else(|e| panic!("{label}: {w} workers failed: {e}"));
+                assert_eq!(
+                    rows, ref_rows,
+                    "{label}: {w}-worker rows (incl. order) differ from 1-worker reference"
+                );
+                assert_eq!(
+                    report.faults, ref_report.faults,
+                    "{label}: fault counters must not depend on the worker count"
+                );
+            }
+        }
+    }
+}
