@@ -12,19 +12,16 @@
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
+use tdsql_analyze::lint::rules::registry;
 use tdsql_analyze::lint::{lint_file, Allowlist};
 
-const RULES: &str = "\
-no-panic-path   no unwrap/expect/panic in protocol hot paths \
-(core/src/protocol, core/src/runtime, tds.rs, ssi.rs)
-ct-compare      MAC/digest/signature comparison must use ct_eq (crypto/src)
-no-debug-keys   no derived Debug on structs holding raw key bytes (crypto/src)
-no-nondet-rng   no RNG inside deterministic crypto primitives (det, \
-bucket_hash, kdf, sha256, hmac, aes, ctr)
-no-raw-print    no println/eprintln/print/eprint/dbg in core/src or \
-bench/src — telemetry goes through tdsql-obs (bench bins allowlisted)
-no-global-mutex-vec  no Mutex<Vec<..>> accumulators in core/src/runtime — \
-keep outputs worker-local or sharded (Mutex<VecDeque> queues are fine)";
+/// Print the rule catalogue straight from the registry, so `--rules` can
+/// never drift from what actually runs.
+fn print_rules() {
+    for rule in registry() {
+        println!("{:<24} {}", rule.name(), rule.description());
+    }
+}
 
 fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
     let Ok(entries) = std::fs::read_dir(dir) else {
@@ -48,7 +45,7 @@ fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
     let root = match args.next() {
         Some(a) if a == "--rules" => {
-            println!("{RULES}");
+            print_rules();
             return ExitCode::SUCCESS;
         }
         Some(a) => PathBuf::from(a),

@@ -26,13 +26,15 @@ pub mod ir;
 pub mod lattice;
 pub mod lint;
 pub mod profile;
+pub mod verify;
 
 use tdsql_core::protocol::ProtocolParams;
 use tdsql_sql::ast::Query;
 
-/// [`tdsql_core::explain::explain`] plus the leakage check: renders the
-/// execution plan, then appends the analyzer's verdict. The check never
-/// blocks — the caller decides what to do with an unclean plan — but the
+/// [`tdsql_core::explain::explain`] plus the leakage check and the static
+/// verifier's verdict: renders the execution plan, appends the analyzer's
+/// diagnostics, then the three-pass [`verify`] summary. The checks never
+/// block — the caller decides what to do with an unclean plan — but the
 /// rendered text makes violations impossible to miss.
 pub fn explain_checked(query: &Query, params: &ProtocolParams) -> String {
     let mut out = tdsql_core::explain::explain(query, params);
@@ -48,6 +50,36 @@ pub fn explain_checked(query: &Query, params: &ProtocolParams) -> String {
             out.push_str("  ok — no invariant violations (advisories above)\n");
         }
     }
+    let v = verify::verify(query, params);
+    out.push_str("static verification:\n");
+    out.push_str(&format!(
+        "  sizes:      {}\n",
+        if v.sizes.proven() {
+            "constant-size ciphertext envelopes (padded phases)".to_string()
+        } else {
+            v.sizes.findings[0].render()
+        }
+    ));
+    out.push_str(&format!(
+        "  exposure:   {}\n",
+        if v.exposure.proven() {
+            "reachable tag forms ⊆ declaration".to_string()
+        } else {
+            v.exposure.violations[0].render()
+        }
+    ));
+    out.push_str(&format!(
+        "  settlement: {}\n",
+        if v.settle.proven() {
+            format!("exactly-once over {} explored states", v.settle.states)
+        } else {
+            "VIOLATED — see verify report".to_string()
+        }
+    ));
+    out.push_str(&format!(
+        "  verdict:    {}\n",
+        if v.verified() { "verified" } else { "REFUTED" }
+    ));
     out
 }
 

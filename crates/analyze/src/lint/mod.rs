@@ -1,18 +1,19 @@
-//! `srclint` — a lexical privacy lint over the workspace sources.
+//! `srclint` — a token-aware privacy lint over the workspace sources.
 //!
 //! The protocols' security rests on a handful of source-level disciplines
-//! that ordinary testing does not enforce. The lint scans the workspace for
-//! violations of four rules:
+//! that ordinary testing does not enforce. The lint lexes every workspace
+//! source ([`tokens`]) into a comment- and literal-masked view plus a token
+//! stream, and runs a registry of rules ([`rules`]) over both:
 //!
 //! * `no-panic-path` — no `unwrap()`, `expect()`, `panic!`, `unreachable!`,
 //!   `todo!` or `unimplemented!` in protocol hot paths
 //!   (`core/src/protocol/`, `core/src/runtime/`, `plan.rs`, `tds.rs`,
-//!   `ssi.rs`): a
-//!   panicking TDS drops out of a round and the SSI observes the failure
-//!   pattern; hot paths must return typed [`ProtocolError`]s instead;
-//! * `ct-compare` — no `==`/`!=` on MAC, digest or signature buffers inside
-//!   `crypto/src/`: verification must go through the constant-time
-//!   `tdsql_crypto::hmac::ct_eq`;
+//!   `ssi.rs`): a panicking TDS drops out of a round and the SSI observes
+//!   the failure pattern; hot paths must return typed [`ProtocolError`]s
+//!   instead;
+//! * `ct-compare` — no `==`/`!=` on MAC, digest or signature values
+//!   anywhere in the workspace: verification must go through the
+//!   constant-time `tdsql_crypto::hmac::ct_eq`;
 //! * `no-debug-keys` — no `#[derive(Debug)]` on crypto structs holding raw
 //!   key bytes: a derived `Debug` prints key material into logs (redact by
 //!   hand, as `SymKey` does);
@@ -29,16 +30,33 @@
 //! * `no-global-mutex-vec` — no `Mutex<Vec<…>>` inside
 //!   `core/src/runtime/`: a single mutex-guarded output vector is exactly
 //!   the global funnel that serialized the threaded runtime at 100k-TDS
-//!   populations. Keep outputs worker-local (merged at phase end) or behind
-//!   sharded/striped structures; per-shard `Mutex<VecDeque<…>>` queues are
-//!   fine and not matched.
+//!   populations;
+//! * `no-narrowing-cast` — no `as u8`/`as u16`/`as u32` on length-like
+//!   expressions: a wrapped counter produces a decodable-but-wrong wire
+//!   payload (`ProtocolError::CounterOverflow` is the typed alternative);
+//!   audited casts carry a reviewed `srclint.allow` entry citing the bound;
+//! * `no-undeclared-obs-field` — public `Field` constructors must not be
+//!   fed raw-buffer identifiers, and `Field::sensitive` must visibly pass
+//!   a redactor: the redaction boundary is only worth what its call sites
+//!   respect.
+//!
+//! Because rules run over the masked/tokenized view, a forbidden token
+//! inside a comment, doc comment, string or char literal never fires — and
+//! word-exact rules distinguish `mac` (flagged) from `macro_like` (not)
+//! while still catching `expected_mac`.
 //!
 //! Findings can be suppressed through a checked-in allowlist (`srclint.allow`
 //! at the workspace root): one finding per line, `rule path-fragment
-//! line-fragment`, `#` comments allowed. Test modules (`#[cfg(test)]`) and
-//! comment lines are skipped entirely.
+//! line-fragment`, `#` comments allowed. Test modules (`#[cfg(test)]`) are
+//! skipped entirely.
 //!
 //! [`ProtocolError`]: tdsql_core::error::ProtocolError
+
+pub mod rules;
+pub mod tokens;
+
+use rules::FileCtx;
+use tokens::Token;
 
 /// One lint violation.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -99,75 +117,11 @@ impl Allowlist {
     }
 }
 
-fn is_hot_path(path: &str) -> bool {
-    path.contains("core/src/protocol/")
-        || path.contains("core/src/runtime/")
-        || path.ends_with("core/src/plan.rs")
-        || path.ends_with("core/src/tds.rs")
-        || path.ends_with("core/src/ssi.rs")
-}
-
-fn is_crypto(path: &str) -> bool {
-    path.contains("crypto/src/")
-}
-
-const DETERMINISTIC_CRYPTO: &[&str] = &[
-    "det.rs",
-    "bucket_hash.rs",
-    "kdf.rs",
-    "sha256.rs",
-    "hmac.rs",
-    "aes.rs",
-    "ctr.rs",
-];
-
-fn is_deterministic_crypto(path: &str) -> bool {
-    is_crypto(path)
-        && DETERMINISTIC_CRYPTO
-            .iter()
-            .any(|f| path.ends_with(&format!("crypto/src/{f}")))
-}
-
-/// Paths where raw console output is forbidden: everything a protocol value
-/// flows through. `tdsql-obs` is the only sanctioned sink there.
-fn is_print_scope(path: &str) -> bool {
-    path.contains("core/src/") || path.contains("bench/src/")
-}
-
-/// Paths where a shared `Mutex<Vec<…>>` accumulator is forbidden: the
-/// runtime interpreters, whose scalability depends on worker-local output
-/// buffers and sharded queues.
-fn is_runtime_scope(path: &str) -> bool {
-    path.contains("core/src/runtime/")
-}
-
-const PRINT_TOKENS: &[&str] = &["println!", "eprintln!", "print!", "eprint!", "dbg!"];
-
-const PANIC_TOKENS: &[&str] = &[
-    ".unwrap()",
-    ".expect(",
-    "panic!(",
-    "unreachable!(",
-    "todo!(",
-    "unimplemented!(",
-];
-
-/// Lowercased identifier words of a line (splits on non-alphanumeric,
-/// keeping `_`).
-fn words(line: &str) -> Vec<String> {
-    line.split(|c: char| !c.is_ascii_alphanumeric() && c != '_')
-        .filter(|w| !w.is_empty())
-        .map(|w| w.to_ascii_lowercase())
-        .collect()
-}
-
-const COMPARE_SENSITIVE: &[&str] = &["mac", "hmac", "digest", "signature"];
-
 /// Mark which lines belong to `#[cfg(test)]` modules (skipped by every
-/// rule). Brace counting starts at the `mod` line that follows the
-/// attribute; nested braces are tracked, strings are not parsed (good
-/// enough for this codebase's formatting).
-fn test_block_mask(lines: &[&str]) -> Vec<bool> {
+/// rule). Runs over the *masked* lines, so braces inside strings, chars or
+/// comments cannot corrupt the depth count. Brace counting starts at the
+/// `mod` line that follows the attribute.
+fn test_block_mask(lines: &[String]) -> Vec<bool> {
     let mut mask = vec![false; lines.len()];
     let mut i = 0;
     while i < lines.len() {
@@ -206,99 +160,33 @@ fn test_block_mask(lines: &[&str]) -> Vec<bool> {
     mask
 }
 
-/// Lint one source file. `rel_path` is the workspace-relative path (used
-/// for rule scoping and reporting).
+/// Lint one source file with every registered rule. `rel_path` is the
+/// workspace-relative path (used for rule scoping and reporting).
 pub fn lint_file(rel_path: &str, source: &str) -> Vec<Finding> {
-    let lines: Vec<&str> = source.lines().collect();
-    let in_test = test_block_mask(&lines);
-    let mut findings = Vec::new();
-    let mut push = |rule: &'static str, idx: usize, text: &str| {
-        findings.push(Finding {
-            rule,
-            file: rel_path.to_string(),
-            line: idx + 1,
-            text: text.trim().to_string(),
-        });
-    };
-
-    for (idx, raw) in lines.iter().enumerate() {
-        if in_test[idx] {
-            continue;
-        }
-        let trimmed = raw.trim_start();
-        if trimmed.starts_with("//") {
-            continue;
-        }
-
-        if is_hot_path(rel_path) {
-            for token in PANIC_TOKENS {
-                if trimmed.contains(token) {
-                    push("no-panic-path", idx, raw);
-                    break;
-                }
-            }
-        }
-
-        if is_crypto(rel_path)
-            && (trimmed.contains("==") || trimmed.contains("!="))
-            && !trimmed.contains("ct_eq")
-        {
-            let ws = words(trimmed);
-            if ws.iter().any(|w| COMPARE_SENSITIVE.contains(&w.as_str())) {
-                push("ct-compare", idx, raw);
-            }
-        }
-
-        if is_crypto(rel_path) && trimmed.contains("derive(") && trimmed.contains("Debug") {
-            // Scan the struct body that follows for raw key-byte fields.
-            let mut k = idx + 1;
-            let mut body_depth = 0i32;
-            let mut leaky = false;
-            while k < lines.len() && k < idx + 40 {
-                let l = lines[k];
-                body_depth += l.matches('{').count() as i32;
-                let lw = words(l);
-                if lw.iter().any(|w| w.contains("key"))
-                    && (l.contains("[u8") || l.contains("Vec<u8>"))
-                {
-                    leaky = true;
-                }
-                body_depth -= l.matches('}').count() as i32;
-                if body_depth <= 0 && l.contains('}') {
-                    break;
-                }
-                k += 1;
-            }
-            if leaky {
-                push("no-debug-keys", idx, raw);
-            }
-        }
-
-        if is_deterministic_crypto(rel_path) {
-            let ws = words(trimmed);
-            if ws
-                .iter()
-                .any(|w| w.contains("rng") || w == "random" || w == "gen_range")
-            {
-                push("no-nondet-rng", idx, raw);
-            }
-        }
-
-        if is_print_scope(rel_path) {
-            for token in PRINT_TOKENS {
-                if trimmed.contains(token) {
-                    push("no-raw-print", idx, raw);
-                    break;
-                }
-            }
-        }
-
-        // `Mutex<VecDeque<…>>` (a sharded queue) deliberately does not match:
-        // the token requires the `<` right after `Vec`.
-        if is_runtime_scope(rel_path) && trimmed.contains("Mutex<Vec<") {
-            push("no-global-mutex-vec", idx, raw);
+    let scan = tokens::scan(source);
+    let raw_lines: Vec<&str> = source.lines().collect();
+    let mut code_lines: Vec<String> = scan.masked.lines().map(str::to_string).collect();
+    // Masking preserves newlines 1:1, but guard the invariant anyway.
+    code_lines.resize(raw_lines.len(), String::new());
+    let mut line_tokens: Vec<Vec<Token>> = vec![Vec::new(); raw_lines.len()];
+    for t in scan.tokens {
+        if t.line < line_tokens.len() {
+            line_tokens[t.line].push(t);
         }
     }
+    let in_test = test_block_mask(&code_lines);
+    let ctx = FileCtx {
+        path: rel_path,
+        raw_lines,
+        code_lines,
+        line_tokens,
+        in_test,
+    };
+    let mut findings = Vec::new();
+    for rule in rules::registry() {
+        rule.check(&ctx, &mut findings);
+    }
+    findings.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
     findings
 }
 
@@ -330,6 +218,9 @@ mod tests {
     fn comments_are_skipped() {
         let src = "// call .unwrap() here would panic!(\nfn f() {}\n";
         assert!(lint_file("crates/core/src/tds.rs", src).is_empty());
+        // Block comments too — the old lexical scanner could not do this.
+        let block = "/* spanning\n   x.unwrap();\n */\nfn f() {}\n";
+        assert!(lint_file("crates/core/src/tds.rs", block).is_empty());
     }
 
     #[test]
@@ -421,5 +312,16 @@ mod tests {
             text: "x.unwrap();".into(),
         };
         assert!(!allow.permits(&other));
+    }
+
+    #[test]
+    fn every_rule_has_a_unique_name_and_description() {
+        let rules = rules::registry();
+        assert_eq!(rules.len(), 8);
+        let mut names: Vec<_> = rules.iter().map(|r| r.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 8, "duplicate rule name");
+        assert!(rules.iter().all(|r| !r.description().is_empty()));
     }
 }

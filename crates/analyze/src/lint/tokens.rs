@@ -1,0 +1,398 @@
+//! A minimal Rust lexer for the lint engine.
+//!
+//! [`scan`] produces two coupled views of one source file:
+//!
+//! * a **masked** copy — comments replaced by whitespace and string/char
+//!   literal *contents* blanked (delimiters kept), with every newline
+//!   preserved so line numbers survive masking; and
+//! * a **token stream** — identifiers, numbers, punctuation (two-character
+//!   operators like `==` and `::` kept whole), string/char placeholders and
+//!   lifetimes, each tagged with its 0-based line.
+//!
+//! Rules that need word-exact matching (`mac == other` but not
+//! `macro_like == other`) walk the tokens; rules that match multi-token
+//! shapes (`Mutex<Vec<`) use the masked text. Neither view can be fooled by
+//! a forbidden token inside a comment, a doc comment, or a string literal —
+//! the failure modes of a purely lexical scanner.
+//!
+//! The lexer understands line comments, nested block comments, ordinary and
+//! byte strings with escapes, raw strings with any number of `#` guards,
+//! char/byte-char literals, and distinguishes `'a'` (char) from `'a`
+//! (lifetime). It does not parse — rules that need structure (attribute →
+//! struct body, cast operand) approximate it over the token stream.
+
+/// What a token is; the lint rules mostly care about `Ident` and `Punct`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (`len`, `as`, `Mutex`).
+    Ident,
+    /// A numeric literal (`42`, `0x1f`); suffixes stay attached (`7u32`).
+    Number,
+    /// A string literal (contents masked; `text` is empty).
+    Str,
+    /// A char or byte-char literal (contents masked; `text` is empty).
+    Char,
+    /// A lifetime (`'a`, `'static`); `text` keeps the leading `'`.
+    Lifetime,
+    /// Punctuation; two-character operators (`==`, `!=`, `::`, `..`) are
+    /// one token.
+    Punct,
+}
+
+/// One lexed token with its 0-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Token class.
+    pub kind: TokenKind,
+    /// 0-based line the token starts on.
+    pub line: usize,
+    /// Token text (empty for `Str`/`Char`, whose contents are masked).
+    pub text: String,
+}
+
+/// The result of [`scan`]: the masked source and the token stream.
+pub struct Scan {
+    /// Source with comments and literal contents blanked, newlines intact.
+    pub masked: String,
+    /// All tokens, in source order.
+    pub tokens: Vec<Token>,
+}
+
+/// Two-character operators lexed as single `Punct` tokens.
+const TWO_CHAR: &[&str] = &[
+    "==", "!=", "<=", ">=", "&&", "||", "::", "->", "=>", "<<", ">>", "..",
+];
+
+struct Lexer {
+    cs: Vec<char>,
+    i: usize,
+    line: usize,
+    masked: String,
+    tokens: Vec<Token>,
+}
+
+impl Lexer {
+    fn peek(&self, off: usize) -> Option<char> {
+        self.cs.get(self.i + off).copied()
+    }
+
+    /// Consume one char, blanking it in the masked view (newlines pass
+    /// through so line numbering is preserved).
+    fn bump_masked(&mut self) {
+        if self.cs[self.i] == '\n' {
+            self.masked.push('\n');
+            self.line += 1;
+        } else {
+            self.masked.push(' ');
+        }
+        self.i += 1;
+    }
+
+    /// Consume one char verbatim into the masked view.
+    fn bump_verbatim(&mut self) {
+        let c = self.cs[self.i];
+        if c == '\n' {
+            self.line += 1;
+        }
+        self.masked.push(c);
+        self.i += 1;
+    }
+
+    fn line_comment(&mut self) {
+        while self.i < self.cs.len() && self.cs[self.i] != '\n' {
+            self.bump_masked();
+        }
+    }
+
+    fn block_comment(&mut self) {
+        let mut depth = 0usize;
+        while self.i < self.cs.len() {
+            if self.peek(0) == Some('/') && self.peek(1) == Some('*') {
+                depth += 1;
+                self.bump_masked();
+                self.bump_masked();
+            } else if self.peek(0) == Some('*') && self.peek(1) == Some('/') {
+                depth -= 1;
+                self.bump_masked();
+                self.bump_masked();
+                if depth == 0 {
+                    return;
+                }
+            } else {
+                self.bump_masked();
+            }
+        }
+    }
+
+    /// At an opening `"`. `hashes` is the raw-string guard count; `raw`
+    /// strings take no escapes.
+    fn string(&mut self, hashes: usize, raw: bool) {
+        let start_line = self.line;
+        self.bump_verbatim(); // opening quote
+        while self.i < self.cs.len() {
+            let c = self.cs[self.i];
+            if !raw && c == '\\' {
+                self.bump_masked();
+                if self.i < self.cs.len() {
+                    self.bump_masked();
+                }
+                continue;
+            }
+            if c == '"' {
+                if raw {
+                    let closed = (0..hashes).all(|h| self.peek(1 + h) == Some('#'));
+                    if !closed {
+                        self.bump_masked();
+                        continue;
+                    }
+                }
+                self.bump_verbatim();
+                for _ in 0..hashes {
+                    self.bump_verbatim();
+                }
+                self.tokens.push(Token {
+                    kind: TokenKind::Str,
+                    line: start_line,
+                    text: String::new(),
+                });
+                return;
+            }
+            self.bump_masked();
+        }
+        // Unterminated string: still record the token.
+        self.tokens.push(Token {
+            kind: TokenKind::Str,
+            line: start_line,
+            text: String::new(),
+        });
+    }
+
+    /// At a `'`: a char literal (`'x'`, `'\n'`) or a lifetime (`'a`).
+    fn char_or_lifetime(&mut self) {
+        let start_line = self.line;
+        if self.peek(1) == Some('\\') {
+            self.bump_verbatim(); // '
+            self.bump_masked(); // backslash
+            while self.i < self.cs.len() && self.cs[self.i] != '\'' && self.cs[self.i] != '\n' {
+                self.bump_masked();
+            }
+            if self.peek(0) == Some('\'') {
+                self.bump_verbatim();
+            }
+            self.tokens.push(Token {
+                kind: TokenKind::Char,
+                line: start_line,
+                text: String::new(),
+            });
+            return;
+        }
+        if self.peek(2) == Some('\'') {
+            // One-char literal, including '{' and '}' (which would otherwise
+            // corrupt brace counting in the test-module mask).
+            self.bump_verbatim();
+            self.bump_masked();
+            self.bump_verbatim();
+            self.tokens.push(Token {
+                kind: TokenKind::Char,
+                line: start_line,
+                text: String::new(),
+            });
+            return;
+        }
+        // Lifetime.
+        let mut text = String::from("'");
+        self.bump_verbatim();
+        while let Some(c) = self.peek(0) {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                text.push(c);
+                self.bump_verbatim();
+            } else {
+                break;
+            }
+        }
+        self.tokens.push(Token {
+            kind: TokenKind::Lifetime,
+            line: start_line,
+            text,
+        });
+    }
+
+    /// At an identifier start. `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#` and
+    /// `b'…'` are string/char prefixes, not identifiers.
+    fn ident(&mut self) {
+        let start_line = self.line;
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                text.push(c);
+                self.bump_verbatim();
+            } else {
+                break;
+            }
+        }
+        if matches!(text.as_str(), "r" | "b" | "br") {
+            let mut hashes = 0usize;
+            while self.peek(hashes) == Some('#') {
+                hashes += 1;
+            }
+            if self.peek(hashes) == Some('"') {
+                for _ in 0..hashes {
+                    self.bump_verbatim();
+                }
+                // `b"…"` takes escapes; `r`/`br` are raw.
+                self.string(hashes, text != "b");
+                return;
+            }
+            if text == "b" && self.peek(0) == Some('\'') {
+                self.char_or_lifetime();
+                return;
+            }
+        }
+        self.tokens.push(Token {
+            kind: TokenKind::Ident,
+            line: start_line,
+            text,
+        });
+    }
+
+    fn number(&mut self) {
+        let start_line = self.line;
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                text.push(c);
+                self.bump_verbatim();
+            } else {
+                break;
+            }
+        }
+        self.tokens.push(Token {
+            kind: TokenKind::Number,
+            line: start_line,
+            text,
+        });
+    }
+
+    fn punct(&mut self) {
+        let start_line = self.line;
+        if let (c, Some(d)) = (self.cs[self.i], self.peek(1)) {
+            let two: String = [c, d].iter().collect();
+            if TWO_CHAR.contains(&two.as_str()) {
+                self.bump_verbatim();
+                self.bump_verbatim();
+                self.tokens.push(Token {
+                    kind: TokenKind::Punct,
+                    line: start_line,
+                    text: two,
+                });
+                return;
+            }
+        }
+        let text = self.cs[self.i].to_string();
+        self.bump_verbatim();
+        self.tokens.push(Token {
+            kind: TokenKind::Punct,
+            line: start_line,
+            text,
+        });
+    }
+}
+
+/// Lex `source` into its masked view and token stream.
+pub fn scan(source: &str) -> Scan {
+    let mut lx = Lexer {
+        cs: source.chars().collect(),
+        i: 0,
+        line: 0,
+        masked: String::with_capacity(source.len()),
+        tokens: Vec::new(),
+    };
+    while lx.i < lx.cs.len() {
+        let c = lx.cs[lx.i];
+        if c == '/' && lx.peek(1) == Some('/') {
+            lx.line_comment();
+        } else if c == '/' && lx.peek(1) == Some('*') {
+            lx.block_comment();
+        } else if c == '"' {
+            lx.string(0, false);
+        } else if c == '\'' {
+            lx.char_or_lifetime();
+        } else if c.is_ascii_alphabetic() || c == '_' {
+            lx.ident();
+        } else if c.is_ascii_digit() {
+            lx.number();
+        } else if c.is_whitespace() {
+            lx.bump_verbatim();
+        } else {
+            lx.punct();
+        }
+    }
+    Scan {
+        masked: lx.masked,
+        tokens: lx.tokens,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        scan(src)
+            .tokens
+            .into_iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn comments_are_masked_but_lines_survive() {
+        let s = scan("let a = 1; // unwrap()\n/* panic!(\n) */ let b = 2;\n");
+        assert!(!s.masked.contains("unwrap"));
+        assert!(!s.masked.contains("panic"));
+        assert_eq!(s.masked.lines().count(), 3);
+        assert_eq!(idents("x /* y */ z"), ["x", "z"]);
+    }
+
+    #[test]
+    fn string_contents_are_masked_delimiters_kept() {
+        let s = scan("let m = \"mac == other\"; let r = r#\"dbg!(x)\"#;");
+        assert!(!s.masked.contains("mac"));
+        assert!(!s.masked.contains("dbg"));
+        assert!(s.masked.contains('"'));
+        let toks = scan("f(\"a\\\"b\", 'c', b\"d\")").tokens;
+        assert_eq!(toks.iter().filter(|t| t.kind == TokenKind::Str).count(), 2);
+        assert_eq!(toks.iter().filter(|t| t.kind == TokenKind::Char).count(), 1);
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let toks = scan("fn f<'a>(x: &'a str) -> char { 'a' }").tokens;
+        let lifetimes: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind == TokenKind::Lifetime)
+            .collect();
+        assert_eq!(lifetimes.len(), 2);
+        assert!(lifetimes.iter().all(|t| t.text == "'a"));
+        assert_eq!(toks.iter().filter(|t| t.kind == TokenKind::Char).count(), 1);
+    }
+
+    #[test]
+    fn two_char_operators_are_single_tokens() {
+        let toks = scan("a == b != c :: d .. e").tokens;
+        let puncts: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind == TokenKind::Punct)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(puncts, ["==", "!=", "::", ".."]);
+    }
+
+    #[test]
+    fn tokens_carry_their_line() {
+        let toks = scan("a\nb\n\nc").tokens;
+        let lines: Vec<_> = toks.iter().map(|t| (t.text.as_str(), t.line)).collect();
+        assert_eq!(lines, [("a", 0), ("b", 1), ("c", 3)]);
+    }
+}

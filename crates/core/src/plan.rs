@@ -155,6 +155,43 @@ pub struct FinalizeSpec {
     pub partitioning: FinalizePartitioning,
 }
 
+/// The wire format one phase's emissions are framed with (see
+/// [`tuple_codec`](crate::tuple_codec) for the encoders and
+/// [`tuple_codec::framing`](crate::tuple_codec::framing) for the header
+/// arithmetic the static size verifier uses).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EmissionCodec {
+    /// `PlainTuple` framing: kind byte + row values, padded.
+    PlainTuple,
+    /// `AggInput` framing: fake flag + group key + input values, padded.
+    AggInput,
+    /// `PartialAggBatch` framing: per-group partial states, unpadded
+    /// (ciphertext count is declared, contents are `nDet`-sealed).
+    PartialBatch,
+    /// `ResultRow` framing: finalized row values, unpadded.
+    ResultRow,
+}
+
+/// One phase's emission contract: which codec frames the plaintext, whether
+/// a uniform pad hides its length, and which tag travels in the clear.
+///
+/// This is the plan-level input to the static size-abstraction pass
+/// (`tdsql-analyze::verify::sizes`): every emission with `pad: Some(_)`
+/// must provably fit its pad for all reachable plaintexts, and every
+/// emission with `pad: None` must be declared size-exempt (batch shapes
+/// whose counts the SSI already learns from partitioning).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EmissionSpec {
+    /// The phase whose uploads this describes.
+    pub phase: Phase,
+    /// Wire framing of the sealed plaintext.
+    pub codec: EmissionCodec,
+    /// Uniform plaintext pad (pre-encryption), if this emission is padded.
+    pub pad: Option<usize>,
+    /// The cleartext tag form accompanying each sealed blob.
+    pub tag: TagForm,
+}
+
 /// The delivery contract one phase imposes on plan interpreters running
 /// over at-least-once transport (see
 /// [`PhasePlan::idempotence_requirements`]).
@@ -288,6 +325,51 @@ impl PhasePlan {
             out.push((Phase::Aggregation, reduce.retag_form()));
         }
         out.push((Phase::Filtering, TagForm::None));
+        out
+    }
+
+    /// Every emission the plan's phases put on the wire, in phase order.
+    ///
+    /// The discovery pre-phase runs an S_Agg sub-protocol, so its uploads
+    /// are padded `AggInput` frames under the same pad; collection uploads
+    /// are `AggInput` (aggregate queries) or `PlainTuple` (SFW) frames,
+    /// padded; reduce outputs are `PartialAggBatch` frames whose size is a
+    /// declared function of the partition's group count, not of any tuple's
+    /// content; finalize outputs are `ResultRow` frames sealed per row.
+    pub fn emissions(&self) -> Vec<EmissionSpec> {
+        let mut out = Vec::new();
+        if self.discovery.is_some() {
+            out.push(EmissionSpec {
+                phase: Phase::Discovery,
+                codec: EmissionCodec::AggInput,
+                pad: Some(self.collect.pad),
+                tag: TagForm::None,
+            });
+        }
+        out.push(EmissionSpec {
+            phase: Phase::Collection,
+            codec: if self.aggregate {
+                EmissionCodec::AggInput
+            } else {
+                EmissionCodec::PlainTuple
+            },
+            pad: Some(self.collect.pad),
+            tag: self.collect.tag_policy.form(),
+        });
+        if let Some(reduce) = &self.reduce {
+            out.push(EmissionSpec {
+                phase: Phase::Aggregation,
+                codec: EmissionCodec::PartialBatch,
+                pad: None,
+                tag: reduce.retag_form(),
+            });
+        }
+        out.push(EmissionSpec {
+            phase: Phase::Filtering,
+            codec: EmissionCodec::ResultRow,
+            pad: None,
+            tag: TagForm::None,
+        });
         out
     }
 
@@ -563,6 +645,54 @@ mod tests {
                     kind.name(),
                     r.phase
                 );
+            }
+        }
+    }
+
+    #[test]
+    fn emissions_track_phases_tags_and_pads() {
+        for kind in ALL_KINDS {
+            let query = if kind == ProtocolKind::Basic {
+                sfw_query()
+            } else {
+                agg_query()
+            };
+            let plan = PhasePlan::compile(&query, &ProtocolParams::new(kind));
+            let emissions = plan.emissions();
+            // Phase order mirrors idempotence_requirements.
+            let phases: Vec<Phase> = emissions.iter().map(|e| e.phase).collect();
+            let contract: Vec<Phase> = plan
+                .idempotence_requirements()
+                .iter()
+                .map(|r| r.phase)
+                .collect();
+            assert_eq!(phases, contract, "{}", kind.name());
+            // Tags per phase mirror exposed_forms (discovery is an S_Agg
+            // sub-run, always untagged).
+            for e in &emissions {
+                let want = match e.phase {
+                    Phase::Discovery => TagForm::None,
+                    _ => {
+                        plan.exposed_forms()
+                            .into_iter()
+                            .find(|(p, _)| *p == e.phase)
+                            .unwrap()
+                            .1
+                    }
+                };
+                assert_eq!(e.tag, want, "{}: {:?}", kind.name(), e.phase);
+            }
+            // Uploads that carry raw tuple content are padded; batch/row
+            // shapes are the declared exemptions.
+            for e in emissions {
+                match e.codec {
+                    EmissionCodec::PlainTuple | EmissionCodec::AggInput => {
+                        assert_eq!(e.pad, Some(64), "{}: {:?}", kind.name(), e.phase)
+                    }
+                    EmissionCodec::PartialBatch | EmissionCodec::ResultRow => {
+                        assert_eq!(e.pad, None, "{}: {:?}", kind.name(), e.phase)
+                    }
+                }
             }
         }
     }

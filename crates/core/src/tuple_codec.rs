@@ -25,6 +25,37 @@ fn corrupt(msg: &str) -> ProtocolError {
     ProtocolError::Codec(msg.to_string())
 }
 
+/// Framing arithmetic for every wire format in this module, exported for the
+/// static size-abstraction pass (`tdsql-analyze::verify::sizes`): the
+/// verifier computes per-phase plaintext-size intervals from these constants
+/// instead of encoding sample tuples, and the `framing_constants_match_the_
+/// encoders` test pins each constant to the real encoder output so the two
+/// can never drift.
+pub mod framing {
+    /// `PlainTuple::Row` header: 1 kind byte + 2-byte value count.
+    pub const PLAIN_TUPLE_HEADER: usize = 3;
+    /// `PlainTuple::Dummy`: a single kind byte.
+    pub const PLAIN_TUPLE_DUMMY: usize = 1;
+    /// `AggInput` header: 1 fake flag + 4-byte key length + 2-byte input
+    /// count (the key bytes and values follow).
+    pub const AGG_INPUT_HEADER: usize = 7;
+    /// `PartialAggBatch` header: 4-byte entry count.
+    pub const BATCH_HEADER: usize = 4;
+    /// Per-entry `PartialAggBatch` overhead: 4-byte key length + 2-byte
+    /// state count.
+    pub const BATCH_ENTRY_HEADER: usize = 6;
+    /// `ResultRow` header: 2-byte value count.
+    pub const RESULT_ROW_HEADER: usize = 2;
+    /// Canonical [`Value`](tdsql_sql::value::Value) encoding: widest
+    /// fixed-size variant (`Int`/`Float`: 1 tag byte + 8 payload bytes).
+    pub const VALUE_MAX_FIXED: usize = 9;
+    /// Canonical `Value::Str` overhead: 1 tag byte + 4-byte length prefix
+    /// (the UTF-8 bytes follow, unbounded).
+    pub const VALUE_STR_HEADER: usize = 5;
+    /// Canonical `Value::Null` encoding: 1 tag byte.
+    pub const VALUE_MIN: usize = 1;
+}
+
 /// Checked narrowing of a collection length to a `u16` wire counter.
 /// A plain `as u16` cast would wrap at 65 536 and produce a payload that
 /// decodes cleanly to the *wrong* number of elements — a silent data loss.
@@ -430,6 +461,67 @@ mod tests {
         let ok = ResultRow(vec![Value::Bool(true); u16::MAX as usize]);
         let enc = ok.encode().unwrap();
         assert_eq!(ResultRow::decode(&enc).unwrap().0.len(), u16::MAX as usize);
+    }
+
+    /// Pin every [`framing`] constant to the real encoder output, so the
+    /// static size verifier's arithmetic can never drift from the codecs.
+    #[test]
+    fn framing_constants_match_the_encoders() {
+        use super::framing::*;
+
+        // Exact pre-padding length of a padded encoding: at pad 0 the
+        // encoder refuses and names precisely the size it needed.
+        fn needed(result: Result<Vec<u8>>) -> usize {
+            match result {
+                Err(ProtocolError::PadTooSmall { needed, .. }) => needed,
+                other => panic!("expected PadTooSmall, got {other:?}"),
+            }
+        }
+
+        // PlainTuple: header + canonical values, dummy is one byte.
+        assert_eq!(
+            needed(PlainTuple::Row(vec![]).encode(0)),
+            PLAIN_TUPLE_HEADER
+        );
+        assert_eq!(needed(PlainTuple::Dummy.encode(0)), PLAIN_TUPLE_DUMMY);
+
+        // AggInput: header + key bytes + canonical values.
+        let agg = AggInput {
+            key: GroupKey(vec![1, 2, 3]),
+            inputs: vec![],
+            fake: false,
+        };
+        assert_eq!(needed(agg.encode(0)), AGG_INPUT_HEADER + 3);
+
+        // PartialAggBatch: header + per-entry header + key + states.
+        let batch = PartialAggBatch { entries: vec![] }.encode().unwrap();
+        assert_eq!(batch.len(), BATCH_HEADER);
+        let one = PartialAggBatch {
+            entries: vec![(GroupKey(vec![9, 9]), vec![])],
+        }
+        .encode()
+        .unwrap();
+        assert_eq!(one.len(), BATCH_HEADER + BATCH_ENTRY_HEADER + 2);
+
+        // ResultRow: header + canonical values.
+        let row = ResultRow(vec![]).encode().unwrap();
+        assert_eq!(row.len(), RESULT_ROW_HEADER);
+
+        // Canonical Value widths.
+        let mut buf = Vec::new();
+        Value::Null.canonical_bytes(&mut buf);
+        assert_eq!(buf.len(), VALUE_MIN);
+        for v in [Value::Int(i64::MIN), Value::Float(f64::MAX)] {
+            let mut buf = Vec::new();
+            v.canonical_bytes(&mut buf);
+            assert_eq!(buf.len(), VALUE_MAX_FIXED, "{v:?}");
+        }
+        let mut buf = Vec::new();
+        Value::Bool(true).canonical_bytes(&mut buf);
+        assert!(buf.len() <= VALUE_MAX_FIXED);
+        let mut buf = Vec::new();
+        Value::Str("abcd".into()).canonical_bytes(&mut buf);
+        assert_eq!(buf.len(), VALUE_STR_HEADER + 4);
     }
 
     #[test]

@@ -46,10 +46,17 @@ pub struct Credential {
 }
 
 impl Credential {
+    /// Counter-width audit: the two `as u32` casts length-prefix the
+    /// identity strings so `("ab","c")` and `("a","bc")` cannot share
+    /// signing bytes. Both strings are authority-issued names resident in
+    /// memory — a >4 GiB querier id is memory exhaustion, not an input —
+    /// so they stay as casts with debug guards.
     fn signing_bytes(querier_id: &str, role: &Role, expires_at_round: u64) -> Vec<u8> {
         let mut buf = Vec::with_capacity(querier_id.len() + role.0.len() + 16);
+        debug_assert!(u32::try_from(querier_id.len()).is_ok());
         buf.extend_from_slice(&(querier_id.len() as u32).to_be_bytes());
         buf.extend_from_slice(querier_id.as_bytes());
+        debug_assert!(u32::try_from(role.0.len()).is_ok());
         buf.extend_from_slice(&(role.0.len() as u32).to_be_bytes());
         buf.extend_from_slice(role.0.as_bytes());
         buf.extend_from_slice(&expires_at_round.to_be_bytes());

@@ -61,6 +61,20 @@ pub enum FieldValue {
     Digest(String),
 }
 
+/// Privacy class of a field, derivable from its value: every variant of
+/// [`FieldValue`] is either public by construction or a keyed digest. The
+/// static verifier's exposure pass and the `no-undeclared-obs-field` lint
+/// police the *call sites*; this classification lets sinks and tests audit
+/// assembled events without re-deriving the rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FieldClass {
+    /// Carries public metadata (phase names, counts, flags).
+    Public,
+    /// Carries a keyed digest of sensitive plaintext; the plaintext itself
+    /// never existed inside the field.
+    Redacted,
+}
+
 /// One key/value pair attached to a trace event.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Field {
@@ -111,6 +125,16 @@ impl Field {
             value: FieldValue::Digest(redactor.digest(plaintext)),
         }
     }
+
+    /// The field's privacy class, decided by its value variant.
+    pub fn class(&self) -> FieldClass {
+        match self.value {
+            FieldValue::Digest(_) => FieldClass::Redacted,
+            FieldValue::Str(_) | FieldValue::U64(_) | FieldValue::I64(_) | FieldValue::Bool(_) => {
+                FieldClass::Public
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -138,6 +162,22 @@ mod tests {
             }
             other => panic!("expected digest, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn field_class_follows_the_value_variant() {
+        let r = Redactor::new(b"key");
+        assert_eq!(Field::u64("n", 1).class(), FieldClass::Public);
+        assert_eq!(
+            Field::str("phase", "collection").class(),
+            FieldClass::Public
+        );
+        assert_eq!(Field::i64("d", -1).class(), FieldClass::Public);
+        assert_eq!(Field::bool("ok", true).class(), FieldClass::Public);
+        assert_eq!(
+            Field::sensitive("tag", &r, b"attr=flu").class(),
+            FieldClass::Redacted
+        );
     }
 
     #[test]

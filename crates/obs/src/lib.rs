@@ -29,6 +29,6 @@ pub mod field;
 pub mod metrics;
 pub mod trace;
 
-pub use field::{Field, FieldValue, Redactor};
+pub use field::{Field, FieldClass, FieldValue, Redactor};
 pub use metrics::{Log2Histogram, MetricsSet};
 pub use trace::{Event, Obs};

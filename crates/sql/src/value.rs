@@ -125,6 +125,11 @@ impl Value {
             }
             Value::Str(s) => {
                 out.push(3);
+                // Counter-width audit: length-prefixes an in-memory string
+                // value so canonical encodings stay prefix-free. A u32
+                // overflow needs a >4 GiB resident string — memory
+                // exhaustion strikes first — so the cast stays, guarded.
+                debug_assert!(u32::try_from(s.len()).is_ok());
                 out.extend_from_slice(&(s.len() as u32).to_be_bytes());
                 out.extend_from_slice(s.as_bytes());
             }
