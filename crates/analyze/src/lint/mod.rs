@@ -38,7 +38,12 @@
 //! * `no-undeclared-obs-field` — public `Field` constructors must not be
 //!   fed raw-buffer identifiers, and `Field::sensitive` must visibly pass
 //!   a redactor: the redaction boundary is only worth what its call sites
-//!   respect.
+//!   respect;
+//! * `no-raw-socket-write` — no raw `write()`/`write_all()`/`flush()` in
+//!   `net/src/` outside `frame.rs`: the frame codec is the single
+//!   sanctioned socket I/O path, where `MAX_FRAME` bounds-checking,
+//!   transport-typed errors and byte accounting live — an unframed write
+//!   ships unaccounted bytes to the honest-but-curious SSI.
 //!
 //! Because rules run over the masked/tokenized view, a forbidden token
 //! inside a comment, doc comment, string or char literal never fires — and
@@ -317,11 +322,11 @@ mod tests {
     #[test]
     fn every_rule_has_a_unique_name_and_description() {
         let rules = rules::registry();
-        assert_eq!(rules.len(), 8);
+        assert_eq!(rules.len(), 9);
         let mut names: Vec<_> = rules.iter().map(|r| r.name()).collect();
         names.sort_unstable();
         names.dedup();
-        assert_eq!(names.len(), 8, "duplicate rule name");
+        assert_eq!(names.len(), 9, "duplicate rule name");
         assert!(rules.iter().all(|r| !r.description().is_empty()));
     }
 }

@@ -67,6 +67,7 @@ pub fn registry() -> Vec<Box<dyn LintRule>> {
         Box::new(NoGlobalMutexVec),
         Box::new(NoNarrowingCast),
         Box::new(NoUndeclaredObsField),
+        Box::new(NoRawSocketWrite),
     ]
 }
 
@@ -120,6 +121,13 @@ fn is_runtime_scope(path: &str) -> bool {
 /// and cast rules, which police wire formats, not test scaffolding.
 fn is_test_source(path: &str) -> bool {
     path.contains("/tests/")
+}
+
+/// The network layer outside the frame codec. `frame.rs` is the single
+/// module allowed to touch a socket directly; everything else in
+/// `net/src/` must go through it.
+fn is_net_nonframe(path: &str) -> bool {
+    path.contains("net/src/") && !path.ends_with("net/src/frame.rs")
 }
 
 /// Lowercased `_`-separated sub-words of an identifier, plus the whole
@@ -516,6 +524,48 @@ impl LintRule for NoUndeclaredObsField {
     }
 }
 
+// ---------------------------------------------------------------------------
+// no-raw-socket-write
+// ---------------------------------------------------------------------------
+
+/// No raw `write()`/`write_all()`/`flush()` calls in the network layer
+/// outside `frame.rs`: the frame codec is the single sanctioned socket I/O
+/// path — it is where `MAX_FRAME` bounds-checking, transport-typed errors
+/// and the obs layer's byte accounting live. A raw socket write anywhere
+/// else (client, server, binaries) can ship unframed — hence unredacted
+/// and unaccounted — bytes to the honest-but-curious SSI. Payloads must go
+/// through `write_frame`; `write!` into strings is fine (the `!` fences it
+/// off from the call pattern this rule matches).
+struct NoRawSocketWrite;
+
+const RAW_SOCKET_METHODS: &[&str] = &["write", "write_all", "flush"];
+
+impl LintRule for NoRawSocketWrite {
+    fn name(&self) -> &'static str {
+        "no-raw-socket-write"
+    }
+    fn description(&self) -> &'static str {
+        "no raw write/write_all/flush in net/src outside frame.rs — \
+         socket I/O goes through the frame codec (write_frame)"
+    }
+    fn check(&self, ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
+        if !is_net_nonframe(ctx.path) {
+            return;
+        }
+        for (idx, _, toks) in ctx.code() {
+            let hit = toks.windows(2).any(|w| {
+                w[0].kind == TokenKind::Ident
+                    && RAW_SOCKET_METHODS.contains(&w[0].text.as_str())
+                    && w[1].kind == TokenKind::Punct
+                    && w[1].text == "("
+            });
+            if hit {
+                out.push(ctx.finding(self.name(), idx));
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::super::lint_file;
@@ -585,6 +635,42 @@ mod tests {
         let ok = "fn f() {\n    let f = Field::u64(\"bytes\", bytes);\n    \
                   let g = Field::str(\"phase\", phase.to_string());\n}\n";
         assert!(lint_file("crates/core/src/ssi.rs", ok).is_empty());
+    }
+
+    #[test]
+    fn raw_socket_write_flagged_outside_frame_codec() {
+        let src = "fn f(stream: &mut TcpStream, buf: &[u8]) {\n    \
+                   stream.write_all(buf).unwrap();\n}\n";
+        let f = lint_file("crates/net/src/client.rs", src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "no-raw-socket-write");
+        assert_eq!(f[0].line, 2);
+        let partial = "fn f(s: &mut TcpStream) {\n    let n = s.write(b\"x\").unwrap();\n}\n";
+        assert_eq!(
+            lint_file("crates/net/src/server.rs", partial)[0].rule,
+            "no-raw-socket-write"
+        );
+        let flush = "fn f(s: &mut TcpStream) {\n    s.flush().unwrap();\n}\n";
+        assert_eq!(
+            lint_file("crates/net/src/bin/querier.rs", flush)[0].rule,
+            "no-raw-socket-write"
+        );
+    }
+
+    #[test]
+    fn frame_codec_and_framed_writes_are_sanctioned() {
+        // frame.rs is the single module allowed to touch the socket.
+        let src = "fn f(s: &mut TcpStream, buf: &[u8]) {\n    s.write_all(buf).ok();\n}\n";
+        assert!(lint_file("crates/net/src/frame.rs", src).is_empty());
+        // write_frame is one identifier, not `write` + `(`.
+        let framed = "fn f(s: &mut TcpStream, p: &[u8]) -> Result<()> {\n    \
+                      write_frame(s, p)\n}\n";
+        assert!(lint_file("crates/net/src/client.rs", framed).is_empty());
+        // fmt's write! macro (the `!` fences it off) and other crates are
+        // out of scope.
+        let fmt = "fn f(out: &mut String) {\n    let _ = write!(out, \"x\");\n}\n";
+        assert!(lint_file("crates/net/src/wire.rs", fmt).is_empty());
+        assert!(lint_file("crates/obs/src/trace.rs", src).is_empty());
     }
 
     #[test]

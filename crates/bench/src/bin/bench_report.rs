@@ -7,6 +7,8 @@
 //! cargo run --release -p tdsql-bench --bin bench_report -- --throughput   # write BENCH_5.json
 //! cargo run --release -p tdsql-bench --bin bench_report -- --check-throughput BENCH_5.json
 //! cargo run --release -p tdsql-bench --bin bench_report -- --throughput-smoke
+//! cargo run --release -p tdsql-bench --bin bench_report -- --net     # write BENCH_6.json
+//! cargo run --release -p tdsql-bench --bin bench_report -- --check-net BENCH_6.json
 //! ```
 //!
 //! Sweeps the TDS population for every protocol and writes `BENCH_4.json`
@@ -45,6 +47,18 @@
 //! O(N²) term that swamps the runtime costs this report tracks.
 //! `--throughput-smoke` runs one small row (S_Agg @ 1k) with every check
 //! enabled and writes nothing — the CI-sized canary.
+//!
+//! ## Loopback network mode (`--net` → `BENCH_6.json`)
+//!
+//! Same row schema as `BENCH_4`, but every (protocol, n_tds) point runs
+//! through the `tdsql-net` framed TCP backend: fresh `serve_ssi` /
+//! `serve_pool` loops on ephemeral loopback ports, `RemoteSsi` /
+//! `RemoteTdsPool` clients, and the same light fault plan absorbed by the
+//! retry machinery over the real transport. `load_bytes` counts frame
+//! bytes on the wire (headers included, both connections) instead of
+//! simulated upload volume, so the column doubles as a wire-overhead
+//! measurement. Rows are oracle-checked before emission, exactly like the
+//! in-process report.
 
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -191,11 +205,11 @@ fn bench_one(name: &'static str, kind: ProtocolKind, n_tds: usize) -> Row {
     }
 }
 
-fn render_report(rows: &[Row]) -> String {
+fn render_report(rows: &[Row], seed: u64) -> String {
     let mut out = String::new();
     let _ = write!(
         out,
-        "{{\"schema\":\"{SCHEMA}\",\"seed\":{SEED},\"workers\":{WORKERS},\"rows\":["
+        "{{\"schema\":\"{SCHEMA}\",\"seed\":{seed},\"workers\":{WORKERS},\"rows\":["
     );
     for (i, r) in rows.iter().enumerate() {
         if i > 0 {
@@ -241,6 +255,144 @@ fn check(content: &str) -> std::result::Result<(), String> {
         }
     }
     Ok(())
+}
+
+// --- loopback network mode (BENCH_6.json) --------------------------------
+
+/// Seed for the network sweep (also the obs trace key material).
+const NET_SEED: u64 = 6;
+/// Population sweep for the loopback rows: small enough that the
+/// per-request round trips dominate, which is what this report measures.
+const NET_SWEEP: [usize; 3] = [40, 80, 120];
+
+/// One loopback row: spawn fresh `serve_ssi`/`serve_pool` loops on
+/// ephemeral loopback ports, drive the query through the remote service
+/// driver, and report wall clock plus frame-level byte accounting from the
+/// client connections. Same row schema as [`check`] (BENCH_4), so the same
+/// validator covers both artifacts; `load_bytes` here means bytes on the
+/// wire rather than simulated upload volume.
+fn net_one(name: &'static str, kind: ProtocolKind, n_tds: usize) -> Row {
+    use std::net::TcpListener;
+    use std::sync::Arc;
+    use std::thread;
+    use tdsql_core::connectivity::Connectivity;
+    use tdsql_core::protocol::ProtocolParams;
+    use tdsql_core::ssi::Ssi;
+    use tdsql_core::stats::Phase;
+    use tdsql_core::{DriverConfig, ServiceDriver};
+    use tdsql_net::deploy::Deployment;
+    use tdsql_net::{serve_pool, serve_ssi, RemoteSsi, RemoteTdsPool};
+    use tdsql_obs::Obs;
+
+    let dep = Deployment {
+        meters: SmartMeterConfig {
+            n_tds,
+            districts: 4,
+            readings_per_tds: 1,
+            ..Default::default()
+        },
+        ..Deployment::default()
+    };
+    let (server_pool, oracle) = dep.provision();
+
+    let ssi_listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let ssi_addr = ssi_listener.local_addr().expect("ssi addr");
+    let server_obs = Arc::new(Obs::new(&NET_SEED.to_be_bytes()));
+    thread::spawn(move || serve_ssi(ssi_listener, Arc::new(Ssi::new()), server_obs));
+    let pool_listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let pool_addr = pool_listener.local_addr().expect("pool addr");
+    let server_obs = Arc::new(Obs::new(&NET_SEED.to_be_bytes()));
+    thread::spawn(move || serve_pool(pool_listener, Arc::new(server_pool), server_obs));
+
+    let obs = Arc::new(Obs::new(&NET_SEED.to_be_bytes()));
+    let ssi = RemoteSsi::connect(ssi_addr.to_string(), Arc::clone(&obs));
+    let pool =
+        RemoteTdsPool::connect(pool_addr.to_string(), Arc::clone(&obs)).expect("pool roster");
+
+    // Same light fault plan as the BENCH_4 rows: the at-least-once
+    // machinery must absorb faults over the real transport too.
+    let config = DriverConfig {
+        connectivity: Connectivity::always_on().with_faults(fault_config().faults),
+        seed: NET_SEED,
+        retry_budget: 64,
+        ..DriverConfig::default()
+    };
+    let mut driver = ServiceDriver::new(&ssi, &pool, obs, config).expect("driver");
+
+    let querier = dep.make_querier("energy-co", "supplier");
+    let system = dep.system_querier();
+    let sql = match kind {
+        ProtocolKind::Basic => "SELECT c.cid FROM consumer c WHERE c.accomodation = 'flat'",
+        _ => {
+            "SELECT c.district, COUNT(*), AVG(p.cons) FROM power p, consumer c \
+             WHERE c.cid = p.cid GROUP BY c.district"
+        }
+    };
+    let query = parse_query(sql).expect("bench query parses");
+    let expected = execute(&oracle, &query).expect("oracle").rows;
+
+    let start = Instant::now();
+    let mut rows = driver
+        .run_query(&querier, Some(&system), &query, ProtocolParams::new(kind))
+        .expect("loopback run");
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+
+    // Oracle check before the row is emitted (float tolerance as in
+    // bench_one: merge order perturbs the last ulp of AVG).
+    let mut want = expected;
+    rows.sort_by(|a, b| format!("{a:?}").cmp(&format!("{b:?}")));
+    want.sort_by(|a, b| format!("{a:?}").cmp(&format!("{b:?}")));
+    assert_eq!(rows.len(), want.len(), "{name}/{n_tds}: row count");
+    for (got, exp) in rows.iter().zip(want.iter()) {
+        for (g, e) in got.iter().zip(exp.iter()) {
+            match (g, e) {
+                (Value::Float(x), Value::Float(y)) => {
+                    let scale = y.abs().max(1.0);
+                    assert!((x - y).abs() / scale < 1e-9, "{name}/{n_tds}: {x} vs {y}");
+                }
+                _ => assert_eq!(g, e, "{name}/{n_tds}: loopback run diverged from oracle"),
+            }
+        }
+    }
+
+    Row {
+        protocol: name,
+        n_tds,
+        wall_ms,
+        load_bytes: ssi.stats().bytes_total() + pool.stats().bytes_total(),
+        tuples: driver.stats.phase(Phase::Collection).total_tuples(),
+        faults_absorbed: driver.stats.faults.total(),
+    }
+}
+
+fn run_net() {
+    let mut rows = Vec::new();
+    println!(
+        "{:<10} {:>6} {:>10} {:>11} {:>7} {:>16}",
+        "protocol", "n_tds", "wall_ms", "load_bytes", "tuples", "faults_absorbed"
+    );
+    for n_tds in NET_SWEEP {
+        for (name, kind) in protocols() {
+            let row = net_one(name, kind, n_tds);
+            println!(
+                "{:<10} {:>6} {:>10.3} {:>11} {:>7} {:>16}",
+                row.protocol,
+                row.n_tds,
+                row.wall_ms,
+                row.load_bytes,
+                row.tuples,
+                row.faults_absorbed
+            );
+            rows.push(row);
+        }
+    }
+    let report = render_report(&rows, NET_SEED);
+    check(&report).expect("freshly rendered report must satisfy its own schema");
+    let dest = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_6.json");
+    std::fs::write(&dest, &report).expect("write BENCH_6.json");
+    println!("\nwrote {}", dest.display());
 }
 
 // --- throughput mode (BENCH_5.json) -------------------------------------
@@ -542,6 +694,25 @@ fn run_throughput(smoke: bool) {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
+        Some("--net") => return run_net(),
+        Some("--check-net") => {
+            // BENCH_6 rows share BENCH_4's schema; only the artifact (and
+            // the meaning of load_bytes: wire bytes, not upload volume)
+            // differs, so the same validator applies.
+            let path = args.get(1).map(String::as_str).unwrap_or("BENCH_6.json");
+            let content =
+                std::fs::read_to_string(path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
+            match check(&content) {
+                Ok(()) => {
+                    println!("{path}: schema ok");
+                    return;
+                }
+                Err(why) => {
+                    eprintln!("{path}: schema violation: {why}");
+                    std::process::exit(1);
+                }
+            }
+        }
         Some("--throughput") => return run_throughput(false),
         Some("--throughput-smoke") => return run_throughput(true),
         Some("--check-throughput") => {
@@ -598,7 +769,7 @@ fn main() {
         }
     }
 
-    let report = render_report(&rows);
+    let report = render_report(&rows, SEED);
     check(&report).expect("freshly rendered report must satisfy its own schema");
     // The repo root, resolved from the crate's manifest directory so the
     // artifact lands in the same place regardless of the invocation cwd.

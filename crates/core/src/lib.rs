@@ -59,6 +59,7 @@ pub mod plan;
 pub mod protocol;
 pub mod querier;
 pub mod runtime;
+pub mod service;
 pub mod ssi;
 pub mod stats;
 pub mod tds;
@@ -69,5 +70,7 @@ pub use connectivity::{Connectivity, FaultPlan};
 pub use error::{ProtocolError, Result};
 pub use message::{AssignmentId, DeliveryOutcome};
 pub use protocol::{ProtocolKind, ProtocolParams};
+pub use runtime::service::{DriverConfig, ServiceDriver};
 pub use runtime::{SimBuilder, SimWorld};
+pub use service::{LocalTdsPool, SsiService, StepResult, TdsPool, TdsStep};
 pub use stats::FaultStats;

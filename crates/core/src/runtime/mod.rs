@@ -4,9 +4,13 @@
 //!   examples and benchmarks;
 //! * [`threaded`] — a concurrent runtime where every TDS is a worker thread
 //!   and the SSI is shared state, demonstrating that the protocol logic is
-//!   runtime-agnostic.
+//!   runtime-agnostic;
+//! * [`service`] — the transport-agnostic driver that executes the same
+//!   compiled plans over the [`crate::service`] seam, in-process or against
+//!   the `tdsql-net` framed TCP servers.
 
 pub mod round;
+pub mod service;
 pub mod threaded;
 
 pub use round::{SimBuilder, SimWorld};

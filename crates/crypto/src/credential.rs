@@ -63,6 +63,31 @@ impl Credential {
         buf
     }
 
+    /// Reassemble a credential from its transported parts (wire decode).
+    ///
+    /// The signature field stays private so in-process code cannot forge
+    /// credentials by construction, but a credential *must* survive a trip
+    /// over the network byte-for-byte: a reassembled forgery still fails
+    /// [`Credential::verify`] at every TDS, exactly like a tampered one.
+    pub fn from_parts(
+        querier_id: String,
+        role: Role,
+        expires_at_round: u64,
+        signature: [u8; 32],
+    ) -> Self {
+        Credential {
+            querier_id,
+            role,
+            expires_at_round,
+            signature,
+        }
+    }
+
+    /// The authority signature bytes (wire encode).
+    pub fn signature(&self) -> [u8; 32] {
+        self.signature
+    }
+
     /// Verify against the authority key and the current round.
     pub fn verify(&self, authority_key: &[u8], now_round: u64) -> Result<(), CryptoError> {
         let expected = HmacSha256::mac(

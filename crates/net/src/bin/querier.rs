@@ -1,0 +1,177 @@
+//! `querier` — posts a query to an `ssi-server`, drives the protocol
+//! against a `tds-pool`, and decrypts the results under `k1`.
+//!
+//! The querier holds `k1` (derived from the shared `--master-seed`) and a
+//! credential signed by the authority; neither ever crosses the wire in
+//! clear. Usage:
+//!
+//! ```text
+//! querier --ssi 127.0.0.1:7441 --pool 127.0.0.1:7442 \
+//!         --sql "SELECT ..." --protocol s_agg \
+//!         [--master-seed STR] [--authority-secret STR] \
+//!         [--id energy-co] [--role supplier] [--seed N] \
+//!         [--chunk N] [--alpha N] [--pad N] [--retry-budget N] \
+//!         [--loss P] [--dup P] [--late P] [--reorder P] [--corruption P] \
+//!         [--fault-seed N] \
+//!         [--check --n-tds N --districts N --readings-per-tds N --workload-seed N]
+//! ```
+//!
+//! Protocols: `basic`, `s_agg`, `rnf_noise:NF`, `c_noise`, `ed_hist:BUCKETS`.
+//!
+//! With `--check`, the workload is rebuilt locally from the same
+//! parameters the pool was provisioned with, the query is executed on the
+//! cleartext union, and the decentralized result must match the oracle
+//! (prints `CHECK OK` / fails with exit code 1). This is the smoke
+//! script's end-to-end correctness oracle.
+
+use std::process::ExitCode;
+use std::sync::Arc;
+
+use tdsql_core::connectivity::{Connectivity, FaultPlan};
+use tdsql_core::protocol::{ProtocolKind, ProtocolParams};
+use tdsql_core::workload::SmartMeterConfig;
+use tdsql_core::{DriverConfig, ServiceDriver};
+use tdsql_net::cli::Flags;
+use tdsql_net::client::{RemoteSsi, RemoteTdsPool};
+use tdsql_net::deploy::Deployment;
+use tdsql_obs::Obs;
+use tdsql_sql::engine::execute;
+use tdsql_sql::parser::parse_query;
+use tdsql_sql::Value;
+
+/// Parse `basic`, `s_agg`, `rnf_noise:NF`, `c_noise`, `ed_hist:BUCKETS`.
+fn parse_protocol(name: &str) -> Result<ProtocolKind, String> {
+    let (head, arg) = match name.split_once(':') {
+        Some((h, a)) => (h, Some(a)),
+        None => (name, None),
+    };
+    let num = |what: &str| -> Result<u32, String> {
+        arg.ok_or_else(|| format!("protocol {head} needs :{what}"))?
+            .parse()
+            .map_err(|_| format!("protocol {head}: bad {what}"))
+    };
+    match head {
+        "basic" => Ok(ProtocolKind::Basic),
+        "s_agg" => Ok(ProtocolKind::SAgg),
+        "rnf_noise" => Ok(ProtocolKind::RnfNoise { nf: num("NF")? }),
+        "c_noise" => Ok(ProtocolKind::CNoise),
+        "ed_hist" => Ok(ProtocolKind::EdHist {
+            buckets: num("BUCKETS")?,
+        }),
+        other => Err(format!("unknown protocol: {other}")),
+    }
+}
+
+/// Canonical sort/compare key for one result row: rows are set-compared
+/// with a small float tolerance (matching the repo's cross-runtime
+/// convention), so floats are keyed by a rounded form.
+fn row_key(row: &[Value]) -> String {
+    let mut key = String::new();
+    for v in row {
+        match v {
+            Value::Float(f) => key.push_str(&format!("F{:.9}|", f)),
+            other => key.push_str(&format!("{other:?}|")),
+        }
+    }
+    key
+}
+
+fn rows_match(mut got: Vec<Vec<Value>>, mut want: Vec<Vec<Value>>) -> bool {
+    got.sort_by_key(|r| row_key(r));
+    want.sort_by_key(|r| row_key(r));
+    got.len() == want.len() && got.iter().zip(&want).all(|(g, w)| row_key(g) == row_key(w))
+}
+
+fn run() -> Result<(), String> {
+    let flags = Flags::parse(std::env::args().skip(1))?;
+    let ssi_addr = flags.get("ssi").ok_or("missing --ssi ADDR")?.to_string();
+    let pool_addr = flags.get("pool").ok_or("missing --pool ADDR")?.to_string();
+    let sql = flags.get("sql").ok_or("missing --sql QUERY")?.to_string();
+    let kind = parse_protocol(&flags.get_or("protocol", "s_agg"))?;
+
+    let deployment = Deployment {
+        master_seed: flags.get_or("master-seed", "tdsql-master").into_bytes(),
+        authority_secret: flags
+            .get_or("authority-secret", "tdsql-authority")
+            .into_bytes(),
+        role: flags.get_or("role", "supplier"),
+        meters: SmartMeterConfig {
+            n_tds: flags.usize_or("n-tds", 50)?,
+            districts: flags.usize_or("districts", 5)?,
+            readings_per_tds: flags.usize_or("readings-per-tds", 2)?,
+            seed: flags.u64_or("workload-seed", 0)?,
+            ..SmartMeterConfig::default()
+        },
+    };
+
+    let faults = FaultPlan::seeded(flags.u64_or("fault-seed", 0)?)
+        .with_loss(flags.f64_or("loss", 0.0)?)
+        .with_duplication(flags.f64_or("dup", 0.0)?)
+        .with_late(flags.f64_or("late", 0.0)?)
+        .with_reorder(flags.f64_or("reorder", 0.0)?)
+        .with_corruption(flags.f64_or("corruption", 0.0)?);
+    let config = DriverConfig {
+        connectivity: Connectivity::always_on().with_faults(faults),
+        seed: flags.u64_or("seed", 0)?,
+        retry_budget: u32::try_from(flags.u64_or("retry-budget", 64)?)
+            .map_err(|_| "--retry-budget out of range".to_string())?,
+        ..DriverConfig::default()
+    };
+
+    let query = parse_query(&sql).map_err(|e| format!("bad --sql: {e}"))?;
+    let mut params = ProtocolParams::new(kind);
+    params.chunk = flags.usize_or("chunk", params.chunk)?;
+    params.alpha = flags.usize_or("alpha", params.alpha)?;
+    params.pad = flags.usize_or("pad", params.pad)?;
+
+    let obs = Arc::new(Obs::new(&flags.u64_or("obs-seed", 0x9e3)?.to_be_bytes()));
+    let ssi = RemoteSsi::connect(ssi_addr, Arc::clone(&obs));
+    let pool = RemoteTdsPool::connect(pool_addr, Arc::clone(&obs))
+        .map_err(|e| format!("cannot reach tds-pool: {e}"))?;
+
+    let querier = deployment.make_querier(&flags.get_or("id", "energy-co"), &deployment.role);
+    let system = deployment.system_querier();
+    let mut driver = ServiceDriver::new(&ssi, &pool, Arc::clone(&obs), config)
+        .map_err(|e| format!("driver init: {e}"))?;
+
+    let rows = driver
+        .run_query(&querier, Some(&system), &query, params)
+        .map_err(|e| format!("query failed: {e}"))?;
+
+    ssi.emit_stats();
+    pool.emit_stats();
+
+    for row in &rows {
+        let cells: Vec<String> = row.iter().map(|v| format!("{v:?}")).collect();
+        println!("{}", cells.join("\t"));
+    }
+    eprintln!(
+        "rows={} population={} partial={}",
+        rows.len(),
+        driver.population(),
+        driver.stats.partial
+    );
+
+    if flags.switch("check") {
+        let (_pool, oracle) = deployment.provision();
+        let out = execute(&oracle, &query).map_err(|e| format!("oracle: {e}"))?;
+        let mut expected = out.rows;
+        tdsql_sql::order::apply_order_limit(&query, &mut expected)
+            .map_err(|e| format!("oracle order: {e}"))?;
+        if !rows_match(rows, expected) {
+            return Err("CHECK FAILED: decentralized result differs from oracle".into());
+        }
+        println!("CHECK OK");
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("querier: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,50 @@
+//! `ssi-server` — hosts the untrusted SSI ledger over the framed TCP
+//! protocol.
+//!
+//! The SSI is honest-but-curious infrastructure: it never holds keys and
+//! only ever sees ciphertext envelopes, encrypted tuples and public
+//! protocol metadata. Usage:
+//!
+//! ```text
+//! ssi-server --listen 127.0.0.1:7441 [--obs-seed HEX]
+//! ```
+//!
+//! Prints `listening on <addr>` once the socket is bound (bind to port 0
+//! to let the OS pick; scripts parse this line for the ephemeral port).
+
+use std::net::TcpListener;
+use std::process::ExitCode;
+use std::sync::Arc;
+
+use tdsql_core::ssi::Ssi;
+use tdsql_net::cli::Flags;
+use tdsql_net::server::serve_ssi;
+use tdsql_obs::Obs;
+
+fn run() -> Result<(), String> {
+    let flags = Flags::parse(std::env::args().skip(1))?;
+    let listen = flags.get_or("listen", "127.0.0.1:7441");
+    let obs_seed = flags.u64_or("obs-seed", 0x0b5)?;
+
+    let listener = TcpListener::bind(&listen).map_err(|e| format!("cannot bind {listen}: {e}"))?;
+    let addr = listener
+        .local_addr()
+        .map_err(|e| format!("cannot read bound address: {e}"))?;
+    println!("listening on {addr}");
+
+    let obs = Arc::new(Obs::new(&obs_seed.to_be_bytes()));
+    let mut ssi = Ssi::new();
+    ssi.attach_obs(Arc::clone(&obs));
+    serve_ssi(listener, Arc::new(ssi), obs);
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("ssi-server: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

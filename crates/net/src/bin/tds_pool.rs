@@ -1,0 +1,70 @@
+//! `tds-pool` — hosts a provisioned TDS population over the framed TCP
+//! protocol.
+//!
+//! Provisioning is keyed by the burn-time parameters: the master seed
+//! (key-ring installation) and the authority secret (credential
+//! verification key). A `querier` started with the same parameters holds
+//! the matching `k1`; keys never travel on the wire. Usage:
+//!
+//! ```text
+//! tds-pool --listen 127.0.0.1:7442 \
+//!          [--master-seed STR] [--authority-secret STR] [--role supplier] \
+//!          [--n-tds 50] [--districts 5] [--readings-per-tds 2] \
+//!          [--workload-seed N] [--obs-seed N]
+//! ```
+//!
+//! Prints `listening on <addr>` once the socket is bound.
+
+use std::net::TcpListener;
+use std::process::ExitCode;
+use std::sync::Arc;
+
+use tdsql_core::workload::SmartMeterConfig;
+use tdsql_net::cli::Flags;
+use tdsql_net::deploy::Deployment;
+use tdsql_net::server::serve_pool;
+use tdsql_obs::Obs;
+
+fn run() -> Result<(), String> {
+    let flags = Flags::parse(std::env::args().skip(1))?;
+    let listen = flags.get_or("listen", "127.0.0.1:7442");
+    let deployment = Deployment {
+        master_seed: flags.get_or("master-seed", "tdsql-master").into_bytes(),
+        authority_secret: flags
+            .get_or("authority-secret", "tdsql-authority")
+            .into_bytes(),
+        role: flags.get_or("role", "supplier"),
+        meters: SmartMeterConfig {
+            n_tds: flags.usize_or("n-tds", 50)?,
+            districts: flags.usize_or("districts", 5)?,
+            readings_per_tds: flags.usize_or("readings-per-tds", 2)?,
+            seed: flags.u64_or("workload-seed", 0)?,
+            ..SmartMeterConfig::default()
+        },
+    };
+    let obs_seed = flags.u64_or("obs-seed", 0x7d5)?;
+
+    let listener = TcpListener::bind(&listen).map_err(|e| format!("cannot bind {listen}: {e}"))?;
+    let addr = listener
+        .local_addr()
+        .map_err(|e| format!("cannot read bound address: {e}"))?;
+
+    let (pool, _oracle) = deployment.provision();
+    // The oracle union is dropped on the floor: this process serves only
+    // ciphertext steps; cleartext verification happens querier-side.
+    println!("listening on {addr}");
+
+    let obs = Arc::new(Obs::new(&obs_seed.to_be_bytes()));
+    serve_pool(listener, Arc::new(pool), obs);
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("tds-pool: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,103 @@
+//! Minimal `--flag value` argument parsing shared by the three binaries
+//! (the workspace is hermetic — no clap).
+
+use std::collections::HashMap;
+
+/// Parsed `--flag value` pairs plus bare `--switch` flags.
+#[derive(Debug, Default)]
+pub struct Flags {
+    values: HashMap<String, String>,
+    switches: Vec<String>,
+}
+
+impl Flags {
+    /// Parse `args` (without the program name). A token starting with
+    /// `--` followed by a non-`--` token is a valued flag; a `--` token
+    /// followed by another flag (or nothing) is a switch.
+    pub fn parse(args: impl Iterator<Item = String>) -> Result<Self, String> {
+        let mut flags = Flags::default();
+        let mut args = args.peekable();
+        while let Some(arg) = args.next() {
+            let Some(name) = arg.strip_prefix("--") else {
+                return Err(format!("unexpected positional argument: {arg}"));
+            };
+            match args.peek() {
+                Some(next) if !next.starts_with("--") => {
+                    let value = args.next().unwrap_or_default();
+                    flags.values.insert(name.to_string(), value);
+                }
+                _ => flags.switches.push(name.to_string()),
+            }
+        }
+        Ok(flags)
+    }
+
+    /// Valued flag, if present.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.values.get(name).map(String::as_str)
+    }
+
+    /// Valued flag with a default.
+    pub fn get_or(&self, name: &str, default: &str) -> String {
+        self.get(name).unwrap_or(default).to_string()
+    }
+
+    /// Numeric flag with a default; errors on unparsable input.
+    pub fn u64_or(&self, name: &str, default: u64) -> Result<u64, String> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{name}: not a number: {v}")),
+        }
+    }
+
+    /// `usize` flag with a default; errors on unparsable input.
+    pub fn usize_or(&self, name: &str, default: usize) -> Result<usize, String> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{name}: not a number: {v}")),
+        }
+    }
+
+    /// `f64` flag with a default; errors on unparsable input.
+    pub fn f64_or(&self, name: &str, default: f64) -> Result<f64, String> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{name}: not a number: {v}")),
+        }
+    }
+
+    /// Was the bare switch present?
+    pub fn switch(&self, name: &str) -> bool {
+        self.switches.iter().any(|s| s == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_values_and_switches() {
+        let args = ["--listen", "127.0.0.1:0", "--check", "--n-tds", "40"]
+            .into_iter()
+            .map(String::from);
+        let flags = Flags::parse(args).unwrap();
+        assert_eq!(flags.get("listen"), Some("127.0.0.1:0"));
+        assert!(flags.switch("check"));
+        assert_eq!(flags.u64_or("n-tds", 0).unwrap(), 40);
+        assert_eq!(flags.u64_or("absent", 7).unwrap(), 7);
+        assert!(flags.u64_or("listen", 0).is_err());
+    }
+
+    #[test]
+    fn rejects_positional_arguments() {
+        let args = ["oops"].into_iter().map(String::from);
+        assert!(Flags::parse(args).is_err());
+    }
+}

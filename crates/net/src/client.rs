@@ -1,0 +1,428 @@
+//! Remote implementations of the service traits: [`RemoteSsi`] and
+//! [`RemoteTdsPool`] speak the framed TCP wire protocol to `ssi-server`
+//! and `tds-pool` processes.
+//!
+//! Failure model: every socket-level failure surfaces as a
+//! [`transport_error`], which the [`ServiceDriver`] folds into the fault
+//! taxonomy (reassignment for a failed step, lost upload for a failed
+//! delivery). The connection layer itself retries exactly once with a
+//! fresh connection — safe because the SSI's settle ledger makes
+//! deliveries at-least-once with exactly-once settlement, so a request
+//! that executed but whose response was lost settles as a
+//! [`DeliveryOutcome::Duplicate`], never as double effect.
+//!
+//! [`ServiceDriver`]: tdsql_core::runtime::service::ServiceDriver
+//! [`DeliveryOutcome::Duplicate`]: tdsql_core::message::DeliveryOutcome
+
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use tdsql_core::bytes::Bytes;
+use tdsql_core::error::{ProtocolError, Result};
+use tdsql_core::message::{AssignmentId, DeliveryOutcome, QueryEnvelope, StoredTuple};
+use tdsql_core::protocol::ProtocolParams;
+use tdsql_core::service::{
+    is_transport_error, transport_error, SsiService, StepResult, TdsPool, TdsStep,
+};
+use tdsql_core::stats::Phase;
+use tdsql_obs::{Field, Obs};
+use tdsql_sql::value::Value;
+
+use crate::frame::{read_frame, write_frame, HEADER_LEN};
+use crate::wire::{PoolRequest, PoolResponse, SsiRequest, SsiResponse};
+
+/// A decoded response of the wrong shape for the request that was sent.
+fn unexpected(what: &'static str) -> ProtocolError {
+    ProtocolError::Codec(format!("unexpected wire response for {what}"))
+}
+
+/// Aggregate connection counters (frame-level accounting, headers
+/// included). Snapshot via [`RemoteSsi::stats`] / [`RemoteTdsPool::stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NetStats {
+    /// Completed request/response exchanges.
+    pub calls: u64,
+    /// Reconnections after a transport failure.
+    pub reconnects: u64,
+    /// Bytes written to the socket.
+    pub bytes_sent: u64,
+    /// Bytes read from the socket.
+    pub bytes_received: u64,
+}
+
+impl NetStats {
+    /// Total bytes moved in either direction.
+    pub fn bytes_total(&self) -> u64 {
+        self.bytes_sent + self.bytes_received
+    }
+}
+
+/// One lazily-connected, auto-reconnecting client connection with byte
+/// accounting. All telemetry goes through the shared [`Obs`]; the
+/// connection never logs request contents, only counters.
+struct Conn {
+    addr: String,
+    peer: &'static str,
+    stream: Mutex<Option<TcpStream>>,
+    obs: Arc<Obs>,
+    calls: AtomicU64,
+    reconnects: AtomicU64,
+    bytes_sent: AtomicU64,
+    bytes_received: AtomicU64,
+}
+
+impl Conn {
+    fn new(addr: impl Into<String>, peer: &'static str, obs: Arc<Obs>) -> Self {
+        Conn {
+            addr: addr.into(),
+            peer,
+            stream: Mutex::new(None),
+            obs,
+            calls: AtomicU64::new(0),
+            reconnects: AtomicU64::new(0),
+            bytes_sent: AtomicU64::new(0),
+            bytes_received: AtomicU64::new(0),
+        }
+    }
+
+    /// One request/response exchange. On a transport failure the stale
+    /// connection is dropped and the request is retried once on a fresh
+    /// one; a second failure is reported to the caller (and from there to
+    /// the driver's fault accounting).
+    fn call(&self, request: &[u8]) -> Result<Vec<u8>> {
+        let mut guard = self
+            .stream
+            .lock()
+            .map_err(|_| transport_error("client connection lock poisoned"))?;
+        self.calls.fetch_add(1, Ordering::Relaxed);
+        let mut last_attempt = false;
+        loop {
+            if guard.is_none() {
+                let stream = TcpStream::connect(&self.addr).map_err(transport_error)?;
+                // Request/response framing: Nagle's algorithm only adds
+                // latency here.
+                stream.set_nodelay(true).map_err(transport_error)?;
+                *guard = Some(stream);
+            }
+            let exchange = match guard.as_mut() {
+                Some(stream) => write_frame(stream, request).and_then(|()| read_frame(stream)),
+                None => Err(transport_error("connection vanished")),
+            };
+            match exchange {
+                Ok(response) => {
+                    self.bytes_sent
+                        .fetch_add((request.len() + HEADER_LEN) as u64, Ordering::Relaxed);
+                    self.bytes_received
+                        .fetch_add((response.len() + HEADER_LEN) as u64, Ordering::Relaxed);
+                    return Ok(response);
+                }
+                Err(e) if is_transport_error(&e) && !last_attempt => {
+                    // Stale or reset connection: reconnect and retry once.
+                    *guard = None;
+                    self.reconnects.fetch_add(1, Ordering::Relaxed);
+                    self.obs.event(
+                        "net.client.reconnect",
+                        None,
+                        vec![Field::str("peer", self.peer)],
+                    );
+                    last_attempt = true;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    fn stats(&self) -> NetStats {
+        NetStats {
+            calls: self.calls.load(Ordering::Relaxed),
+            reconnects: self.reconnects.load(Ordering::Relaxed),
+            bytes_sent: self.bytes_sent.load(Ordering::Relaxed),
+            bytes_received: self.bytes_received.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Emit the connection's aggregate counters as one obs event.
+    fn emit_stats(&self) {
+        self.obs.event(
+            "net.client.stats",
+            None,
+            vec![
+                Field::str("peer", self.peer),
+                Field::u64("calls", self.calls.load(Ordering::Relaxed)),
+                Field::u64("reconnects", self.reconnects.load(Ordering::Relaxed)),
+                Field::u64("bytes_sent", self.bytes_sent.load(Ordering::Relaxed)),
+                Field::u64(
+                    "bytes_received",
+                    self.bytes_received.load(Ordering::Relaxed),
+                ),
+            ],
+        );
+    }
+}
+
+/// [`SsiService`] over the wire: each method is one framed request to an
+/// `ssi-server` process.
+pub struct RemoteSsi {
+    conn: Conn,
+}
+
+impl RemoteSsi {
+    /// Create a client for the SSI at `addr` (`host:port`). Connects
+    /// lazily on the first call.
+    pub fn connect(addr: impl Into<String>, obs: Arc<Obs>) -> Self {
+        RemoteSsi {
+            conn: Conn::new(addr, "ssi", obs),
+        }
+    }
+
+    /// Emit the connection's aggregate byte/call counters to the obs log.
+    pub fn emit_stats(&self) {
+        self.conn.emit_stats();
+    }
+
+    /// Snapshot the connection counters.
+    pub fn stats(&self) -> NetStats {
+        self.conn.stats()
+    }
+
+    fn call(&self, req: &SsiRequest) -> Result<SsiResponse> {
+        let wire = req.encode()?;
+        let response = self.conn.call(&wire)?;
+        match SsiResponse::decode(&response)? {
+            SsiResponse::Err(e) => Err(e),
+            ok => Ok(ok),
+        }
+    }
+}
+
+impl SsiService for RemoteSsi {
+    fn post_query(&self, envelope: QueryEnvelope) -> Result<u64> {
+        match self.call(&SsiRequest::PostQuery(envelope))? {
+            SsiResponse::Id(id) => Ok(id),
+            _ => Err(unexpected("post_query")),
+        }
+    }
+
+    fn envelope(&self, query_id: u64) -> Result<QueryEnvelope> {
+        match self.call(&SsiRequest::Envelope(query_id))? {
+            SsiResponse::Envelope(e) => Ok(e),
+            _ => Err(unexpected("envelope")),
+        }
+    }
+
+    fn new_item(&self, query_id: u64) -> Result<u64> {
+        match self.call(&SsiRequest::NewItem(query_id))? {
+            SsiResponse::Id(id) => Ok(id),
+            _ => Err(unexpected("new_item")),
+        }
+    }
+
+    fn begin_assignment(&self, query_id: u64, item: u64) -> Result<AssignmentId> {
+        match self.call(&SsiRequest::BeginAssignment(query_id, item))? {
+            SsiResponse::Id(id) => Ok(AssignmentId(id)),
+            _ => Err(unexpected("begin_assignment")),
+        }
+    }
+
+    fn item_done(&self, query_id: u64, item: u64) -> Result<bool> {
+        match self.call(&SsiRequest::ItemDone(query_id, item))? {
+            SsiResponse::Flag(b) => Ok(b),
+            _ => Err(unexpected("item_done")),
+        }
+    }
+
+    fn receive_collection(
+        &self,
+        query_id: u64,
+        assignment: AssignmentId,
+        tuples: Vec<StoredTuple>,
+    ) -> Result<DeliveryOutcome> {
+        match self.call(&SsiRequest::ReceiveCollection {
+            query_id,
+            assignment,
+            tuples,
+        })? {
+            SsiResponse::Outcome(o) => Ok(o),
+            _ => Err(unexpected("receive_collection")),
+        }
+    }
+
+    fn collection_count(&self, query_id: u64) -> Result<usize> {
+        match self.call(&SsiRequest::CollectionCount(query_id))? {
+            SsiResponse::Count(n) => usize::try_from(n).map_err(|_| unexpected("collection_count")),
+            _ => Err(unexpected("collection_count")),
+        }
+    }
+
+    fn size_tuples_reached(&self, query_id: u64) -> Result<bool> {
+        match self.call(&SsiRequest::SizeTuplesReached(query_id))? {
+            SsiResponse::Flag(b) => Ok(b),
+            _ => Err(unexpected("size_tuples_reached")),
+        }
+    }
+
+    fn close_collection(&self, query_id: u64) -> Result<()> {
+        match self.call(&SsiRequest::CloseCollection(query_id))? {
+            SsiResponse::Unit => Ok(()),
+            _ => Err(unexpected("close_collection")),
+        }
+    }
+
+    fn take_working(&self, query_id: u64) -> Result<Vec<StoredTuple>> {
+        match self.call(&SsiRequest::TakeWorking(query_id))? {
+            SsiResponse::Tuples(ts) => Ok(ts),
+            _ => Err(unexpected("take_working")),
+        }
+    }
+
+    fn restore_working(&self, query_id: u64, phase: Phase, tuples: Vec<StoredTuple>) -> Result<()> {
+        match self.call(&SsiRequest::RestoreWorking {
+            query_id,
+            phase,
+            tuples,
+        })? {
+            SsiResponse::Unit => Ok(()),
+            _ => Err(unexpected("restore_working")),
+        }
+    }
+
+    fn receive_working(
+        &self,
+        query_id: u64,
+        assignment: AssignmentId,
+        phase: Phase,
+        tuples: Vec<StoredTuple>,
+    ) -> Result<DeliveryOutcome> {
+        match self.call(&SsiRequest::ReceiveWorking {
+            query_id,
+            assignment,
+            phase,
+            tuples,
+        })? {
+            SsiResponse::Outcome(o) => Ok(o),
+            _ => Err(unexpected("receive_working")),
+        }
+    }
+
+    fn receive_results(
+        &self,
+        query_id: u64,
+        assignment: AssignmentId,
+        rows: Vec<Bytes>,
+    ) -> Result<DeliveryOutcome> {
+        match self.call(&SsiRequest::ReceiveResults {
+            query_id,
+            assignment,
+            rows,
+        })? {
+            SsiResponse::Outcome(o) => Ok(o),
+            _ => Err(unexpected("receive_results")),
+        }
+    }
+
+    fn results(&self, query_id: u64) -> Result<Vec<Bytes>> {
+        match self.call(&SsiRequest::Results(query_id))? {
+            SsiResponse::Blobs(bs) => Ok(bs),
+            _ => Err(unexpected("results")),
+        }
+    }
+
+    fn purge_query(&self, query_id: u64) -> Result<()> {
+        match self.call(&SsiRequest::PurgeQuery(query_id))? {
+            SsiResponse::Unit => Ok(()),
+            _ => Err(unexpected("purge_query")),
+        }
+    }
+}
+
+/// [`TdsPool`] over the wire: each step is one framed request to a
+/// `tds-pool` process hosting the population.
+pub struct RemoteTdsPool {
+    conn: Conn,
+    ids: Vec<u64>,
+}
+
+impl RemoteTdsPool {
+    /// Connect to the pool at `addr` and fetch the population roster. The
+    /// roster is immutable for the life of a deployment, so it is cached
+    /// client-side; steps and row-openings go over the wire.
+    pub fn connect(addr: impl Into<String>, obs: Arc<Obs>) -> Result<Self> {
+        let conn = Conn::new(addr, "tds-pool", obs);
+        let pool = RemoteTdsPool {
+            conn,
+            ids: Vec::new(),
+        };
+        let ids = match pool.call(&PoolRequest::TdsIds)? {
+            PoolResponse::Ids(ids) => ids,
+            _ => return Err(unexpected("tds_ids")),
+        };
+        Ok(RemoteTdsPool { ids, ..pool })
+    }
+
+    /// Emit the connection's aggregate byte/call counters to the obs log.
+    pub fn emit_stats(&self) {
+        self.conn.emit_stats();
+    }
+
+    /// Snapshot the connection counters.
+    pub fn stats(&self) -> NetStats {
+        self.conn.stats()
+    }
+
+    fn call(&self, req: &PoolRequest) -> Result<PoolResponse> {
+        let wire = req.encode()?;
+        let response = self.conn.call(&wire)?;
+        match PoolResponse::decode(&response)? {
+            PoolResponse::Err(e) => Err(e),
+            ok => Ok(ok),
+        }
+    }
+}
+
+impl TdsPool for RemoteTdsPool {
+    fn len(&self) -> Result<usize> {
+        Ok(self.ids.len())
+    }
+
+    fn tds_ids(&self) -> Result<Vec<u64>> {
+        Ok(self.ids.clone())
+    }
+
+    fn step(
+        &self,
+        index: usize,
+        env: &QueryEnvelope,
+        params: &ProtocolParams,
+        now_round: u64,
+        step: TdsStep,
+        partition: &[StoredTuple],
+        rng_seed: u64,
+    ) -> Result<StepResult> {
+        let index = u32::try_from(index).map_err(|_| ProtocolError::LengthOverflow {
+            what: "wire pool index",
+            len: index,
+            max: u32::MAX as usize,
+        })?;
+        match self.call(&PoolRequest::Step {
+            index,
+            env: env.clone(),
+            params: params.clone(),
+            now_round,
+            step,
+            partition: partition.to_vec(),
+            rng_seed,
+        })? {
+            PoolResponse::Working(ts) => Ok(StepResult::Working(ts)),
+            PoolResponse::Results(bs) => Ok(StepResult::Results(bs)),
+            _ => Err(unexpected("step")),
+        }
+    }
+
+    fn open_rows(&self, blobs: &[Bytes]) -> Result<Vec<Vec<Value>>> {
+        match self.call(&PoolRequest::OpenRows(blobs.to_vec()))? {
+            PoolResponse::Rows(rows) => Ok(rows),
+            _ => Err(unexpected("open_rows")),
+        }
+    }
+}

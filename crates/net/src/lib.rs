@@ -1,0 +1,46 @@
+//! Framed TCP wire protocol for the transport-agnostic service layer.
+//!
+//! This crate turns the in-process querier → SSI → TDS-pool call graph
+//! into three real processes:
+//!
+//! * `ssi-server` — hosts the untrusted [`Ssi`] ledger (envelope board,
+//!   settle ledger, working set, result area) behind [`server::serve_ssi`];
+//! * `tds-pool` — hosts a provisioned TDS population behind
+//!   [`server::serve_pool`]; every protocol step executes inside the
+//!   simulated trust domain and only ciphertext crosses the wire back;
+//! * `querier` — compiles a query, drives it through
+//!   [`ServiceDriver`] against [`client::RemoteSsi`] and
+//!   [`client::RemoteTdsPool`], and decrypts the results under `k1`.
+//!
+//! Layers, bottom up:
+//!
+//! * [`frame`] — length-prefixed frames; the only sanctioned socket I/O
+//!   path, with `MAX_FRAME` bounds-checking before allocation;
+//! * [`wire`] — big-endian message codecs for the SSI and pool protocols,
+//!   including typed [`ProtocolError`] transport that preserves the
+//!   retryability class of remote failures;
+//! * [`client`] / [`server`] — the service-trait implementations on each
+//!   side of the socket.
+//!
+//! The driver, plans and fault taxonomy all live in `tdsql-core`; this
+//! crate adds *no* protocol logic — it only moves the existing seam
+//! ([`SsiService`] / [`TdsPool`]) onto a socket.
+//!
+//! [`Ssi`]: tdsql_core::ssi::Ssi
+//! [`ServiceDriver`]: tdsql_core::runtime::service::ServiceDriver
+//! [`SsiService`]: tdsql_core::service::SsiService
+//! [`TdsPool`]: tdsql_core::service::TdsPool
+//! [`ProtocolError`]: tdsql_core::error::ProtocolError
+
+#![warn(missing_docs)]
+
+pub mod cli;
+pub mod client;
+pub mod deploy;
+pub mod frame;
+pub mod server;
+pub mod wire;
+
+pub use client::{NetStats, RemoteSsi, RemoteTdsPool};
+pub use frame::{read_frame, write_frame, HEADER_LEN, MAX_FRAME};
+pub use server::{serve_pool, serve_ssi};

@@ -1,0 +1,230 @@
+//! Server loops for the two service processes.
+//!
+//! Each server owns one in-process implementation of its service trait
+//! ([`Ssi`] for `ssi-server`, [`LocalTdsPool`] for `tds-pool`) and exposes
+//! it over the framed TCP protocol: accept loop, one thread per
+//! connection, one request/response frame pair per round trip, until the
+//! peer closes the connection.
+//!
+//! Privacy posture matches the obs layer's: servers log connection-level
+//! counters (requests, bytes) and typed request names only — never
+//! envelope contents, tuples or rows. All socket writes go through the
+//! frame codec (enforced by the `no-raw-socket-write` srclint rule).
+
+use std::net::{TcpListener, TcpStream};
+use std::sync::Arc;
+use std::thread;
+
+use tdsql_core::error::Result;
+use tdsql_core::service::{LocalTdsPool, SsiService, StepResult, TdsPool};
+use tdsql_core::ssi::Ssi;
+use tdsql_obs::{Field, Obs};
+
+use crate::frame::{read_frame, write_frame, HEADER_LEN};
+use crate::wire::{PoolRequest, PoolResponse, SsiRequest, SsiResponse};
+
+/// Execute one decoded SSI request against the in-process ledger. All
+/// outcomes (including typed protocol errors) become responses; nothing
+/// here can fail except by producing an [`SsiResponse::Err`].
+fn dispatch_ssi(req: SsiRequest, ssi: &Ssi) -> SsiResponse {
+    fn wrap<T>(r: Result<T>, ok: impl FnOnce(T) -> SsiResponse) -> SsiResponse {
+        match r {
+            Ok(v) => ok(v),
+            Err(e) => SsiResponse::Err(e),
+        }
+    }
+    match req {
+        SsiRequest::PostQuery(env) => wrap(SsiService::post_query(ssi, env), SsiResponse::Id),
+        SsiRequest::Envelope(qid) => wrap(ssi.envelope(qid), SsiResponse::Envelope),
+        SsiRequest::NewItem(qid) => wrap(ssi.new_item(qid), SsiResponse::Id),
+        SsiRequest::BeginAssignment(qid, item) => {
+            wrap(ssi.begin_assignment(qid, item), |a| SsiResponse::Id(a.0))
+        }
+        SsiRequest::ItemDone(qid, item) => wrap(ssi.item_done(qid, item), SsiResponse::Flag),
+        SsiRequest::ReceiveCollection {
+            query_id,
+            assignment,
+            tuples,
+        } => wrap(
+            ssi.receive_collection(query_id, assignment, tuples),
+            SsiResponse::Outcome,
+        ),
+        SsiRequest::CollectionCount(qid) => {
+            wrap(ssi.collection_count(qid), |n| SsiResponse::Count(n as u64))
+        }
+        SsiRequest::SizeTuplesReached(qid) => wrap(ssi.size_tuples_reached(qid), SsiResponse::Flag),
+        SsiRequest::CloseCollection(qid) => wrap(ssi.close_collection(qid), |()| SsiResponse::Unit),
+        SsiRequest::TakeWorking(qid) => wrap(ssi.take_working(qid), SsiResponse::Tuples),
+        SsiRequest::RestoreWorking {
+            query_id,
+            phase,
+            tuples,
+        } => wrap(ssi.restore_working(query_id, phase, tuples), |()| {
+            SsiResponse::Unit
+        }),
+        SsiRequest::ReceiveWorking {
+            query_id,
+            assignment,
+            phase,
+            tuples,
+        } => wrap(
+            ssi.receive_working(query_id, assignment, phase, tuples),
+            SsiResponse::Outcome,
+        ),
+        SsiRequest::ReceiveResults {
+            query_id,
+            assignment,
+            rows,
+        } => wrap(
+            ssi.receive_results(query_id, assignment, rows),
+            SsiResponse::Outcome,
+        ),
+        SsiRequest::Results(qid) => wrap(ssi.results(qid), SsiResponse::Blobs),
+        SsiRequest::PurgeQuery(qid) => wrap(ssi.purge_query(qid), |()| SsiResponse::Unit),
+    }
+}
+
+/// Execute one decoded pool request against the in-process population.
+fn dispatch_pool(req: PoolRequest, pool: &LocalTdsPool) -> PoolResponse {
+    match req {
+        PoolRequest::TdsIds => match pool.tds_ids() {
+            Ok(ids) => PoolResponse::Ids(ids),
+            Err(e) => PoolResponse::Err(e),
+        },
+        PoolRequest::Step {
+            index,
+            env,
+            params,
+            now_round,
+            step,
+            partition,
+            rng_seed,
+        } => match pool.step(
+            index as usize,
+            &env,
+            &params,
+            now_round,
+            step,
+            &partition,
+            rng_seed,
+        ) {
+            Ok(StepResult::Working(ts)) => PoolResponse::Working(ts),
+            Ok(StepResult::Results(bs)) => PoolResponse::Results(bs),
+            Err(e) => PoolResponse::Err(e),
+        },
+        PoolRequest::OpenRows(blobs) => match pool.open_rows(&blobs) {
+            Ok(rows) => PoolResponse::Rows(rows),
+            Err(e) => PoolResponse::Err(e),
+        },
+    }
+}
+
+/// Per-connection frame loop, generic over the request/response pair.
+/// Returns when the peer closes the connection or the transport fails;
+/// emits one `net.conn.closed` obs event with aggregate counters.
+fn serve_conn<Req, Resp>(
+    mut stream: TcpStream,
+    peer: &'static str,
+    obs: &Obs,
+    decode: impl Fn(&[u8]) -> Result<Req>,
+    dispatch: impl Fn(Req) -> Resp,
+    encode_err: impl Fn(tdsql_core::error::ProtocolError) -> Resp,
+    encode: impl Fn(&Resp) -> Result<Vec<u8>>,
+) {
+    let mut requests: u64 = 0;
+    let mut bytes_received: u64 = 0;
+    let mut bytes_sent: u64 = 0;
+    loop {
+        // EOF at a frame boundary is the normal end of a session; any
+        // other failure also just ends the connection (the client retries
+        // on a fresh one and the driver absorbs the fault).
+        let frame = match read_frame(&mut stream) {
+            Ok(f) => f,
+            Err(_) => break,
+        };
+        requests += 1;
+        bytes_received += (frame.len() + HEADER_LEN) as u64;
+        // A malformed frame gets a typed error response — the connection
+        // survives, mirroring how corrupted uploads are rejected-but-
+        // retryable in the fault plan.
+        let response = match decode(&frame) {
+            Ok(req) => dispatch(req),
+            Err(e) => encode_err(e),
+        };
+        let wire = match encode(&response) {
+            Ok(w) => w,
+            Err(_) => break,
+        };
+        bytes_sent += (wire.len() + HEADER_LEN) as u64;
+        if write_frame(&mut stream, &wire).is_err() {
+            break;
+        }
+    }
+    obs.event(
+        "net.conn.closed",
+        None,
+        vec![
+            Field::str("peer", peer),
+            Field::u64("requests", requests),
+            Field::u64("bytes_received", bytes_received),
+            Field::u64("bytes_sent", bytes_sent),
+        ],
+    );
+}
+
+/// Accept loop shared by both servers: one thread per connection, run
+/// until the listener fails (e.g. is closed by the process shutting down).
+fn accept_loop(
+    listener: TcpListener,
+    peer: &'static str,
+    obs: Arc<Obs>,
+    handle: impl Fn(TcpStream, Arc<Obs>) + Clone + Send + 'static,
+) {
+    for stream in listener.incoming() {
+        let stream = match stream {
+            Ok(s) => s,
+            Err(_) => break,
+        };
+        // Request/response framing: disable Nagle to keep round trips flat.
+        let _ = stream.set_nodelay(true);
+        obs.event("net.conn.accepted", None, vec![Field::str("peer", peer)]);
+        let obs = Arc::clone(&obs);
+        let handle = handle.clone();
+        thread::spawn(move || handle(stream, obs));
+    }
+}
+
+/// Serve the SSI ledger on `listener` until the listener fails. Spawns one
+/// thread per accepted connection; call from a dedicated thread (the
+/// `ssi-server` binary's main thread, or a test helper).
+pub fn serve_ssi(listener: TcpListener, ssi: Arc<Ssi>, obs: Arc<Obs>) {
+    accept_loop(listener, "ssi", obs, move |stream, obs| {
+        let ssi = Arc::clone(&ssi);
+        serve_conn(
+            stream,
+            "ssi",
+            &obs,
+            SsiRequest::decode,
+            |req| dispatch_ssi(req, &ssi),
+            SsiResponse::Err,
+            SsiResponse::encode,
+        );
+    });
+}
+
+/// Serve a TDS population on `listener` until the listener fails. Same
+/// threading model as [`serve_ssi`].
+pub fn serve_pool(listener: TcpListener, pool: Arc<LocalTdsPool>, obs: Arc<Obs>) {
+    accept_loop(listener, "tds-pool", obs, move |stream, obs| {
+        let pool = Arc::clone(&pool);
+        serve_conn(
+            stream,
+            "tds-pool",
+            &obs,
+            PoolRequest::decode,
+            |req| dispatch_pool(req, &pool),
+            PoolResponse::Err,
+            PoolResponse::encode,
+        );
+    });
+}

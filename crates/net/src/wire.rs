@@ -1,0 +1,1387 @@
+//! Wire message codecs for the SSI and TDS-pool protocols.
+//!
+//! Hand-rolled big-endian codecs in the `tuple_codec` idiom: explicit
+//! length prefixes, checked counter widths (a too-long vector is a typed
+//! [`ProtocolError::LengthOverflow`], never a silently wrapped counter),
+//! and bounds-checked reads (a truncated message is a typed
+//! `Codec("unexpected end …")`). Ciphertext blobs cross the wire as the
+//! exact byte strings the `tuple_codec` envelopes produced — the codec
+//! frames them, it never looks inside.
+//!
+//! Error transport preserves the [`ProtocolError`] *variant class* — a
+//! remote `Crypto`/`Codec` rejection is retryable at the driver exactly
+//! like a local one — though the two `&'static str` payloads
+//! (`NoProgress.phase`, `LengthOverflow.what`, `InvalidTransition.what`)
+//! cannot carry arbitrary remote strings and decode to a fixed `"remote"`
+//! marker instead.
+
+use tdsql_core::bytes::Bytes;
+use tdsql_core::error::{ProtocolError, Result};
+use tdsql_core::histogram::Histogram;
+use tdsql_core::message::{
+    AssignmentId, DeliveryOutcome, GroupTag, QueryEnvelope, QueryTarget, StoredTuple,
+};
+use tdsql_core::protocol::{ProtocolKind, ProtocolParams};
+use tdsql_core::service::TdsStep;
+use tdsql_core::stats::Phase;
+use tdsql_core::tds::{ResultDest, RetagMode};
+use tdsql_crypto::credential::{Credential, Role};
+use tdsql_crypto::CryptoError;
+use tdsql_sql::ast::SizeClause;
+use tdsql_sql::error::SqlError;
+use tdsql_sql::value::{GroupKey, Value};
+
+// ---------------------------------------------------------------------------
+// Primitive helpers
+// ---------------------------------------------------------------------------
+
+fn eof() -> ProtocolError {
+    ProtocolError::Codec("unexpected end of wire message".into())
+}
+
+fn bad(what: &str) -> ProtocolError {
+    ProtocolError::Codec(format!("malformed wire message: {what}"))
+}
+
+/// Checked vector/byte-string counter: refuses to emit a length the wire
+/// format cannot carry instead of wrapping it.
+fn len_u32(what: &'static str, len: usize) -> Result<u32> {
+    u32::try_from(len).map_err(|_| ProtocolError::LengthOverflow {
+        what,
+        len,
+        max: u32::MAX as usize,
+    })
+}
+
+fn put_u8(out: &mut Vec<u8>, v: u8) {
+    out.push(v);
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_be_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_be_bytes());
+}
+
+fn take_u8(buf: &[u8], pos: &mut usize) -> Result<u8> {
+    let b = *buf.get(*pos).ok_or_else(eof)?;
+    *pos += 1;
+    Ok(b)
+}
+
+fn take_u32(buf: &[u8], pos: &mut usize) -> Result<u32> {
+    let end = pos.checked_add(4).ok_or_else(eof)?;
+    let slice = buf.get(*pos..end).ok_or_else(eof)?;
+    let mut b = [0u8; 4];
+    b.copy_from_slice(slice);
+    *pos = end;
+    Ok(u32::from_be_bytes(b))
+}
+
+fn take_u64(buf: &[u8], pos: &mut usize) -> Result<u64> {
+    let end = pos.checked_add(8).ok_or_else(eof)?;
+    let slice = buf.get(*pos..end).ok_or_else(eof)?;
+    let mut b = [0u8; 8];
+    b.copy_from_slice(slice);
+    *pos = end;
+    Ok(u64::from_be_bytes(b))
+}
+
+fn put_blob(out: &mut Vec<u8>, what: &'static str, bytes: &[u8]) -> Result<()> {
+    put_u32(out, len_u32(what, bytes.len())?);
+    out.extend_from_slice(bytes);
+    Ok(())
+}
+
+/// Bounds-checked byte string: the declared length must fit inside the
+/// remaining message, so a hostile count cannot trigger a huge allocation.
+fn take_blob(buf: &[u8], pos: &mut usize) -> Result<Vec<u8>> {
+    let len = take_u32(buf, pos)? as usize;
+    let end = pos.checked_add(len).ok_or_else(eof)?;
+    let slice = buf.get(*pos..end).ok_or_else(eof)?;
+    *pos = end;
+    Ok(slice.to_vec())
+}
+
+fn put_str(out: &mut Vec<u8>, what: &'static str, s: &str) -> Result<()> {
+    put_blob(out, what, s.as_bytes())
+}
+
+fn take_str(buf: &[u8], pos: &mut usize) -> Result<String> {
+    String::from_utf8(take_blob(buf, pos)?).map_err(|_| bad("non-UTF-8 string"))
+}
+
+fn put_opt_u64(out: &mut Vec<u8>, v: Option<u64>) {
+    match v {
+        None => put_u8(out, 0),
+        Some(x) => {
+            put_u8(out, 1);
+            put_u64(out, x);
+        }
+    }
+}
+
+fn take_opt_u64(buf: &[u8], pos: &mut usize) -> Result<Option<u64>> {
+    match take_u8(buf, pos)? {
+        0 => Ok(None),
+        1 => Ok(Some(take_u64(buf, pos)?)),
+        _ => Err(bad("option flag")),
+    }
+}
+
+fn take_usize(buf: &[u8], pos: &mut usize) -> Result<usize> {
+    usize::try_from(take_u64(buf, pos)?).map_err(|_| bad("usize out of range"))
+}
+
+// ---------------------------------------------------------------------------
+// Domain types
+// ---------------------------------------------------------------------------
+
+fn put_values(out: &mut Vec<u8>, row: &[Value]) -> Result<()> {
+    put_u32(out, len_u32("wire value row", row.len())?);
+    for v in row {
+        v.canonical_bytes(out);
+    }
+    Ok(())
+}
+
+fn take_values(buf: &[u8], pos: &mut usize) -> Result<Vec<Value>> {
+    let n = take_u32(buf, pos)? as usize;
+    let mut row = Vec::new();
+    for _ in 0..n {
+        row.push(Value::decode_canonical(buf, pos)?);
+    }
+    Ok(row)
+}
+
+pub(crate) fn put_rows(out: &mut Vec<u8>, rows: &[Vec<Value>]) -> Result<()> {
+    put_u32(out, len_u32("wire rows", rows.len())?);
+    for row in rows {
+        put_values(out, row)?;
+    }
+    Ok(())
+}
+
+pub(crate) fn take_rows(buf: &[u8], pos: &mut usize) -> Result<Vec<Vec<Value>>> {
+    let n = take_u32(buf, pos)? as usize;
+    let mut rows = Vec::new();
+    for _ in 0..n {
+        rows.push(take_values(buf, pos)?);
+    }
+    Ok(rows)
+}
+
+fn put_tag(out: &mut Vec<u8>, tag: &GroupTag) -> Result<()> {
+    match tag {
+        GroupTag::None => put_u8(out, 0),
+        GroupTag::Det(b) => {
+            put_u8(out, 1);
+            put_blob(out, "wire group tag", b)?;
+        }
+        GroupTag::Bucket(b) => {
+            put_u8(out, 2);
+            out.extend_from_slice(b);
+        }
+    }
+    Ok(())
+}
+
+fn take_tag(buf: &[u8], pos: &mut usize) -> Result<GroupTag> {
+    Ok(match take_u8(buf, pos)? {
+        0 => GroupTag::None,
+        1 => GroupTag::Det(Bytes::from(take_blob(buf, pos)?)),
+        2 => {
+            let end = pos.checked_add(8).ok_or_else(eof)?;
+            let slice = buf.get(*pos..end).ok_or_else(eof)?;
+            let mut b = [0u8; 8];
+            b.copy_from_slice(slice);
+            *pos = end;
+            GroupTag::Bucket(b)
+        }
+        _ => return Err(bad("group tag kind")),
+    })
+}
+
+fn put_tuple(out: &mut Vec<u8>, t: &StoredTuple) -> Result<()> {
+    put_tag(out, &t.tag)?;
+    put_blob(out, "wire tuple blob", &t.blob)
+}
+
+fn take_tuple(buf: &[u8], pos: &mut usize) -> Result<StoredTuple> {
+    let tag = take_tag(buf, pos)?;
+    let blob = Bytes::from(take_blob(buf, pos)?);
+    Ok(StoredTuple { tag, blob })
+}
+
+pub(crate) fn put_tuples(out: &mut Vec<u8>, ts: &[StoredTuple]) -> Result<()> {
+    put_u32(out, len_u32("wire tuples", ts.len())?);
+    for t in ts {
+        put_tuple(out, t)?;
+    }
+    Ok(())
+}
+
+pub(crate) fn take_tuples(buf: &[u8], pos: &mut usize) -> Result<Vec<StoredTuple>> {
+    let n = take_u32(buf, pos)? as usize;
+    let mut ts = Vec::new();
+    for _ in 0..n {
+        ts.push(take_tuple(buf, pos)?);
+    }
+    Ok(ts)
+}
+
+pub(crate) fn put_blobs(out: &mut Vec<u8>, bs: &[Bytes]) -> Result<()> {
+    put_u32(out, len_u32("wire blobs", bs.len())?);
+    for b in bs {
+        put_blob(out, "wire blob", b)?;
+    }
+    Ok(())
+}
+
+pub(crate) fn take_blobs(buf: &[u8], pos: &mut usize) -> Result<Vec<Bytes>> {
+    let n = take_u32(buf, pos)? as usize;
+    let mut bs = Vec::new();
+    for _ in 0..n {
+        bs.push(Bytes::from(take_blob(buf, pos)?));
+    }
+    Ok(bs)
+}
+
+fn put_credential(out: &mut Vec<u8>, c: &Credential) -> Result<()> {
+    put_str(out, "wire credential id", &c.querier_id)?;
+    put_str(out, "wire credential role", &c.role.0)?;
+    put_u64(out, c.expires_at_round);
+    out.extend_from_slice(&c.signature());
+    Ok(())
+}
+
+fn take_credential(buf: &[u8], pos: &mut usize) -> Result<Credential> {
+    let querier_id = take_str(buf, pos)?;
+    let role = Role(take_str(buf, pos)?);
+    let expires_at_round = take_u64(buf, pos)?;
+    let end = pos.checked_add(32).ok_or_else(eof)?;
+    let slice = buf.get(*pos..end).ok_or_else(eof)?;
+    let mut signature = [0u8; 32];
+    signature.copy_from_slice(slice);
+    *pos = end;
+    Ok(Credential::from_parts(
+        querier_id,
+        role,
+        expires_at_round,
+        signature,
+    ))
+}
+
+fn put_kind(out: &mut Vec<u8>, k: ProtocolKind) {
+    match k {
+        ProtocolKind::Basic => put_u8(out, 0),
+        ProtocolKind::SAgg => put_u8(out, 1),
+        ProtocolKind::RnfNoise { nf } => {
+            put_u8(out, 2);
+            put_u32(out, nf);
+        }
+        ProtocolKind::CNoise => put_u8(out, 3),
+        ProtocolKind::EdHist { buckets } => {
+            put_u8(out, 4);
+            put_u32(out, buckets);
+        }
+    }
+}
+
+fn take_kind(buf: &[u8], pos: &mut usize) -> Result<ProtocolKind> {
+    Ok(match take_u8(buf, pos)? {
+        0 => ProtocolKind::Basic,
+        1 => ProtocolKind::SAgg,
+        2 => ProtocolKind::RnfNoise {
+            nf: take_u32(buf, pos)?,
+        },
+        3 => ProtocolKind::CNoise,
+        4 => ProtocolKind::EdHist {
+            buckets: take_u32(buf, pos)?,
+        },
+        _ => return Err(bad("protocol kind")),
+    })
+}
+
+pub(crate) fn put_envelope(out: &mut Vec<u8>, e: &QueryEnvelope) -> Result<()> {
+    put_u64(out, e.query_id);
+    put_blob(out, "wire enc_query", &e.enc_query)?;
+    put_credential(out, &e.credential)?;
+    put_opt_u64(out, e.size.max_tuples);
+    put_opt_u64(out, e.size.max_rounds);
+    put_kind(out, e.protocol);
+    match &e.target {
+        QueryTarget::Crowd => put_u8(out, 0),
+        QueryTarget::Tds(ids) => {
+            put_u8(out, 1);
+            put_u32(out, len_u32("wire target ids", ids.len())?);
+            for id in ids {
+                put_u64(out, *id);
+            }
+        }
+    }
+    Ok(())
+}
+
+pub(crate) fn take_envelope(buf: &[u8], pos: &mut usize) -> Result<QueryEnvelope> {
+    let query_id = take_u64(buf, pos)?;
+    let enc_query = Bytes::from(take_blob(buf, pos)?);
+    let credential = take_credential(buf, pos)?;
+    let size = SizeClause {
+        max_tuples: take_opt_u64(buf, pos)?,
+        max_rounds: take_opt_u64(buf, pos)?,
+    };
+    let protocol = take_kind(buf, pos)?;
+    let target = match take_u8(buf, pos)? {
+        0 => QueryTarget::Crowd,
+        1 => {
+            let n = take_u32(buf, pos)? as usize;
+            let mut ids = Vec::new();
+            for _ in 0..n {
+                ids.push(take_u64(buf, pos)?);
+            }
+            QueryTarget::Tds(ids)
+        }
+        _ => return Err(bad("query target kind")),
+    };
+    Ok(QueryEnvelope {
+        query_id,
+        enc_query,
+        credential,
+        size,
+        protocol,
+        target,
+    })
+}
+
+pub(crate) fn put_params(out: &mut Vec<u8>, p: &ProtocolParams) -> Result<()> {
+    put_kind(out, p.kind);
+    put_u64(out, p.pad as u64);
+    put_u64(out, p.chunk as u64);
+    put_u64(out, p.alpha as u64);
+    put_u32(out, len_u32("wire noise domain", p.noise_domain.len())?);
+    for k in &p.noise_domain {
+        put_blob(out, "wire group key", &k.0)?;
+    }
+    match &p.histogram {
+        None => put_u8(out, 0),
+        Some(h) => {
+            put_u8(out, 1);
+            put_blob(out, "wire histogram", &h.encode())?;
+        }
+    }
+    Ok(())
+}
+
+pub(crate) fn take_params(buf: &[u8], pos: &mut usize) -> Result<ProtocolParams> {
+    let kind = take_kind(buf, pos)?;
+    let pad = take_usize(buf, pos)?;
+    let chunk = take_usize(buf, pos)?;
+    let alpha = take_usize(buf, pos)?;
+    let n = take_u32(buf, pos)? as usize;
+    let mut noise_domain = Vec::new();
+    for _ in 0..n {
+        noise_domain.push(GroupKey(take_blob(buf, pos)?));
+    }
+    let histogram = match take_u8(buf, pos)? {
+        0 => None,
+        1 => {
+            let enc = take_blob(buf, pos)?;
+            Some(Histogram::decode(&enc).ok_or_else(|| bad("histogram"))?)
+        }
+        _ => return Err(bad("histogram flag")),
+    };
+    Ok(ProtocolParams {
+        kind,
+        pad,
+        chunk,
+        alpha,
+        noise_domain,
+        histogram,
+    })
+}
+
+fn put_phase(out: &mut Vec<u8>, p: Phase) {
+    put_u8(
+        out,
+        match p {
+            Phase::Discovery => 0,
+            Phase::Collection => 1,
+            Phase::Aggregation => 2,
+            Phase::Filtering => 3,
+        },
+    );
+}
+
+fn take_phase(buf: &[u8], pos: &mut usize) -> Result<Phase> {
+    Ok(match take_u8(buf, pos)? {
+        0 => Phase::Discovery,
+        1 => Phase::Collection,
+        2 => Phase::Aggregation,
+        3 => Phase::Filtering,
+        _ => return Err(bad("phase")),
+    })
+}
+
+fn put_retag(out: &mut Vec<u8>, r: RetagMode) {
+    put_u8(
+        out,
+        match r {
+            RetagMode::None => 0,
+            RetagMode::DetPerGroup => 1,
+        },
+    );
+}
+
+fn take_retag(buf: &[u8], pos: &mut usize) -> Result<RetagMode> {
+    Ok(match take_u8(buf, pos)? {
+        0 => RetagMode::None,
+        1 => RetagMode::DetPerGroup,
+        _ => return Err(bad("retag mode")),
+    })
+}
+
+fn put_dest(out: &mut Vec<u8>, d: ResultDest) {
+    put_u8(
+        out,
+        match d {
+            ResultDest::Querier => 0,
+            ResultDest::Tds => 1,
+        },
+    );
+}
+
+fn take_dest(buf: &[u8], pos: &mut usize) -> Result<ResultDest> {
+    Ok(match take_u8(buf, pos)? {
+        0 => ResultDest::Querier,
+        1 => ResultDest::Tds,
+        _ => return Err(bad("result dest")),
+    })
+}
+
+pub(crate) fn put_step(out: &mut Vec<u8>, s: TdsStep) {
+    match s {
+        TdsStep::Collect => put_u8(out, 0),
+        TdsStep::ReduceInputs { retag } => {
+            put_u8(out, 1);
+            put_retag(out, retag);
+        }
+        TdsStep::ReducePartials { retag } => {
+            put_u8(out, 2);
+            put_retag(out, retag);
+        }
+        TdsStep::FilterPlain => put_u8(out, 3),
+        TdsStep::FinalizeGroups { dest } => {
+            put_u8(out, 4);
+            put_dest(out, dest);
+        }
+    }
+}
+
+pub(crate) fn take_step(buf: &[u8], pos: &mut usize) -> Result<TdsStep> {
+    Ok(match take_u8(buf, pos)? {
+        0 => TdsStep::Collect,
+        1 => TdsStep::ReduceInputs {
+            retag: take_retag(buf, pos)?,
+        },
+        2 => TdsStep::ReducePartials {
+            retag: take_retag(buf, pos)?,
+        },
+        3 => TdsStep::FilterPlain,
+        4 => TdsStep::FinalizeGroups {
+            dest: take_dest(buf, pos)?,
+        },
+        _ => return Err(bad("tds step")),
+    })
+}
+
+fn put_outcome(out: &mut Vec<u8>, o: DeliveryOutcome) {
+    put_u8(
+        out,
+        match o {
+            DeliveryOutcome::Accepted => 0,
+            DeliveryOutcome::Duplicate => 1,
+            DeliveryOutcome::LateAfterReassign => 2,
+            DeliveryOutcome::WindowClosed => 3,
+        },
+    );
+}
+
+fn take_outcome(buf: &[u8], pos: &mut usize) -> Result<DeliveryOutcome> {
+    Ok(match take_u8(buf, pos)? {
+        0 => DeliveryOutcome::Accepted,
+        1 => DeliveryOutcome::Duplicate,
+        2 => DeliveryOutcome::LateAfterReassign,
+        3 => DeliveryOutcome::WindowClosed,
+        _ => return Err(bad("delivery outcome")),
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Error transport
+// ---------------------------------------------------------------------------
+
+/// Encode a [`ProtocolError`] for the response wire.
+pub(crate) fn put_error(out: &mut Vec<u8>, e: &ProtocolError) -> Result<()> {
+    match e {
+        ProtocolError::Crypto(c) => {
+            put_u8(out, 0);
+            match c {
+                CryptoError::Truncated { need, got } => {
+                    put_u8(out, 0);
+                    put_u64(out, *need as u64);
+                    put_u64(out, *got as u64);
+                }
+                CryptoError::TagMismatch => put_u8(out, 1),
+                CryptoError::BadCredential => put_u8(out, 2),
+            }
+        }
+        ProtocolError::Sql(s) => {
+            put_u8(out, 1);
+            put_str(out, "wire error detail", &s.to_string())?;
+        }
+        ProtocolError::Codec(s) => {
+            put_u8(out, 2);
+            put_str(out, "wire error detail", s)?;
+        }
+        ProtocolError::Protocol(s) => {
+            put_u8(out, 3);
+            put_str(out, "wire error detail", s)?;
+        }
+        ProtocolError::NoProgress { phase } => {
+            put_u8(out, 4);
+            put_str(out, "wire error detail", phase)?;
+        }
+        ProtocolError::AccessDenied => put_u8(out, 5),
+        ProtocolError::Unsupported(s) => {
+            put_u8(out, 6);
+            put_str(out, "wire error detail", s)?;
+        }
+        ProtocolError::PadTooSmall { needed, pad } => {
+            put_u8(out, 7);
+            put_u64(out, *needed as u64);
+            put_u64(out, *pad as u64);
+        }
+        ProtocolError::LengthOverflow { what, len, max } => {
+            put_u8(out, 8);
+            put_str(out, "wire error detail", what)?;
+            put_u64(out, *len as u64);
+            put_u64(out, *max as u64);
+        }
+        ProtocolError::QueryAborted { phase, retries } => {
+            put_u8(out, 9);
+            put_phase(out, *phase);
+            put_u32(out, *retries);
+        }
+        ProtocolError::UnknownQuery { query_id } => {
+            put_u8(out, 10);
+            put_u64(out, *query_id);
+        }
+        ProtocolError::InvalidTransition { query_id, what } => {
+            put_u8(out, 11);
+            put_u64(out, *query_id);
+            put_str(out, "wire error detail", what)?;
+        }
+    }
+    Ok(())
+}
+
+/// Decode a transported [`ProtocolError`]. `&'static str` payloads decode
+/// to the fixed `"remote"` marker (the class, which drives retry
+/// semantics, is preserved exactly).
+pub(crate) fn take_error(buf: &[u8], pos: &mut usize) -> Result<ProtocolError> {
+    Ok(match take_u8(buf, pos)? {
+        0 => ProtocolError::Crypto(match take_u8(buf, pos)? {
+            0 => CryptoError::Truncated {
+                need: take_usize(buf, pos)?,
+                got: take_usize(buf, pos)?,
+            },
+            1 => CryptoError::TagMismatch,
+            2 => CryptoError::BadCredential,
+            _ => return Err(bad("crypto error kind")),
+        }),
+        1 => ProtocolError::Sql(SqlError::Parse {
+            message: take_str(buf, pos)?,
+        }),
+        2 => ProtocolError::Codec(take_str(buf, pos)?),
+        3 => ProtocolError::Protocol(take_str(buf, pos)?),
+        4 => {
+            let _detail = take_str(buf, pos)?;
+            ProtocolError::NoProgress { phase: "remote" }
+        }
+        5 => ProtocolError::AccessDenied,
+        6 => ProtocolError::Unsupported(take_str(buf, pos)?),
+        7 => ProtocolError::PadTooSmall {
+            needed: take_usize(buf, pos)?,
+            pad: take_usize(buf, pos)?,
+        },
+        8 => {
+            let _what = take_str(buf, pos)?;
+            ProtocolError::LengthOverflow {
+                what: "remote",
+                len: take_usize(buf, pos)?,
+                max: take_usize(buf, pos)?,
+            }
+        }
+        9 => ProtocolError::QueryAborted {
+            phase: take_phase(buf, pos)?,
+            retries: take_u32(buf, pos)?,
+        },
+        10 => ProtocolError::UnknownQuery {
+            query_id: take_u64(buf, pos)?,
+        },
+        11 => {
+            let query_id = take_u64(buf, pos)?;
+            let _what = take_str(buf, pos)?;
+            ProtocolError::InvalidTransition {
+                query_id,
+                what: "remote",
+            }
+        }
+        _ => return Err(bad("error kind")),
+    })
+}
+
+// ---------------------------------------------------------------------------
+// SSI protocol messages
+// ---------------------------------------------------------------------------
+
+/// One request on the SSI wire.
+#[derive(Debug, Clone)]
+pub enum SsiRequest {
+    /// Post an envelope; the SSI assigns the query id.
+    PostQuery(QueryEnvelope),
+    /// Download the posted envelope.
+    Envelope(u64),
+    /// Allocate a work item.
+    NewItem(u64),
+    /// Begin a delivery attempt.
+    BeginAssignment(u64, u64),
+    /// Has the item completed?
+    ItemDone(u64, u64),
+    /// Deliver a collection contribution.
+    ReceiveCollection {
+        /// Query id.
+        query_id: u64,
+        /// Delivery assignment.
+        assignment: AssignmentId,
+        /// The contribution.
+        tuples: Vec<StoredTuple>,
+    },
+    /// Number of collected tuples.
+    CollectionCount(u64),
+    /// Has the SIZE tuple bound been reached?
+    SizeTuplesReached(u64),
+    /// Close the collection window.
+    CloseCollection(u64),
+    /// Drain the working set.
+    TakeWorking(u64),
+    /// Restore tuples into the working set (driver bookkeeping).
+    RestoreWorking {
+        /// Query id.
+        query_id: u64,
+        /// Phase attribution for the SSI's observation log.
+        phase: Phase,
+        /// The tuples to restore.
+        tuples: Vec<StoredTuple>,
+    },
+    /// Deliver intermediate tuples.
+    ReceiveWorking {
+        /// Query id.
+        query_id: u64,
+        /// Delivery assignment.
+        assignment: AssignmentId,
+        /// Phase attribution.
+        phase: Phase,
+        /// The tuples.
+        tuples: Vec<StoredTuple>,
+    },
+    /// Deliver final sealed rows.
+    ReceiveResults {
+        /// Query id.
+        query_id: u64,
+        /// Delivery assignment.
+        assignment: AssignmentId,
+        /// The sealed rows.
+        rows: Vec<Bytes>,
+    },
+    /// Download the final result blobs.
+    Results(u64),
+    /// Drop all state of a query.
+    PurgeQuery(u64),
+}
+
+impl SsiRequest {
+    /// Encode to a frame payload.
+    pub fn encode(&self) -> Result<Vec<u8>> {
+        let mut out = Vec::new();
+        match self {
+            SsiRequest::PostQuery(env) => {
+                put_u8(&mut out, 0);
+                put_envelope(&mut out, env)?;
+            }
+            SsiRequest::Envelope(qid) => {
+                put_u8(&mut out, 1);
+                put_u64(&mut out, *qid);
+            }
+            SsiRequest::NewItem(qid) => {
+                put_u8(&mut out, 2);
+                put_u64(&mut out, *qid);
+            }
+            SsiRequest::BeginAssignment(qid, item) => {
+                put_u8(&mut out, 3);
+                put_u64(&mut out, *qid);
+                put_u64(&mut out, *item);
+            }
+            SsiRequest::ItemDone(qid, item) => {
+                put_u8(&mut out, 4);
+                put_u64(&mut out, *qid);
+                put_u64(&mut out, *item);
+            }
+            SsiRequest::ReceiveCollection {
+                query_id,
+                assignment,
+                tuples,
+            } => {
+                put_u8(&mut out, 5);
+                put_u64(&mut out, *query_id);
+                put_u64(&mut out, assignment.0);
+                put_tuples(&mut out, tuples)?;
+            }
+            SsiRequest::CollectionCount(qid) => {
+                put_u8(&mut out, 6);
+                put_u64(&mut out, *qid);
+            }
+            SsiRequest::SizeTuplesReached(qid) => {
+                put_u8(&mut out, 7);
+                put_u64(&mut out, *qid);
+            }
+            SsiRequest::CloseCollection(qid) => {
+                put_u8(&mut out, 8);
+                put_u64(&mut out, *qid);
+            }
+            SsiRequest::TakeWorking(qid) => {
+                put_u8(&mut out, 9);
+                put_u64(&mut out, *qid);
+            }
+            SsiRequest::RestoreWorking {
+                query_id,
+                phase,
+                tuples,
+            } => {
+                put_u8(&mut out, 10);
+                put_u64(&mut out, *query_id);
+                put_phase(&mut out, *phase);
+                put_tuples(&mut out, tuples)?;
+            }
+            SsiRequest::ReceiveWorking {
+                query_id,
+                assignment,
+                phase,
+                tuples,
+            } => {
+                put_u8(&mut out, 11);
+                put_u64(&mut out, *query_id);
+                put_u64(&mut out, assignment.0);
+                put_phase(&mut out, *phase);
+                put_tuples(&mut out, tuples)?;
+            }
+            SsiRequest::ReceiveResults {
+                query_id,
+                assignment,
+                rows,
+            } => {
+                put_u8(&mut out, 12);
+                put_u64(&mut out, *query_id);
+                put_u64(&mut out, assignment.0);
+                put_blobs(&mut out, rows)?;
+            }
+            SsiRequest::Results(qid) => {
+                put_u8(&mut out, 13);
+                put_u64(&mut out, *qid);
+            }
+            SsiRequest::PurgeQuery(qid) => {
+                put_u8(&mut out, 14);
+                put_u64(&mut out, *qid);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Decode from a frame payload.
+    pub fn decode(buf: &[u8]) -> Result<Self> {
+        let pos = &mut 0;
+        let req = match take_u8(buf, pos)? {
+            0 => SsiRequest::PostQuery(take_envelope(buf, pos)?),
+            1 => SsiRequest::Envelope(take_u64(buf, pos)?),
+            2 => SsiRequest::NewItem(take_u64(buf, pos)?),
+            3 => SsiRequest::BeginAssignment(take_u64(buf, pos)?, take_u64(buf, pos)?),
+            4 => SsiRequest::ItemDone(take_u64(buf, pos)?, take_u64(buf, pos)?),
+            5 => SsiRequest::ReceiveCollection {
+                query_id: take_u64(buf, pos)?,
+                assignment: AssignmentId(take_u64(buf, pos)?),
+                tuples: take_tuples(buf, pos)?,
+            },
+            6 => SsiRequest::CollectionCount(take_u64(buf, pos)?),
+            7 => SsiRequest::SizeTuplesReached(take_u64(buf, pos)?),
+            8 => SsiRequest::CloseCollection(take_u64(buf, pos)?),
+            9 => SsiRequest::TakeWorking(take_u64(buf, pos)?),
+            10 => SsiRequest::RestoreWorking {
+                query_id: take_u64(buf, pos)?,
+                phase: take_phase(buf, pos)?,
+                tuples: take_tuples(buf, pos)?,
+            },
+            11 => SsiRequest::ReceiveWorking {
+                query_id: take_u64(buf, pos)?,
+                assignment: AssignmentId(take_u64(buf, pos)?),
+                phase: take_phase(buf, pos)?,
+                tuples: take_tuples(buf, pos)?,
+            },
+            12 => SsiRequest::ReceiveResults {
+                query_id: take_u64(buf, pos)?,
+                assignment: AssignmentId(take_u64(buf, pos)?),
+                rows: take_blobs(buf, pos)?,
+            },
+            13 => SsiRequest::Results(take_u64(buf, pos)?),
+            14 => SsiRequest::PurgeQuery(take_u64(buf, pos)?),
+            _ => return Err(bad("ssi request kind")),
+        };
+        expect_consumed(buf, *pos)?;
+        Ok(req)
+    }
+
+    /// Short request name for obs counters (no payload data).
+    pub fn name(&self) -> &'static str {
+        match self {
+            SsiRequest::PostQuery(_) => "post_query",
+            SsiRequest::Envelope(_) => "envelope",
+            SsiRequest::NewItem(_) => "new_item",
+            SsiRequest::BeginAssignment(..) => "begin_assignment",
+            SsiRequest::ItemDone(..) => "item_done",
+            SsiRequest::ReceiveCollection { .. } => "receive_collection",
+            SsiRequest::CollectionCount(_) => "collection_count",
+            SsiRequest::SizeTuplesReached(_) => "size_tuples_reached",
+            SsiRequest::CloseCollection(_) => "close_collection",
+            SsiRequest::TakeWorking(_) => "take_working",
+            SsiRequest::RestoreWorking { .. } => "restore_working",
+            SsiRequest::ReceiveWorking { .. } => "receive_working",
+            SsiRequest::ReceiveResults { .. } => "receive_results",
+            SsiRequest::Results(_) => "results",
+            SsiRequest::PurgeQuery(_) => "purge_query",
+        }
+    }
+}
+
+/// One response on the SSI wire.
+#[derive(Debug, Clone)]
+pub enum SsiResponse {
+    /// An id (query id, work item or assignment).
+    Id(u64),
+    /// A downloaded envelope.
+    Envelope(QueryEnvelope),
+    /// A boolean state answer.
+    Flag(bool),
+    /// A delivery outcome.
+    Outcome(DeliveryOutcome),
+    /// A count.
+    Count(u64),
+    /// Success with no payload.
+    Unit,
+    /// Working tuples.
+    Tuples(Vec<StoredTuple>),
+    /// Result blobs.
+    Blobs(Vec<Bytes>),
+    /// The operation failed with a protocol error.
+    Err(ProtocolError),
+}
+
+impl SsiResponse {
+    /// Encode to a frame payload.
+    pub fn encode(&self) -> Result<Vec<u8>> {
+        let mut out = Vec::new();
+        match self {
+            SsiResponse::Id(v) => {
+                put_u8(&mut out, 0);
+                put_u64(&mut out, *v);
+            }
+            SsiResponse::Envelope(e) => {
+                put_u8(&mut out, 1);
+                put_envelope(&mut out, e)?;
+            }
+            SsiResponse::Flag(b) => {
+                put_u8(&mut out, 2);
+                put_u8(&mut out, u8::from(*b));
+            }
+            SsiResponse::Outcome(o) => {
+                put_u8(&mut out, 3);
+                put_outcome(&mut out, *o);
+            }
+            SsiResponse::Count(v) => {
+                put_u8(&mut out, 4);
+                put_u64(&mut out, *v);
+            }
+            SsiResponse::Unit => put_u8(&mut out, 5),
+            SsiResponse::Tuples(ts) => {
+                put_u8(&mut out, 6);
+                put_tuples(&mut out, ts)?;
+            }
+            SsiResponse::Blobs(bs) => {
+                put_u8(&mut out, 7);
+                put_blobs(&mut out, bs)?;
+            }
+            SsiResponse::Err(e) => {
+                put_u8(&mut out, 8);
+                put_error(&mut out, e)?;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Decode from a frame payload.
+    pub fn decode(buf: &[u8]) -> Result<Self> {
+        let pos = &mut 0;
+        let resp = match take_u8(buf, pos)? {
+            0 => SsiResponse::Id(take_u64(buf, pos)?),
+            1 => SsiResponse::Envelope(take_envelope(buf, pos)?),
+            2 => SsiResponse::Flag(match take_u8(buf, pos)? {
+                0 => false,
+                1 => true,
+                _ => return Err(bad("bool")),
+            }),
+            3 => SsiResponse::Outcome(take_outcome(buf, pos)?),
+            4 => SsiResponse::Count(take_u64(buf, pos)?),
+            5 => SsiResponse::Unit,
+            6 => SsiResponse::Tuples(take_tuples(buf, pos)?),
+            7 => SsiResponse::Blobs(take_blobs(buf, pos)?),
+            8 => SsiResponse::Err(take_error(buf, pos)?),
+            _ => return Err(bad("ssi response kind")),
+        };
+        expect_consumed(buf, *pos)?;
+        Ok(resp)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// TDS-pool protocol messages
+// ---------------------------------------------------------------------------
+
+/// One request on the TDS-pool wire.
+#[derive(Debug, Clone)]
+pub enum PoolRequest {
+    /// Burn-time ids of the population.
+    TdsIds,
+    /// Execute one protocol step on one TDS.
+    Step {
+        /// Pool index of the TDS.
+        index: u32,
+        /// The posted envelope (ciphertext; the pool decrypts inside the
+        /// trust domain).
+        env: QueryEnvelope,
+        /// Protocol parameters (public recipe + discovery artifacts,
+        /// conceptually `k2`-distributed).
+        params: ProtocolParams,
+        /// Driver round clock (credential expiry checks).
+        now_round: u64,
+        /// The step to execute.
+        step: TdsStep,
+        /// Input partition (empty for collection).
+        partition: Vec<StoredTuple>,
+        /// Seed for the step's TDS-side randomness.
+        rng_seed: u64,
+    },
+    /// Open `k2`-sealed rows inside the trust domain (discovery).
+    OpenRows(Vec<Bytes>),
+}
+
+impl PoolRequest {
+    /// Encode to a frame payload.
+    pub fn encode(&self) -> Result<Vec<u8>> {
+        let mut out = Vec::new();
+        match self {
+            PoolRequest::TdsIds => put_u8(&mut out, 0),
+            PoolRequest::Step {
+                index,
+                env,
+                params,
+                now_round,
+                step,
+                partition,
+                rng_seed,
+            } => {
+                put_u8(&mut out, 1);
+                put_u32(&mut out, *index);
+                put_envelope(&mut out, env)?;
+                put_params(&mut out, params)?;
+                put_u64(&mut out, *now_round);
+                put_step(&mut out, *step);
+                put_tuples(&mut out, partition)?;
+                put_u64(&mut out, *rng_seed);
+            }
+            PoolRequest::OpenRows(blobs) => {
+                put_u8(&mut out, 2);
+                put_blobs(&mut out, blobs)?;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Decode from a frame payload.
+    pub fn decode(buf: &[u8]) -> Result<Self> {
+        let pos = &mut 0;
+        let req = match take_u8(buf, pos)? {
+            0 => PoolRequest::TdsIds,
+            1 => PoolRequest::Step {
+                index: take_u32(buf, pos)?,
+                env: take_envelope(buf, pos)?,
+                params: take_params(buf, pos)?,
+                now_round: take_u64(buf, pos)?,
+                step: take_step(buf, pos)?,
+                partition: take_tuples(buf, pos)?,
+                rng_seed: take_u64(buf, pos)?,
+            },
+            2 => PoolRequest::OpenRows(take_blobs(buf, pos)?),
+            _ => return Err(bad("pool request kind")),
+        };
+        expect_consumed(buf, *pos)?;
+        Ok(req)
+    }
+
+    /// Short request name for obs counters.
+    pub fn name(&self) -> &'static str {
+        match self {
+            PoolRequest::TdsIds => "tds_ids",
+            PoolRequest::Step { .. } => "step",
+            PoolRequest::OpenRows(_) => "open_rows",
+        }
+    }
+}
+
+/// One response on the TDS-pool wire.
+#[derive(Debug, Clone)]
+pub enum PoolResponse {
+    /// Population ids.
+    Ids(Vec<u64>),
+    /// Step output: intermediate tuples.
+    Working(Vec<StoredTuple>),
+    /// Step output: sealed result rows.
+    Results(Vec<Bytes>),
+    /// Opened cleartext rows (discovery; stays inside the trust domain —
+    /// the pool only answers this for `k2`-sealed blobs it can decrypt).
+    Rows(Vec<Vec<Value>>),
+    /// The operation failed with a protocol error.
+    Err(ProtocolError),
+}
+
+impl PoolResponse {
+    /// Encode to a frame payload.
+    pub fn encode(&self) -> Result<Vec<u8>> {
+        let mut out = Vec::new();
+        match self {
+            PoolResponse::Ids(ids) => {
+                put_u8(&mut out, 0);
+                put_u32(&mut out, len_u32("wire pool ids", ids.len())?);
+                for id in ids {
+                    put_u64(&mut out, *id);
+                }
+            }
+            PoolResponse::Working(ts) => {
+                put_u8(&mut out, 1);
+                put_tuples(&mut out, ts)?;
+            }
+            PoolResponse::Results(bs) => {
+                put_u8(&mut out, 2);
+                put_blobs(&mut out, bs)?;
+            }
+            PoolResponse::Rows(rows) => {
+                put_u8(&mut out, 3);
+                put_rows(&mut out, rows)?;
+            }
+            PoolResponse::Err(e) => {
+                put_u8(&mut out, 4);
+                put_error(&mut out, e)?;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Decode from a frame payload.
+    pub fn decode(buf: &[u8]) -> Result<Self> {
+        let pos = &mut 0;
+        let resp = match take_u8(buf, pos)? {
+            0 => {
+                let n = take_u32(buf, pos)? as usize;
+                let mut ids = Vec::new();
+                for _ in 0..n {
+                    ids.push(take_u64(buf, pos)?);
+                }
+                PoolResponse::Ids(ids)
+            }
+            1 => PoolResponse::Working(take_tuples(buf, pos)?),
+            2 => PoolResponse::Results(take_blobs(buf, pos)?),
+            3 => PoolResponse::Rows(take_rows(buf, pos)?),
+            4 => PoolResponse::Err(take_error(buf, pos)?),
+            _ => return Err(bad("pool response kind")),
+        };
+        expect_consumed(buf, *pos)?;
+        Ok(resp)
+    }
+}
+
+/// Reject trailing bytes after a complete message: a length-prefix
+/// confusion upstream must fail loudly, not silently truncate.
+fn expect_consumed(buf: &[u8], pos: usize) -> Result<()> {
+    if pos != buf.len() {
+        return Err(bad("trailing bytes"));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tdsql_crypto::credential::CredentialSigner;
+
+    fn sample_envelope() -> QueryEnvelope {
+        let signer = CredentialSigner::new(b"authority");
+        QueryEnvelope {
+            query_id: 7,
+            enc_query: Bytes::from(vec![1, 2, 3, 4, 5]),
+            credential: signer.issue("energy-co", Role::new("supplier"), 1000),
+            size: SizeClause {
+                max_tuples: Some(100),
+                max_rounds: None,
+            },
+            protocol: ProtocolKind::EdHist { buckets: 4 },
+            target: QueryTarget::Tds(vec![3, 5, 8]),
+        }
+    }
+
+    #[test]
+    fn envelope_round_trips_and_credential_still_verifies() {
+        let env = sample_envelope();
+        let mut out = Vec::new();
+        put_envelope(&mut out, &env).unwrap();
+        let got = take_envelope(&out, &mut 0).unwrap();
+        assert_eq!(got.query_id, 7);
+        assert_eq!(got.enc_query, env.enc_query);
+        assert_eq!(got.size.max_tuples, Some(100));
+        assert_eq!(got.protocol, ProtocolKind::EdHist { buckets: 4 });
+        assert_eq!(got.target, QueryTarget::Tds(vec![3, 5, 8]));
+        // The signature survived byte-for-byte.
+        let signer = CredentialSigner::new(b"authority");
+        assert!(got
+            .credential
+            .verify(&signer.verification_key(), 50)
+            .is_ok());
+        assert_eq!(got.credential, env.credential);
+    }
+
+    #[test]
+    fn tampered_credential_fails_verification_after_transport() {
+        let env = sample_envelope();
+        let mut forged = env.credential.clone();
+        forged = Credential::from_parts(
+            forged.querier_id.clone(),
+            Role::new("admin"),
+            forged.expires_at_round,
+            forged.signature(),
+        );
+        let signer = CredentialSigner::new(b"authority");
+        assert!(forged.verify(&signer.verification_key(), 0).is_err());
+    }
+
+    #[test]
+    fn params_round_trip_with_domain_and_histogram() {
+        let mut p = ProtocolParams::new(ProtocolKind::CNoise);
+        p.pad = 96;
+        p.chunk = 17;
+        p.alpha = 3;
+        p.noise_domain = vec![GroupKey(vec![1, 2]), GroupKey(vec![9])];
+        p.histogram = Some(Histogram::build(
+            &[(GroupKey(vec![1]), 4), (GroupKey(vec![2]), 6)],
+            2,
+        ));
+        let mut out = Vec::new();
+        put_params(&mut out, &p).unwrap();
+        let got = take_params(&out, &mut 0).unwrap();
+        assert_eq!(got.kind, ProtocolKind::CNoise);
+        assert_eq!(got.pad, 96);
+        assert_eq!(got.chunk, 17);
+        assert_eq!(got.alpha, 3);
+        assert_eq!(got.noise_domain, p.noise_domain);
+        let h = got.histogram.unwrap();
+        assert_eq!(h.n_buckets(), 2);
+        assert_eq!(
+            h.bucket_of(&GroupKey(vec![1])),
+            p.histogram.as_ref().unwrap().bucket_of(&GroupKey(vec![1]))
+        );
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        let reqs = vec![
+            SsiRequest::PostQuery(sample_envelope()),
+            SsiRequest::BeginAssignment(3, 9),
+            SsiRequest::ReceiveWorking {
+                query_id: 1,
+                assignment: AssignmentId(42),
+                phase: Phase::Aggregation,
+                tuples: vec![StoredTuple {
+                    tag: GroupTag::Bucket([7; 8]),
+                    blob: Bytes::from(vec![1, 2, 3]),
+                }],
+            },
+            SsiRequest::Results(11),
+        ];
+        for req in reqs {
+            let wire = req.encode().unwrap();
+            let got = SsiRequest::decode(&wire).unwrap();
+            assert_eq!(got.encode().unwrap(), wire, "{}", req.name());
+        }
+    }
+
+    #[test]
+    fn responses_round_trip_including_errors() {
+        let resps = vec![
+            SsiResponse::Id(5),
+            SsiResponse::Outcome(DeliveryOutcome::LateAfterReassign),
+            SsiResponse::Tuples(vec![StoredTuple {
+                tag: GroupTag::Det(Bytes::from(vec![4, 4])),
+                blob: Bytes::from(vec![9; 16]),
+            }]),
+            SsiResponse::Err(ProtocolError::QueryAborted {
+                phase: Phase::Collection,
+                retries: 24,
+            }),
+            SsiResponse::Err(ProtocolError::Crypto(CryptoError::TagMismatch)),
+            SsiResponse::Err(ProtocolError::UnknownQuery { query_id: 3 }),
+        ];
+        for resp in resps {
+            let wire = resp.encode().unwrap();
+            let got = SsiResponse::decode(&wire).unwrap();
+            assert_eq!(got.encode().unwrap(), wire);
+        }
+    }
+
+    #[test]
+    fn error_classes_survive_transport() {
+        // Crypto / Codec classes drive the driver's retry decisions; the
+        // wire must preserve them exactly.
+        for (err, check) in [
+            (ProtocolError::Crypto(CryptoError::TagMismatch), true),
+            (ProtocolError::Codec("garbled".into()), true),
+            (ProtocolError::AccessDenied, false),
+        ] {
+            let mut out = Vec::new();
+            put_error(&mut out, &err).unwrap();
+            let got = take_error(&out, &mut 0).unwrap();
+            let retryable = matches!(got, ProtocolError::Crypto(_) | ProtocolError::Codec(_));
+            assert_eq!(retryable, check, "{err:?} -> {got:?}");
+        }
+    }
+
+    #[test]
+    fn pool_step_round_trips() {
+        let req = PoolRequest::Step {
+            index: 4,
+            env: sample_envelope(),
+            params: ProtocolParams::new(ProtocolKind::SAgg),
+            now_round: 12,
+            step: TdsStep::FinalizeGroups {
+                dest: ResultDest::Tds,
+            },
+            partition: vec![StoredTuple {
+                tag: GroupTag::None,
+                blob: Bytes::from(vec![8; 96]),
+            }],
+            rng_seed: 0xdead_beef,
+        };
+        let wire = req.encode().unwrap();
+        let got = PoolRequest::decode(&wire).unwrap();
+        assert_eq!(got.encode().unwrap(), wire);
+        let resp = PoolResponse::Rows(vec![vec![Value::Int(3), Value::Str("a".into())]]);
+        let wire = resp.encode().unwrap();
+        let got = PoolResponse::decode(&wire).unwrap();
+        assert_eq!(got.encode().unwrap(), wire);
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut wire = SsiRequest::Envelope(3).encode().unwrap();
+        wire.push(0);
+        assert!(SsiRequest::decode(&wire).is_err());
+    }
+
+    #[test]
+    fn fault_plan_corrupted_messages_never_panic() {
+        use tdsql_core::connectivity::FaultPlan;
+
+        // The fault plan's corruption leg, applied to whole wire messages:
+        // decode must yield a typed error or some valid message, never a
+        // panic. Both directions of both protocols are swept.
+        let plan = FaultPlan::seeded(23).with_corruption(1.0);
+        let messages = vec![
+            SsiRequest::PostQuery(sample_envelope()).encode().unwrap(),
+            SsiResponse::Tuples(vec![StoredTuple {
+                tag: GroupTag::Det(Bytes::from(vec![1, 2, 3])),
+                blob: Bytes::from(vec![7; 64]),
+            }])
+            .encode()
+            .unwrap(),
+            PoolRequest::Step {
+                index: 0,
+                env: sample_envelope(),
+                params: ProtocolParams::new(ProtocolKind::CNoise),
+                now_round: 3,
+                step: TdsStep::Collect,
+                partition: vec![],
+                rng_seed: 9,
+            }
+            .encode()
+            .unwrap(),
+            PoolResponse::Rows(vec![vec![Value::Int(1), Value::Float(2.5)]])
+                .encode()
+                .unwrap(),
+        ];
+        for (m, wire) in messages.into_iter().enumerate() {
+            for item in 0..32u64 {
+                let corrupted =
+                    plan.corrupt_blob(&Bytes::from(wire.clone()), Phase::Aggregation, item, 0);
+                let as_ssi_req = SsiRequest::decode(&corrupted);
+                let as_ssi_resp = SsiResponse::decode(&corrupted);
+                let as_pool_req = PoolRequest::decode(&corrupted);
+                let as_pool_resp = PoolResponse::decode(&corrupted);
+                for err in [
+                    as_ssi_req.err(),
+                    as_ssi_resp.err(),
+                    as_pool_req.err(),
+                    as_pool_resp.err(),
+                ]
+                .into_iter()
+                .flatten()
+                {
+                    assert!(
+                        matches!(err, ProtocolError::Codec(_) | ProtocolError::Sql(_)),
+                        "message {m} corruption {item}: unexpected error class: {err:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn truncated_and_corrupted_messages_fail_typed() {
+        let wire = SsiRequest::PostQuery(sample_envelope()).encode().unwrap();
+        // Every strict prefix must fail with a typed Codec error, never
+        // panic or mis-decode.
+        for cut in 0..wire.len() {
+            match SsiRequest::decode(&wire[..cut]) {
+                Err(ProtocolError::Codec(_)) => {}
+                Ok(req) => panic!("prefix of len {cut} decoded as {}", req.name()),
+                Err(other) => panic!("prefix of len {cut}: unexpected {other:?}"),
+            }
+        }
+    }
+}

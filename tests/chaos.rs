@@ -246,3 +246,88 @@ fn chaos_sharded_blobs_byte_identical_across_worker_counts() {
         }
     }
 }
+
+/// The loopback TCP backend under the same chaos sweep: for each case the
+/// remote driver (spawned `serve_ssi`/`serve_pool` on ephemeral loopback
+/// ports) must be **byte-identical** to the in-process service driver with
+/// the same seeds — same rows in the same order, or the same clean abort.
+/// The wire adds transport, never behavior.
+#[test]
+fn chaos_loopback_backend_byte_identical_to_inprocess() {
+    use std::net::TcpListener;
+    use std::sync::Arc;
+    use std::thread;
+    use tdsql_core::ssi::Ssi;
+    use tdsql_core::{DriverConfig, ServiceDriver};
+    use tdsql_net::deploy::Deployment;
+    use tdsql_net::{serve_pool, serve_ssi, RemoteSsi, RemoteTdsPool};
+    use tdsql_obs::Obs;
+
+    let dep = Deployment {
+        meters: SmartMeterConfig {
+            n_tds: 20,
+            districts: 3,
+            readings_per_tds: 1,
+            ..Default::default()
+        },
+        ..Deployment::default()
+    };
+    let (_pool, oracle) = dep.provision();
+    let base = chaos_base();
+    for i in 0..6u64 {
+        let case = base.wrapping_mul(1000) + 250 + i;
+        let (kind, sql) = protocols()[(i as usize) % protocols().len()];
+        let query = parse_query(sql).unwrap();
+        let expected = execute(&oracle, &query).unwrap().rows;
+        let config = DriverConfig {
+            connectivity: Connectivity::always_on().with_faults(random_plan(case)),
+            seed: 0xc4a05 ^ case,
+            retry_budget: 24,
+            ..DriverConfig::default()
+        };
+        let querier = dep.make_querier("energy-co", "supplier");
+        let system = dep.system_querier();
+        let mut params = ProtocolParams::new(kind);
+        params.chunk = 4;
+        params.alpha = 2;
+        let label = format!("loopback chaos case {case} ({})", kind.name());
+
+        // Remote: fresh servers per case so both backends allocate the
+        // same query ids (ids feed the per-step seeds).
+        let ssi_listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let ssi_addr = ssi_listener.local_addr().unwrap();
+        let server_ssi = Arc::new(Ssi::new());
+        let server_obs = Arc::new(Obs::new(b"chaos-ssi"));
+        thread::spawn(move || serve_ssi(ssi_listener, server_ssi, server_obs));
+        let pool_listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let pool_addr = pool_listener.local_addr().unwrap();
+        let (server_pool, _) = dep.provision();
+        let server_obs = Arc::new(Obs::new(b"chaos-pool"));
+        thread::spawn(move || serve_pool(pool_listener, Arc::new(server_pool), server_obs));
+
+        let obs = Arc::new(Obs::new(b"chaos-remote"));
+        let ssi = RemoteSsi::connect(ssi_addr.to_string(), Arc::clone(&obs));
+        let pool = RemoteTdsPool::connect(pool_addr.to_string(), Arc::clone(&obs)).unwrap();
+        let mut driver = ServiceDriver::new(&ssi, &pool, obs, config.clone()).unwrap();
+        let remote = driver.run_query(&querier, Some(&system), &query, params.clone());
+
+        // In-process reference with identical config.
+        let local_ssi = Ssi::new();
+        let (local_pool, _) = dep.provision();
+        let obs = Arc::new(Obs::new(b"chaos-local"));
+        let mut driver = ServiceDriver::new(&local_ssi, &local_pool, obs, config).unwrap();
+        let local = driver.run_query(&querier, Some(&system), &query, params);
+
+        match (remote, local) {
+            (Ok(r), Ok(l)) => {
+                assert_eq!(r, l, "{label}: remote vs in-process drift");
+                assert_rows_eq(r, expected, &label);
+            }
+            (Err(re), Err(le)) => {
+                assert_clean_error(&re, &label);
+                assert_eq!(re.to_string(), le.to_string(), "{label}: abort drift");
+            }
+            (r, l) => panic!("{label}: outcome drift: remote {r:?} vs local {l:?}"),
+        }
+    }
+}
